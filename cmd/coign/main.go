@@ -1,0 +1,524 @@
+// Command coign is the Coign ADPS toolchain driver: it instruments
+// application binaries, runs profiling scenarios, analyzes profiles,
+// writes distributions back into binaries, executes distributed
+// applications, and regenerates every table and figure of the paper's
+// evaluation.
+//
+// Usage:
+//
+//	coign list                                   print the scenario suite (Table 1)
+//	coign cut -scenario o_oldwp7 [-network N]    profile+analyze one scenario, print the distribution
+//	coign run -scenario o_oldwp7 [-network N]    full experiment: default vs Coign vs prediction
+//	coign table2 [-app octarine]                 classifier accuracy (Table 2)
+//	coign table3 [-app octarine]                 IFCB accuracy vs stack depth (Table 3)
+//	coign table4                                 communication time, all scenarios (Table 4)
+//	coign table5                                 prediction accuracy, all scenarios (Table 5)
+//	coign figures                                distribution figures 4-8
+//	coign adapt -scenario o_oldwp7               re-partition across network generations (§4.4)
+//	coign overhead [-scenario o_oldwp0]          instrumentation overhead (§3.2)
+//	coign instrument -app octarine -o app.img    rewrite a binary for profiling
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/adapt"
+	"repro/internal/classify"
+	"repro/internal/com"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/profile"
+	"repro/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = cmdList()
+	case "cut":
+		err = cmdCut(args)
+	case "run":
+		err = cmdRun(args)
+	case "table2":
+		err = cmdTable2(args)
+	case "table3":
+		err = cmdTable3(args)
+	case "table4":
+		err = cmdTables(args, false)
+	case "table5":
+		err = cmdTables(args, true)
+	case "figures":
+		err = cmdFigures()
+	case "adapt":
+		err = cmdAdapt(args)
+	case "overhead":
+		err = cmdOverhead(args)
+	case "drift":
+		err = cmdDrift(args)
+	case "cache":
+		err = cmdCache(args)
+	case "profile":
+		err = cmdProfile(args)
+	case "analyze":
+		err = cmdAnalyze(args)
+	case "instrument":
+		err = cmdInstrument(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "coign: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coign:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: coign <command> [flags]
+
+commands:
+  list        print the profiling-scenario suite (Table 1)
+  cut         profile one scenario and print the chosen distribution
+  run         full experiment for one scenario (Tables 4 and 5 rows)
+  table2      classifier accuracy (Table 2)
+  table3      IFCB accuracy vs stack-walk depth (Table 3)
+  table4      communication time for all 23 scenarios (Table 4)
+  table5      execution-time prediction accuracy (Table 5)
+  figures     distribution figures 4-8
+  adapt       re-partition one scenario across network generations
+  overhead    instrumentation overhead measurements
+  drift       watchdog: detect usage drift from the profiled scenarios
+  cache       per-interface caching (semi-custom marshaling) effect
+  instrument  rewrite an application binary for profiling
+  profile     run profiling scenarios and write .icc log files
+  analyze     combine .icc log files and print the chosen distribution`)
+}
+
+func cmdList() error {
+	fmt.Printf("%-10s %-10s %s\n", "Scenario", "App", "Description")
+	for _, s := range scenario.Table1() {
+		fmt.Printf("%-10s %-10s %s\n", s.Name, s.App, s.Description)
+	}
+	return nil
+}
+
+func cmdCut(args []string) error {
+	fs := flag.NewFlagSet("cut", flag.ExitOnError)
+	scen := fs.String("scenario", "o_oldwp7", "scenario to partition")
+	network := fs.String("network", "10BaseT", "network model")
+	classifier := fs.String("classifier", "ifcb", "instance classifier")
+	verbose := fs.Bool("v", false, "list server-side classifications")
+	dotPath := fs.String("dot", "", "write the distribution figure as Graphviz DOT")
+	pins := fs.String("pin", "", "programmer constraints, e.g. 'TextProps=client,DocReader=server'")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	info, err := scenario.Lookup(*scen)
+	if err != nil {
+		return err
+	}
+	app, err := scenario.NewApp(info.App)
+	if err != nil {
+		return err
+	}
+	model, err := netsim.ByName(*network)
+	if err != nil {
+		return err
+	}
+	kind, err := classify.KindByName(*classifier)
+	if err != nil {
+		return err
+	}
+	adps := core.New(app)
+	adps.Network = model
+	adps.ClassifierKind = kind
+	if err := adps.Instrument(); err != nil {
+		return err
+	}
+	p, _, err := adps.ProfileScenario(*scen, false)
+	if err != nil {
+		return err
+	}
+	// Programmer-supplied absolute constraints (paper §4.3): pin every
+	// classification of the named classes.
+	if *pins != "" {
+		adps.AnalysisOptions.ExtraPins = map[string]com.Machine{}
+		for _, spec := range strings.Split(*pins, ",") {
+			parts := strings.SplitN(spec, "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad -pin entry %q (want Class=client|server)", spec)
+			}
+			var m com.Machine
+			switch parts[1] {
+			case "client":
+				m = com.Client
+			case "server":
+				m = com.Server
+			default:
+				return fmt.Errorf("bad -pin machine %q", parts[1])
+			}
+			matched := 0
+			for id, ci := range p.Classifications {
+				if ci.Class == parts[0] {
+					adps.AnalysisOptions.ExtraPins[id] = m
+					matched++
+				}
+			}
+			if matched == 0 {
+				return fmt.Errorf("-pin %s matched no classifications", parts[0])
+			}
+		}
+	}
+	res, err := adps.Analyze(p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s (%s classifier)\n", *scen, model.Name, kind)
+	fmt.Printf("  classifications: %d client, %d server (%d constrained, %d non-remotable edges)\n",
+		res.ClientClassifications, res.ServerClassifications, res.Constrained, res.NonRemotableEdges)
+	fmt.Printf("  instances:       %d client, %d server\n", res.ClientInstances, res.ServerInstances)
+	fmt.Printf("  predicted comm:  %v (default %v, savings %.0f%%)\n",
+		res.PredictedComm, res.DefaultComm, res.Savings()*100)
+	if *verbose {
+		for _, cp := range res.ServerComponents(p) {
+			fmt.Printf("  server: %-20s x%d\n", cp.Class, cp.Instances)
+		}
+	}
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.WriteDOT(f, p, *scen+" on "+model.Name); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s (render with: neato -Tsvg %s)\n", *dotPath, *dotPath)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	scen := fs.String("scenario", "o_oldwp7", "scenario to run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	row, err := experiments.RunScenario(*scen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (%s)\n", row.Scenario, row.App)
+	fmt.Printf("  components:        %d total, %d on server\n", row.TotalInstances, row.ServerInstances)
+	fmt.Printf("  communication:     default %.3fs, Coign %.3fs (savings %.0f%%)\n",
+		row.DefaultComm.Seconds(), row.CoignComm.Seconds(), row.Savings*100)
+	fmt.Printf("  execution:         predicted %.1fs, measured %.1fs (error %+.1f%%)\n",
+		row.PredictedExec.Seconds(), row.MeasuredExec.Seconds(), row.PredictionErr*100)
+	fmt.Printf("  violations:        %d\n", row.Violations)
+	return nil
+}
+
+func cmdTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	app := fs.String("app", "octarine", "application")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := experiments.Table2(*app)
+	if err != nil {
+		return err
+	}
+	experiments.PrintTable2(os.Stdout, rows)
+	return nil
+}
+
+func cmdTable3(args []string) error {
+	fs := flag.NewFlagSet("table3", flag.ExitOnError)
+	app := fs.String("app", "octarine", "application")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := experiments.Table3(*app)
+	if err != nil {
+		return err
+	}
+	experiments.PrintTable3(os.Stdout, rows)
+	return nil
+}
+
+func cmdTables(args []string, five bool) error {
+	rows, err := experiments.Tables4And5()
+	if err != nil {
+		return err
+	}
+	if five {
+		experiments.PrintTable5(os.Stdout, rows)
+	} else {
+		experiments.PrintTable4(os.Stdout, rows)
+	}
+	return nil
+}
+
+func cmdFigures() error {
+	rows, err := experiments.Figures()
+	if err != nil {
+		return err
+	}
+	experiments.PrintFigures(os.Stdout, rows)
+	return nil
+}
+
+func cmdAdapt(args []string) error {
+	fs := flag.NewFlagSet("adapt", flag.ExitOnError)
+	scen := fs.String("scenario", "o_oldwp7", "scenario to re-partition")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := experiments.Adaptive(*scen, []string{"ISDN", "10BaseT", "100BaseT", "ATM", "SAN"})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %10s %14s %14s %9s\n", "Network", "SrvInst", "Predicted", "Default", "Savings")
+	for _, r := range rows {
+		fmt.Printf("%-10s %10d %13.3fs %13.3fs %8.0f%%\n",
+			r.Network, r.ServerInstances, r.PredictedComm.Seconds(),
+			r.DefaultComm.Seconds(), r.Savings*100)
+	}
+	return nil
+}
+
+func cmdOverhead(args []string) error {
+	fs := flag.NewFlagSet("overhead", flag.ExitOnError)
+	scen := fs.String("scenario", "o_oldwp0", "scenario to measure")
+	reps := fs.Int("reps", 5, "repetitions (best-of)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	row, err := experiments.MeasureOverhead(*scen, *reps)
+	if err != nil {
+		return err
+	}
+	fmt.Println(row)
+	return nil
+}
+
+func cmdDrift(args []string) error {
+	fs := flag.NewFlagSet("drift", flag.ExitOnError)
+	optimized := fs.String("optimized-for", "o_oldwp0", "scenario the distribution was computed from")
+	observed := fs.String("observed", "o_oldbth", "scenario representing actual usage")
+	threshold := fs.Float64("threshold", 0.3, "drift threshold recommending re-profiling")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	info, err := scenario.Lookup(*optimized)
+	if err != nil {
+		return err
+	}
+	if obsInfo, err := scenario.Lookup(*observed); err != nil {
+		return err
+	} else if obsInfo.App != info.App {
+		return fmt.Errorf("scenarios belong to different applications (%s vs %s)", info.App, obsInfo.App)
+	}
+	app, err := scenario.NewApp(info.App)
+	if err != nil {
+		return err
+	}
+	adps := core.New(app)
+	if err := adps.Instrument(); err != nil {
+		return err
+	}
+	baseline, _, err := adps.ProfileScenario(*optimized, false)
+	if err != nil {
+		return err
+	}
+	res, err := adps.Analyze(baseline)
+	if err != nil {
+		return err
+	}
+	w, err := adapt.NewWatchdog(baseline, *threshold, 50)
+	if err != nil {
+		return err
+	}
+	if _, err := dist.Run(dist.Config{
+		App: app, Scenario: *observed, Mode: dist.ModeCoign,
+		Classifier:   classify.New(adps.ClassifierKind, 0),
+		Distribution: res.Distribution,
+		ExtraLogger:  w.Logger(),
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("distribution optimized for %s, observed usage %s\n", *optimized, *observed)
+	fmt.Printf("  drift: %.3f (threshold %.2f) — re-profile: %v\n",
+		w.Drift(), *threshold, w.ShouldReprofile())
+	for _, d := range w.TopDivergences(5) {
+		fmt.Printf("  %-40s -> %-40s profiled %.1f%% observed %.1f%%\n",
+			d.Src, d.Dst, d.ProfiledShare*100, d.ObservedShare*100)
+	}
+	return nil
+}
+
+func cmdCache(args []string) error {
+	fs := flag.NewFlagSet("cache", flag.ExitOnError)
+	scen := fs.String("scenario", "o_oldwp7", "scenario to measure")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cmp, err := experiments.CompareCaching(*scen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s with per-interface caching:\n", cmp.Scenario)
+	fmt.Printf("  plain:  %.3fs\n", cmp.Plain.Seconds())
+	fmt.Printf("  cached: %.3fs (%d hits, %.0f%% further savings)\n",
+		cmp.Cached.Seconds(), cmp.CacheHits, cmp.Savings*100)
+	return nil
+}
+
+func cmdInstrument(args []string) error {
+	fs := flag.NewFlagSet("instrument", flag.ExitOnError)
+	appName := fs.String("app", "octarine", "application")
+	out := fs.String("o", "", "output image path (default <app>.img)")
+	classifier := fs.String("classifier", "ifcb", "instance classifier")
+	depth := fs.Int("depth", 0, "classifier stack depth (0 = complete)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, err := scenario.NewApp(*appName)
+	if err != nil {
+		return err
+	}
+	kind, err := classify.KindByName(*classifier)
+	if err != nil {
+		return err
+	}
+	adps := core.New(app)
+	adps.ClassifierKind = kind
+	adps.ClassifierDepth = *depth
+	if err := adps.Instrument(); err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = *appName + ".img"
+	}
+	if err := adps.Image.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote instrumented binary %s (%d bytes of code, %d imports, %s in slot 0)\n",
+		path, adps.Image.CodeBytes(), len(adps.Image.Imports), adps.Image.Imports[0])
+	return nil
+}
+
+// cmdProfile runs one or more profiling scenarios and writes each run's
+// inter-component communication log to a .icc file, the paper's
+// post-profiling artifact.
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	scens := fs.String("scenarios", "o_oldwp0", "comma-separated scenarios (one application)")
+	dir := fs.String("dir", ".", "directory for .icc log files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := strings.Split(*scens, ",")
+	first, err := scenario.Lookup(names[0])
+	if err != nil {
+		return err
+	}
+	app, err := scenario.NewApp(first.App)
+	if err != nil {
+		return err
+	}
+	adps := core.New(app)
+	if err := adps.Instrument(); err != nil {
+		return err
+	}
+	for _, name := range names {
+		info, err := scenario.Lookup(name)
+		if err != nil {
+			return err
+		}
+		if info.App != first.App {
+			return fmt.Errorf("scenario %s belongs to %s, not %s", name, info.App, first.App)
+		}
+		p, _, err := adps.ProfileScenario(name, false)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*dir, name+".icc")
+		if err := p.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d calls, %d classifications\n",
+			path, p.TotalCalls(), len(p.Classifications))
+	}
+	return nil
+}
+
+// cmdAnalyze combines profiling logs and prints the distribution the
+// analysis engine chooses.
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	logs := fs.String("logs", "", "comma-separated .icc log files")
+	network := fs.String("network", "10BaseT", "network model")
+	verbose := fs.Bool("v", false, "list server-side classifications")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logs == "" {
+		return fmt.Errorf("analyze requires -logs")
+	}
+	var combined *profile.Profile
+	for _, path := range strings.Split(*logs, ",") {
+		p, err := profile.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if combined == nil {
+			combined = p
+			continue
+		}
+		p.OffsetInstanceIDs(combined.MaxInstanceID())
+		if err := combined.Merge(p); err != nil {
+			return err
+		}
+	}
+	app, err := scenario.NewApp(combined.App)
+	if err != nil {
+		return err
+	}
+	model, err := netsim.ByName(*network)
+	if err != nil {
+		return err
+	}
+	adps := core.New(app)
+	adps.Network = model
+	res, err := adps.Analyze(combined)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s from logs of %v on %s\n", combined.App, combined.Scenarios, model.Name)
+	fmt.Printf("  instances:      %d client, %d server\n", res.ClientInstances, res.ServerInstances)
+	fmt.Printf("  predicted comm: %v (default %v, savings %.0f%%)\n",
+		res.PredictedComm, res.DefaultComm, res.Savings()*100)
+	if *verbose {
+		for _, cp := range res.ServerComponents(combined) {
+			fmt.Printf("  server: %-20s x%d\n", cp.Class, cp.Instances)
+		}
+	}
+	return nil
+}

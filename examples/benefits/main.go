@@ -1,0 +1,65 @@
+// Benefits 3-tier re-partitioning: reproduces the paper's most surprising
+// result (Figure 6). An experienced client/server programmer put the whole
+// business layer on the middle tier; Coign discovers that many of those
+// components are caches serving the client field-by-field, moves them to
+// the client, and cuts communication by roughly a third — without touching
+// the business logic, whose database traffic pins it to the data.
+//
+//	go run ./examples/benefits
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/benefits"
+	"repro/internal/core"
+)
+
+func main() {
+	adps := core.New(benefits.New())
+	rep, err := adps.ScenarioExperiment(benefits.ScenBigone)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	defaultMiddle := rep.TotalInstances - 9 // nine front-end components
+	fmt.Printf("components in client + middle tier: %d\n", rep.TotalInstances)
+	fmt.Printf("  programmer's middle tier: %d components\n", defaultMiddle)
+	fmt.Printf("  Coign's middle tier:      %d components\n", rep.ServerInstances)
+	fmt.Printf("  moved to the client:      %d (the caches)\n",
+		defaultMiddle-rep.ServerInstances)
+	fmt.Printf("communication: default %.3fs, Coign %.3fs (%.0f%% less)\n",
+		rep.DefaultComm.Seconds(), rep.CoignComm.Seconds(), rep.Savings*100)
+
+	// Which classes moved, which stayed?
+	if err := adps.Instrument(); err != nil {
+		log.Fatal(err)
+	}
+	p, _, err := adps.ProfileScenario(benefits.ScenBigone, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := adps.Analyze(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	middle := map[string]int64{}
+	client := map[string]int64{}
+	for id, ci := range p.Classifications {
+		m := res.Distribution[id]
+		if m == 1 { // com.Server: the middle tier
+			middle[ci.Class] += ci.Instances
+		} else {
+			client[ci.Class] += ci.Instances
+		}
+	}
+	fmt.Println("\nstays on the middle tier (business logic):")
+	for class, n := range middle {
+		fmt.Printf("  %-18s x%d\n", class, n)
+	}
+	fmt.Println("moves to the client (front end + caches):")
+	for class, n := range client {
+		fmt.Printf("  %-18s x%d\n", class, n)
+	}
+}

@@ -1,0 +1,70 @@
+// Octarine document-type explorer: reproduces the paper's central
+// observation (§4.4, Figures 5, 7, 8) that the optimal distribution of one
+// application changes radically with the user's predominant document type:
+//
+//   - a text-only document moves just the reader and text-properties
+//     components to the server;
+//
+//   - a table-only document moves only the reader;
+//
+//   - a text document with a handful of embedded tables moves the entire
+//     page-placement negotiation — hundreds of components.
+//
+//     go run ./examples/octarine
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/octarine"
+	"repro/internal/core"
+)
+
+func main() {
+	cases := []struct {
+		scenario string
+		note     string
+	}{
+		{octarine.ScenOldWp0, "5-page text document (small: default already optimal)"},
+		{octarine.ScenOldWp7, "208-page text document (reader + text props move)"},
+		{octarine.ScenOldTb0, "5-page table (only the reader moves)"},
+		{octarine.ScenOldTb3, "150-page table (scan stays with the data)"},
+		{octarine.ScenOldBth, "5-page text with tables (negotiation cluster moves)"},
+	}
+	fmt.Printf("%-10s %6s %6s %10s %10s %8s\n",
+		"scenario", "total", "server", "default", "coign", "savings")
+	for _, c := range cases {
+		adps := core.New(octarine.New())
+		rep, err := adps.ScenarioExperiment(c.scenario)
+		if err != nil {
+			log.Fatalf("%s: %v", c.scenario, err)
+		}
+		fmt.Printf("%-10s %6d %6d %9.3fs %9.3fs %7.0f%%   %s\n",
+			rep.Scenario, rep.TotalInstances, rep.ServerInstances,
+			rep.DefaultComm.Seconds(), rep.CoignComm.Seconds(),
+			rep.Savings*100, c.note)
+	}
+
+	// Drill into the mixed document: what moved?
+	fmt.Println("\nserver-side components for the mixed document:")
+	adps := core.New(octarine.New())
+	if err := adps.Instrument(); err != nil {
+		log.Fatal(err)
+	}
+	p, _, err := adps.ProfileScenario(octarine.ScenOldBth, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := adps.Analyze(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byClass := map[string]int64{}
+	for _, cp := range res.ServerComponents(p) {
+		byClass[cp.Class] += cp.Instances
+	}
+	for class, n := range byClass {
+		fmt.Printf("  %-18s x%d\n", class, n)
+	}
+}

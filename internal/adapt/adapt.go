@@ -1,0 +1,183 @@
+// Package adapt implements the paper's envisioned "fully automatic"
+// distribution optimization (§6): the lightweight version of the runtime,
+// which relocates component instantiation requests to produce the chosen
+// distribution, additionally counts messages between classifications with
+// only slight overhead. Run-time message counts are compared with the
+// related message counts from the profiling scenarios to recognize changes
+// in application usage; when usage differs significantly from the profiled
+// scenarios, Coign silently re-enables profiling to re-optimize the
+// distribution.
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/logger"
+	"repro/internal/profile"
+)
+
+// Counter is the message-counting logger loaded alongside the null logger
+// during distributed execution. It records only per-classification-pair
+// call counts — no sizes, no instance detail — keeping its overhead a
+// small increment over the null logger.
+type Counter struct {
+	counts map[profile.PairKey]int64
+	calls  int64
+}
+
+// NewCounter returns an empty message counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[profile.PairKey]int64)}
+}
+
+// BeginRun implements logger.Logger.
+func (c *Counter) BeginRun(app, scenario string) {}
+
+// Instantiation implements logger.Logger.
+func (c *Counter) Instantiation(rec logger.InstRecord) {}
+
+// Call implements logger.Logger: count one message per direction.
+func (c *Counter) Call(rec logger.CallRecord) {
+	c.counts[profile.PairKey{Src: rec.SrcClassification, Dst: rec.DstClassification}]++
+	c.calls++
+}
+
+// Release implements logger.Logger.
+func (c *Counter) Release(uint64) {}
+
+// EndRun implements logger.Logger.
+func (c *Counter) EndRun() {}
+
+// Calls returns the total calls counted.
+func (c *Counter) Calls() int64 { return c.calls }
+
+// Counts returns the per-edge call counts.
+func (c *Counter) Counts() map[profile.PairKey]int64 { return c.counts }
+
+// Drift quantifies how far observed run-time message counts diverge from a
+// profile's, as 1 minus the cosine similarity between the two count
+// vectors over classification pairs (0 = identical usage mix, 1 = nothing
+// in common). Comparing *mixes* rather than magnitudes keeps the metric
+// independent of how long the application has been running.
+func Drift(profiled *profile.Profile, observed map[profile.PairKey]int64) float64 {
+	var dot, na, nb float64
+	for k, e := range profiled.Edges {
+		v := float64(e.Calls)
+		na += v * v
+		if o, ok := observed[k]; ok {
+			dot += v * float64(o)
+		}
+	}
+	for _, o := range observed {
+		nb += float64(o) * float64(o)
+	}
+	if na == 0 && nb == 0 {
+		return 0
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/(math.Sqrt(na)*math.Sqrt(nb))
+}
+
+// Watchdog accumulates run-time counts and decides when the application's
+// usage has drifted far enough from the profiled scenarios that
+// re-profiling (and re-partitioning) is warranted.
+type Watchdog struct {
+	Profile   *profile.Profile
+	Threshold float64 // drift above this recommends re-profiling
+	MinCalls  int64   // ignore drift until this many calls observed
+	counter   *Counter
+}
+
+// NewWatchdog returns a watchdog over the profile the current distribution
+// was computed from. A threshold around 0.3 distinguishes workload shifts
+// from run-to-run noise; MinCalls suppresses verdicts on tiny samples.
+func NewWatchdog(p *profile.Profile, threshold float64, minCalls int64) (*Watchdog, error) {
+	if p == nil {
+		return nil, fmt.Errorf("adapt: watchdog requires the profiled baseline")
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("adapt: threshold %v outside (0,1)", threshold)
+	}
+	return &Watchdog{
+		Profile:   p,
+		Threshold: threshold,
+		MinCalls:  minCalls,
+		counter:   NewCounter(),
+	}, nil
+}
+
+// Logger returns the message-counting logger to install in the lightweight
+// runtime.
+func (w *Watchdog) Logger() *Counter { return w.counter }
+
+// Drift returns the current divergence from the profiled usage.
+func (w *Watchdog) Drift() float64 {
+	return Drift(w.Profile, w.counter.Counts())
+}
+
+// ShouldReprofile reports whether observed usage has drifted beyond the
+// threshold (with enough evidence).
+func (w *Watchdog) ShouldReprofile() bool {
+	if w.counter.Calls() < w.MinCalls {
+		return false
+	}
+	return w.Drift() > w.Threshold
+}
+
+// TopDivergences lists the classification pairs contributing most to the
+// drift: edges whose observed share differs most from their profiled
+// share. Useful diagnostics for the developer usage model.
+type Divergence struct {
+	Src, Dst      string
+	ProfiledShare float64
+	ObservedShare float64
+}
+
+// TopDivergences returns up to n divergences ordered by absolute share
+// difference.
+func (w *Watchdog) TopDivergences(n int) []Divergence {
+	var profTotal, obsTotal float64
+	for _, e := range w.Profile.Edges {
+		profTotal += float64(e.Calls)
+	}
+	for _, o := range w.counter.Counts() {
+		obsTotal += float64(o)
+	}
+	keys := make(map[profile.PairKey]bool)
+	for k := range w.Profile.Edges {
+		keys[k] = true
+	}
+	for k := range w.counter.Counts() {
+		keys[k] = true
+	}
+	var out []Divergence
+	for k := range keys {
+		var ps, os float64
+		if e, ok := w.Profile.Edges[k]; ok && profTotal > 0 {
+			ps = float64(e.Calls) / profTotal
+		}
+		if o, ok := w.counter.Counts()[k]; ok && obsTotal > 0 {
+			os = float64(o) / obsTotal
+		}
+		out = append(out, Divergence{Src: k.Src, Dst: k.Dst, ProfiledShare: ps, ObservedShare: os})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di := math.Abs(out[i].ObservedShare - out[i].ProfiledShare)
+		dj := math.Abs(out[j].ObservedShare - out[j].ProfiledShare)
+		if di != dj {
+			return di > dj
+		}
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

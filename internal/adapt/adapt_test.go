@@ -1,0 +1,144 @@
+package adapt
+
+import (
+	"testing"
+
+	"repro/internal/apps/octarine"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/logger"
+	"repro/internal/profile"
+
+	"repro/internal/classify"
+)
+
+func TestCounterCounts(t *testing.T) {
+	c := NewCounter()
+	c.BeginRun("a", "s")
+	c.Instantiation(logger.InstRecord{ID: 1})
+	c.Call(logger.CallRecord{SrcClassification: "x", DstClassification: "y"})
+	c.Call(logger.CallRecord{SrcClassification: "x", DstClassification: "y"})
+	c.Call(logger.CallRecord{SrcClassification: "y", DstClassification: "z"})
+	c.Release(1)
+	c.EndRun()
+	if c.Calls() != 3 {
+		t.Fatalf("calls = %d", c.Calls())
+	}
+	if c.Counts()[profile.PairKey{Src: "x", Dst: "y"}] != 2 {
+		t.Fatalf("counts = %v", c.Counts())
+	}
+}
+
+func TestDriftMetric(t *testing.T) {
+	p := profile.New("a", "ifcb")
+	p.Edge("x", "y").Record(10, 10, false)
+	p.Edge("x", "y").Record(10, 10, false)
+	p.Edge("y", "z").Record(10, 10, false)
+
+	// Identical mix: zero drift.
+	same := map[profile.PairKey]int64{
+		{Src: "x", Dst: "y"}: 20,
+		{Src: "y", Dst: "z"}: 10,
+	}
+	if d := Drift(p, same); d > 1e-9 {
+		t.Errorf("identical mix drift = %v", d)
+	}
+	// Disjoint edges: full drift.
+	other := map[profile.PairKey]int64{{Src: "q", Dst: "r"}: 5}
+	if d := Drift(p, other); d < 0.999 {
+		t.Errorf("disjoint drift = %v", d)
+	}
+	// Empty observation vs profiled: full drift; both empty: none.
+	if d := Drift(p, nil); d < 0.999 {
+		t.Errorf("empty observation drift = %v", d)
+	}
+	if d := Drift(profile.New("a", "ifcb"), nil); d != 0 {
+		t.Errorf("both-empty drift = %v", d)
+	}
+}
+
+func TestWatchdogValidation(t *testing.T) {
+	if _, err := NewWatchdog(nil, 0.3, 10); err == nil {
+		t.Error("nil profile accepted")
+	}
+	p := profile.New("a", "ifcb")
+	for _, bad := range []float64{0, 1, -1, 2} {
+		if _, err := NewWatchdog(p, bad, 10); err == nil {
+			t.Errorf("threshold %v accepted", bad)
+		}
+	}
+}
+
+func TestWatchdogMinCalls(t *testing.T) {
+	p := profile.New("a", "ifcb")
+	p.Edge("x", "y").Record(1, 1, false)
+	w, err := NewWatchdog(p, 0.3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Logger().Call(logger.CallRecord{SrcClassification: "q", DstClassification: "r"})
+	if w.ShouldReprofile() {
+		t.Error("verdict before MinCalls observations")
+	}
+}
+
+// TestWatchdogDetectsUsageShift is the end-to-end §6 scenario: optimize
+// the application for text documents, then watch it being used for mixed
+// documents — the watchdog must recommend re-profiling, while continued
+// text usage must not trigger it.
+func TestWatchdogDetectsUsageShift(t *testing.T) {
+	app := octarine.New()
+	adps := core.New(app)
+	if err := adps.Instrument(); err != nil {
+		t.Fatal(err)
+	}
+	baseline, _, err := adps.ProfileScenario(octarine.ScenOldWp0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := adps.Analyze(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adps.WriteDistribution(res); err != nil {
+		t.Fatal(err)
+	}
+
+	runWith := func(scenario string) *Watchdog {
+		w, err := NewWatchdog(baseline, 0.3, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = dist.Run(dist.Config{
+			App: app, Scenario: scenario, Mode: dist.ModeCoign,
+			Classifier:   classify.New(classify.IFCB, 0),
+			Distribution: res.Distribution,
+			ExtraLogger:  w.Logger(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+
+	sameUsage := runWith(octarine.ScenOldWp0)
+	if sameUsage.ShouldReprofile() {
+		t.Errorf("profiled usage flagged as drift (%.3f)", sameUsage.Drift())
+	}
+	shifted := runWith(octarine.ScenOldBth)
+	if !shifted.ShouldReprofile() {
+		t.Errorf("usage shift not detected (drift %.3f)", shifted.Drift())
+	}
+	if shifted.Drift() <= sameUsage.Drift() {
+		t.Errorf("drift ordering: shifted %.3f <= same %.3f",
+			shifted.Drift(), sameUsage.Drift())
+	}
+	// Diagnostics point at the table/negotiation machinery.
+	top := shifted.TopDivergences(5)
+	if len(top) == 0 {
+		t.Fatal("no divergences reported")
+	}
+	if len(shifted.TopDivergences(2)) != 2 {
+		t.Error("TopDivergences did not truncate")
+	}
+}

@@ -1,0 +1,255 @@
+// Package analysis implements Coign's profile analysis engine (paper §2):
+// it combines component communication profiles and component location
+// constraints into an abstract inter-component communication graph,
+// concretizes it with a network profile into communication times, cuts it
+// with the lift-to-front minimum-cut algorithm, and emits the distribution
+// the component factory will enforce.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/profile"
+)
+
+// Constraint classes derived by static analysis of component binaries:
+// components that call known GUI APIs must stay with the user's display;
+// components that call storage APIs belong with the data.
+var (
+	guiAPIs = map[string]bool{
+		com.APIGdiPaint:   true,
+		com.APIUserWindow: true,
+		com.APIUserInput:  true,
+		com.APIClipboard:  true,
+		com.APIPrintSpool: true,
+	}
+	storageAPIs = map[string]bool{
+		com.APIFileRead:    true,
+		com.APIFileWrite:   true,
+		com.APIFileOpen:    true,
+		com.APIODBCConnect: true,
+		com.APIODBCExec:    true,
+	}
+)
+
+// InferConstraint performs the per-class static analysis: it inspects the
+// APIs a component binary imports and returns a machine constraint if one
+// applies. GUI usage dominates storage usage: a component that paints must
+// stay on the client no matter what it reads.
+func InferConstraint(class *com.Class) (com.Machine, bool) {
+	if class == nil {
+		return 0, false
+	}
+	if class.Infrastructure {
+		return class.Home, true
+	}
+	gui, storage := false, false
+	for _, api := range class.APIs {
+		if guiAPIs[api] {
+			gui = true
+		}
+		if storageAPIs[api] {
+			storage = true
+		}
+	}
+	switch {
+	case gui:
+		return com.Client, true
+	case storage:
+		return com.Server, true
+	default:
+		return 0, false
+	}
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// ExactPricing prices edges from exact byte totals instead of bucket
+	// representatives (the bucketing-accuracy ablation).
+	ExactPricing bool
+	// ExtraPins force named classifications to machines, modeling the
+	// paper's programmer-supplied absolute constraints.
+	ExtraPins map[string]com.Machine
+	// ExtraCoLocate forces pairs of classifications together, modeling
+	// programmer-supplied pair-wise constraints.
+	ExtraCoLocate [][2]string
+}
+
+// Result is the analysis engine's output.
+type Result struct {
+	// Graph is the concrete (network-priced) ICC graph.
+	Graph *graph.Graph
+	// Cut is the minimum cut chosen by the lift-to-front algorithm.
+	Cut *graph.Cut
+	// Distribution maps every classification to a machine.
+	Distribution map[string]com.Machine
+	// PredictedComm is the communication time of the chosen distribution
+	// under the network profile.
+	PredictedComm time.Duration
+	// DefaultComm is the predicted communication time of the developer's
+	// default distribution (classes at their Home machines).
+	DefaultComm time.Duration
+	// ServerClassifications and ClientClassifications count cut sides.
+	ServerClassifications int
+	ClientClassifications int
+	// ServerInstances and ClientInstances weight the sides by profiled
+	// instance counts — the numbers reported in the paper's distribution
+	// figures.
+	ServerInstances int64
+	ClientInstances int64
+	// NonRemotableEdges counts co-location constraints from opaque
+	// parameters (the black lines of Figures 4 and 5).
+	NonRemotableEdges int
+	// Constrained counts classifications pinned by static analysis.
+	Constrained int
+}
+
+// BuildGraph constructs the concrete communication graph for a profile:
+// one node per classification, edges priced under the network profile,
+// pins from static API analysis, and co-location for non-remotable edges.
+func BuildGraph(p *profile.Profile, np *netsim.Profile, classes *com.ClassRegistry, opts Options) (*graph.Graph, int, int) {
+	g := graph.New()
+	g.Pin(profile.MainProgram, graph.SourceSide)
+
+	constrained := 0
+	for id, ci := range p.Classifications {
+		g.Node(id)
+		if m, ok := InferConstraint(classes.LookupName(ci.Class)); ok {
+			constrained++
+			if m == com.Client {
+				g.Pin(id, graph.SourceSide)
+			} else {
+				g.Pin(id, graph.SinkSide)
+			}
+		}
+	}
+	for id, m := range opts.ExtraPins {
+		if m == com.Client {
+			g.Pin(id, graph.SourceSide)
+		} else {
+			g.Pin(id, graph.SinkSide)
+		}
+	}
+
+	nonRemotable := 0
+	for k, e := range p.Edges {
+		var t time.Duration
+		if opts.ExactPricing {
+			t = e.ExactTime(np)
+		} else {
+			t = e.Time(np)
+		}
+		g.AddEdge(k.Src, k.Dst, t.Seconds())
+		if e.NonRemotable {
+			nonRemotable++
+			g.CoLocate(k.Src, k.Dst)
+		}
+	}
+	for _, pair := range opts.ExtraCoLocate {
+		g.CoLocate(pair[0], pair[1])
+	}
+	return g, constrained, nonRemotable
+}
+
+// Analyze runs the complete engine: graph construction, minimum cut, and
+// distribution extraction.
+func Analyze(p *profile.Profile, np *netsim.Profile, app *com.App, opts Options) (*Result, error) {
+	if p == nil || np == nil || app == nil {
+		return nil, fmt.Errorf("analysis: profile, network profile, and application are required")
+	}
+	g, constrained, nonRemotable := BuildGraph(p, np, app.Classes, opts)
+	cut, err := g.MinCut()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", p.App, err)
+	}
+
+	res := &Result{
+		Graph:             g,
+		Cut:               cut,
+		Distribution:      make(map[string]com.Machine, len(cut.Assignment)),
+		PredictedComm:     time.Duration(cut.Weight * float64(time.Second)),
+		NonRemotableEdges: nonRemotable,
+		Constrained:       constrained,
+	}
+	for id, side := range cut.Assignment {
+		if id == profile.MainProgram {
+			continue
+		}
+		m := com.Client
+		if side == graph.SinkSide {
+			m = com.Server
+		}
+		res.Distribution[id] = m
+		ci := p.Classifications[id]
+		var n int64 = 0
+		if ci != nil {
+			n = ci.Instances
+		}
+		if side == graph.SinkSide {
+			res.ServerClassifications++
+			res.ServerInstances += n
+		} else {
+			res.ClientClassifications++
+			res.ClientInstances += n
+		}
+	}
+
+	// Default distribution: every classification at its class's Home.
+	def := make(map[string]graph.Side, len(p.Classifications))
+	def[profile.MainProgram] = graph.SourceSide
+	for id, ci := range p.Classifications {
+		side := graph.SourceSide
+		if cl := app.Classes.LookupName(ci.Class); cl != nil && cl.Home != com.Client {
+			side = graph.SinkSide
+		}
+		def[id] = side
+	}
+	res.DefaultComm = time.Duration(g.EvaluateAssignment(def) * float64(time.Second))
+	return res, nil
+}
+
+// ServerComponents returns the classifications the cut placed on the
+// server, sorted, with their classes and instance counts — the data behind
+// the paper's distribution figures.
+func (r *Result) ServerComponents(p *profile.Profile) []ComponentPlacement {
+	var out []ComponentPlacement
+	for id, m := range r.Distribution {
+		if m != com.Server {
+			continue
+		}
+		cp := ComponentPlacement{Classification: id}
+		if ci := p.Classifications[id]; ci != nil {
+			cp.Class = ci.Class
+			cp.Instances = ci.Instances
+		}
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Classification < out[j].Classification })
+	return out
+}
+
+// ComponentPlacement names one classification's placement.
+type ComponentPlacement struct {
+	Classification string
+	Class          string
+	Instances      int64
+}
+
+// Savings returns the fractional reduction in predicted communication time
+// relative to the default distribution (0 when the default is already
+// optimal).
+func (r *Result) Savings() float64 {
+	if r.DefaultComm <= 0 {
+		return 0
+	}
+	s := 1 - float64(r.PredictedComm)/float64(r.DefaultComm)
+	if s < 0 {
+		return 0
+	}
+	return s
+}

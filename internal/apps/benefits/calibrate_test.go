@@ -1,0 +1,37 @@
+package benefits
+
+import (
+	"testing"
+
+	"repro/internal/com"
+	"repro/internal/core"
+)
+
+// TestCalibrationPrintout runs every scenario through the full pipeline;
+// run with -v to inspect the Table 4/5 and Figure 6 shaped numbers.
+func TestCalibrationPrintout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration printout")
+	}
+	app := New()
+	t.Logf("classes: %d", app.Classes.Len())
+	adps := core.New(app)
+	for _, scen := range Scenarios() {
+		rep, err := adps.ScenarioExperiment(scen)
+		if err != nil {
+			t.Fatalf("%s: %v", scen, err)
+		}
+		middle := rep.TotalInstances - clientCount(rep)
+		t.Logf("%-10s inst=%4d middle=%3d (default %3d) defComm=%7.3fs coignComm=%7.3fs save=%4.0f%% err=%+5.1f%%",
+			scen, rep.TotalInstances, middle, defaultMiddle(rep),
+			rep.DefaultComm.Seconds(), rep.CoignComm.Seconds(), rep.Savings*100,
+			rep.PredictionErr*100)
+	}
+	_ = com.Client
+}
+
+func clientCount(rep *core.ScenarioReport) int { return rep.TotalInstances - rep.ServerInstances }
+
+// defaultMiddle counts instances the developer's distribution places on
+// the middle tier: everything except the 9 front-end components.
+func defaultMiddle(rep *core.ScenarioReport) int { return rep.TotalInstances - 9 }

@@ -1,0 +1,170 @@
+// Package octarine reconstructs the Octarine word processor of the
+// paper's application suite: a component-granularity experiment from
+// Microsoft Research with roughly 150 component classes ranging from
+// user-interface buttons to sheet-music editors. Octarine manipulates
+// three document types — word-processing text, sheet music, and tables —
+// and fragments of all three can be combined in one document.
+//
+// The reconstruction reproduces the structural properties the Coign
+// pipeline sees:
+//
+//   - a GUI composed of literally hundreds of component instances,
+//     interconnected by non-remotable interfaces (opaque HDC-style
+//     handles), which pins the entire display swarm to the client;
+//   - a document reader that streams the raw document from server-side
+//     storage and re-reads ranges on demand (it does not cache);
+//   - a text-properties component fed bulk style runs by the reader and
+//     queried with small requests by everyone else;
+//   - layout that renders only a bounded window of pages, so big
+//     documents move the reader (and friends) to the server while small
+//     documents leave the default distribution optimal;
+//   - the page-placement negotiation between table and text components
+//     for mixed documents: many negotiator instances exchanging medium
+//     messages with the reader and one another, with minimal output to
+//     the rest of the application (paper Figure 8).
+package octarine
+
+import (
+	"fmt"
+
+	"repro/internal/com"
+	"repro/internal/idl"
+)
+
+// Scenario names (paper Table 1).
+const (
+	ScenNewDoc = "o_newdoc"
+	ScenNewMus = "o_newmus"
+	ScenNewTbl = "o_newtbl"
+	ScenOldTb0 = "o_oldtb0"
+	ScenOldTb3 = "o_oldtb3"
+	ScenOldWp0 = "o_oldwp0"
+	ScenOldWp3 = "o_oldwp3"
+	ScenOldWp7 = "o_oldwp7"
+	ScenOldBth = "o_oldbth"
+	ScenOffTb3 = "o_offtb3"
+	ScenOffWp7 = "o_offwp7"
+	ScenBigone = "o_bigone"
+)
+
+// Scenarios lists Octarine's profiling scenarios in Table 1 order.
+func Scenarios() []string {
+	return []string{
+		ScenNewDoc, ScenNewMus, ScenNewTbl,
+		ScenOldTb0, ScenOldTb3,
+		ScenOldWp0, ScenOldWp3, ScenOldWp7,
+		ScenOldBth, ScenOffTb3, ScenOffWp7,
+		ScenBigone,
+	}
+}
+
+// ScenariosWithoutBigone lists the profiling set used to train classifiers
+// before evaluating on the bigone synthesis (paper §4.2).
+func ScenariosWithoutBigone() []string {
+	all := Scenarios()
+	return all[:len(all)-1]
+}
+
+// Document geometry per scenario.
+const (
+	wpPagesSmall = 5
+	wpPagesMid   = 13
+	wpPagesBig   = 208
+	tbPagesSmall = 5
+	tbPagesBig   = 150
+	bthPages     = 5
+	bthTables    = 10
+)
+
+// New assembles the Octarine application.
+func New() *com.App {
+	b := newBuilder("octarine")
+	registerStorage(b)
+	registerGUI(b)
+	registerText(b)
+	registerTable(b)
+	registerMusic(b)
+	registerChrome(b)
+
+	app := &com.App{
+		Name:       "octarine",
+		Classes:    b.classes,
+		Interfaces: b.ifaces,
+		Imports:    []string{"octarine.exe", "octui.dll", "octtext.dll", "octtbl.dll", "octmus.dll"},
+	}
+	app.Main = runScenario
+	return app
+}
+
+// runScenario drives one usage scenario.
+func runScenario(env *com.Env, scenario string, seed int64) error {
+	s := &session{env: env}
+	if err := s.buildGUI(); err != nil {
+		return err
+	}
+	run := func(name string) error {
+		switch name {
+		case ScenNewDoc:
+			return s.newTextDocument()
+		case ScenNewMus:
+			return s.newMusicDocument()
+		case ScenNewTbl:
+			return s.newTableDocument()
+		case ScenOldTb0:
+			return s.viewTableDocument(tbPagesSmall)
+		case ScenOldTb3:
+			return s.viewTableDocument(tbPagesBig)
+		case ScenOldWp0:
+			return s.viewTextDocument(wpPagesSmall)
+		case ScenOldWp3:
+			return s.viewTextDocument(wpPagesMid)
+		case ScenOldWp7:
+			return s.viewTextDocument(wpPagesBig)
+		case ScenOldBth:
+			return s.viewMixedDocument(bthPages, bthTables)
+		case ScenOffTb3:
+			if err := s.newTextDocument(); err != nil {
+				return err
+			}
+			return s.viewTableDocument(tbPagesBig)
+		case ScenOffWp7:
+			if err := s.newTextDocument(); err != nil {
+				return err
+			}
+			return s.viewTextDocument(wpPagesBig)
+		default:
+			return fmt.Errorf("octarine: unknown scenario %q", name)
+		}
+	}
+	if scenario == ScenBigone {
+		// The synthesis of all other scenarios in one execution.
+		for _, name := range ScenariosWithoutBigone() {
+			if err := run(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return run(scenario)
+}
+
+// session holds the live component handles of one execution.
+type session struct {
+	env       *com.Env
+	frame     *com.Instance
+	frameCtl  *com.Interface
+	statusbar *com.Interface
+	canvas    *com.Interface
+	canvasRaw *com.Instance
+	docmgr    *com.Interface
+}
+
+// call is a helper for main-program invocations.
+func (s *session) call(target *com.Interface, method string, args ...idl.Value) ([]idl.Value, error) {
+	return s.env.Call(nil, target, method, args...)
+}
+
+// create instantiates from the main program.
+func (s *session) create(clsid com.CLSID) (*com.Instance, error) {
+	return s.env.CreateInstance(nil, clsid)
+}

@@ -1,0 +1,28 @@
+package photodraw
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCalibrationPrintout runs every scenario through the full pipeline;
+// run with -v to inspect the Table 4/5 shaped numbers.
+func TestCalibrationPrintout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration printout")
+	}
+	app := New()
+	t.Logf("classes: %d", app.Classes.Len())
+	adps := core.New(app)
+	for _, scen := range Scenarios() {
+		rep, err := adps.ScenarioExperiment(scen)
+		if err != nil {
+			t.Fatalf("%s: %v", scen, err)
+		}
+		t.Logf("%-10s inst=%4d srv=%3d defComm=%8.3fs coignComm=%8.3fs save=%4.0f%% predExec=%8.1fs measExec=%8.1fs err=%+5.1f%%",
+			scen, rep.TotalInstances, rep.ServerInstances,
+			rep.DefaultComm.Seconds(), rep.CoignComm.Seconds(), rep.Savings*100,
+			rep.PredictedExec.Seconds(), rep.MeasuredExec.Seconds(), rep.PredictionErr*100)
+	}
+}

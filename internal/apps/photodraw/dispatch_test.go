@@ -1,0 +1,36 @@
+package photodraw
+
+import (
+	"testing"
+
+	"repro/internal/com"
+)
+
+// TestEveryDispatcherRejectsUnknownMethods drives each component class's
+// dispatcher with a method no interface declares: every object must return
+// an error rather than panic or silently succeed — the behaviour a COM
+// server exhibits for an unknown vtable slot.
+func TestEveryDispatcherRejectsUnknownMethods(t *testing.T) {
+	app := New()
+	env := com.NewEnv(app)
+	for _, cls := range app.Classes.Classes() {
+		obj := cls.New()
+		if obj == nil {
+			t.Fatalf("%s: nil object", cls.Name)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: dispatcher panicked on unknown method: %v", cls.Name, r)
+				}
+			}()
+			out, err := obj.Invoke(&com.Call{
+				Method: "__no_such_method__",
+				Env:    env,
+			})
+			if err == nil {
+				t.Errorf("%s: unknown method accepted (returned %v)", cls.Name, out)
+			}
+		}()
+	}
+}

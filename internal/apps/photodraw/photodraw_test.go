@@ -1,0 +1,145 @@
+package photodraw
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/com"
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+func TestAppAssembly(t *testing.T) {
+	app := New()
+	// The paper reports approximately 112 component classes.
+	if n := app.Classes.Len(); n < 100 || n > 125 {
+		t.Errorf("class count = %d, want ~112", n)
+	}
+	if app.Interfaces.Lookup(iSprite).Remotable {
+		t.Error("ISpriteCache must be non-remotable (shared memory)")
+	}
+	if app.Interfaces.Lookup(iUI).Remotable {
+		t.Error("IUIElement must be non-remotable")
+	}
+	st := app.Classes.LookupName("ImageStore")
+	if st == nil || !st.Infrastructure || st.Home != com.Server {
+		t.Fatalf("ImageStore = %+v", st)
+	}
+}
+
+func TestScenarioInventory(t *testing.T) {
+	if len(Scenarios()) != 7 {
+		t.Fatalf("scenario count = %d, want 7 (Table 1)", len(Scenarios()))
+	}
+}
+
+func TestAllScenariosRunCleanly(t *testing.T) {
+	for _, scen := range Scenarios() {
+		res, err := dist.Run(dist.Config{
+			App: New(), Scenario: scen, Mode: dist.ModeDefault,
+			Classifier: classify.New(classify.IFCB, 0),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", scen, err)
+		}
+		if res.Violations != 0 {
+			t.Errorf("%s: %d violations", scen, res.Violations)
+		}
+	}
+}
+
+func TestUnknownScenarioFails(t *testing.T) {
+	if _, err := dist.Run(dist.Config{App: New(), Scenario: "p_nope", Mode: dist.ModeBare}); err == nil {
+		t.Fatal("unknown scenario ran")
+	}
+}
+
+func TestFigure4CompositionShape(t *testing.T) {
+	// Of ~295 components viewing a composition, Coign places eight on the
+	// server: the file reader and seven property sets (paper Figure 4).
+	adps := core.New(New())
+	rep, err := adps.ScenarioExperiment(ScenOldMsr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalInstances < 280 || rep.TotalInstances > 310 {
+		t.Errorf("instances = %d, want ~295", rep.TotalInstances)
+	}
+	if rep.ServerInstances != 8 {
+		t.Errorf("server components = %d, want 8", rep.ServerInstances)
+	}
+	// Savings are modest: the pixel bulk crosses regardless.
+	if rep.Savings < 0.1 || rep.Savings > 0.35 {
+		t.Errorf("savings = %v, want ~0.21", rep.Savings)
+	}
+	if rep.Violations != 0 {
+		t.Errorf("violations = %d", rep.Violations)
+	}
+}
+
+func TestServerComponentsAreReaderAndPropertySets(t *testing.T) {
+	adps := core.New(New())
+	if err := adps.Instrument(); err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := adps.ProfileScenario(ScenOldMsr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := adps.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[string]bool{"CompositionReader": true, "ImageStore": true}
+	for _, ps := range propSetClasses {
+		allowed[ps] = true
+	}
+	for _, cp := range res.ServerComponents(p) {
+		if !allowed[cp.Class] {
+			t.Errorf("unexpected server component %s", cp.Class)
+		}
+		if cp.Class == "SpriteCache" {
+			t.Error("sprite cache crossed the shared-memory boundary")
+		}
+	}
+	// The sprite mesh produces a significant number of non-remotable
+	// interface edges (paper: almost 50 significant non-distributable
+	// interfaces).
+	if res.NonRemotableEdges < 20 {
+		t.Errorf("non-remotable edges = %d, want dozens", res.NonRemotableEdges)
+	}
+}
+
+func TestVectorDocumentSavesMoreThanBitmap(t *testing.T) {
+	// Line drawings (vector-heavy, proportionally more property data) save
+	// more than pixel-heavy compositions: 32% vs 21% in Table 4.
+	adps := core.New(New())
+	cur, err := adps.ScenarioExperiment(ScenOldCur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msr, err := adps.ScenarioExperiment(ScenOldMsr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Savings <= msr.Savings {
+		t.Errorf("oldcur savings %v not greater than oldmsr %v", cur.Savings, msr.Savings)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *dist.Result {
+		res, err := dist.Run(dist.Config{
+			App: New(), Scenario: ScenOldMsr, Mode: dist.ModeDefault,
+			Classifier: classify.New(classify.IFCB, 0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Instances != b.Instances || a.Clock.CommTime() != b.Clock.CommTime() {
+		t.Error("photodraw runs not deterministic")
+	}
+}

@@ -1,0 +1,279 @@
+package binimg
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/com"
+	"repro/internal/idl"
+	"repro/internal/profile"
+)
+
+func testApp() *com.App {
+	classes := com.NewClassRegistry()
+	classes.Register(&com.Class{
+		ID: "CLSID_A", Name: "A", CodeBytes: 2048,
+		New: func() com.Object { return nil },
+	})
+	classes.Register(&com.Class{
+		ID: "CLSID_B", Name: "B",
+		New: func() com.Object { return nil },
+	})
+	return &com.App{
+		Name:       "demo",
+		Classes:    classes,
+		Interfaces: idl.NewRegistry(),
+		Imports:    []string{"demo.exe", "widgets.dll"},
+	}
+}
+
+func TestBuildImage(t *testing.T) {
+	im := BuildImage(testApp())
+	if im.AppName != "demo" {
+		t.Errorf("name = %s", im.AppName)
+	}
+	if len(im.Imports) != 2 || im.Imports[0] != "demo.exe" {
+		t.Errorf("imports = %v", im.Imports)
+	}
+	if len(im.Sections) != 2 {
+		t.Fatalf("sections = %d", len(im.Sections))
+	}
+	if im.CodeBytes() != 2048+1024 { // B defaults to 1024
+		t.Errorf("code bytes = %d", im.CodeBytes())
+	}
+	if im.Instrumented() {
+		t.Error("fresh image claims instrumentation")
+	}
+}
+
+func TestBuildImageDefaultImports(t *testing.T) {
+	app := testApp()
+	app.Imports = nil
+	im := BuildImage(app)
+	if len(im.Imports) != 1 || im.Imports[0] != "demo.exe" {
+		t.Errorf("imports = %v", im.Imports)
+	}
+}
+
+func TestInstrumentInsertsFirstImportSlot(t *testing.T) {
+	im := BuildImage(testApp())
+	inst, err := Instrument(im, "ifcb", 0, map[string]string{"IFoo": "Read(in l):v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Instrumented() {
+		t.Fatal("not instrumented")
+	}
+	// The Coign runtime occupies the FIRST slot so it loads before the
+	// application and all of its DLLs.
+	if inst.Imports[0] != CoignRuntimeDLL || inst.Imports[1] != "demo.exe" {
+		t.Errorf("imports = %v", inst.Imports)
+	}
+	if inst.Config == nil || inst.Config.Mode != ModeProfiling || inst.Config.Classifier != "ifcb" {
+		t.Errorf("config = %+v", inst.Config)
+	}
+	if inst.Config.InterfaceMetadata["IFoo"] == "" {
+		t.Error("interface metadata lost")
+	}
+	// The original image is untouched.
+	if im.Instrumented() || im.Config != nil {
+		t.Error("Instrument mutated its input")
+	}
+	// Re-instrumenting does not duplicate the import entry.
+	again, err := Instrument(inst, "st", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Imports[0] != CoignRuntimeDLL || again.Imports[1] != "demo.exe" || len(again.Imports) != 3 {
+		t.Errorf("re-instrumented imports = %v", again.Imports)
+	}
+}
+
+func TestInstrumentRequiresClassifier(t *testing.T) {
+	if _, err := Instrument(BuildImage(testApp()), "", 0, nil); err == nil {
+		t.Fatal("empty classifier accepted")
+	}
+}
+
+func TestSetDistribution(t *testing.T) {
+	im := BuildImage(testApp())
+	inst, _ := Instrument(im, "ifcb", 0, nil)
+	dist := map[string]com.Machine{"A@1": com.Client, "B@2": com.Server}
+	d, err := SetDistribution(inst, dist, "10BaseT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Config.Mode != ModeDistribution || d.Config.Network != "10BaseT" {
+		t.Errorf("config = %+v", d.Config)
+	}
+	got := d.Config.DistributionMap()
+	if got["A@1"] != com.Client || got["B@2"] != com.Server {
+		t.Errorf("distribution = %v", got)
+	}
+	// Classifier survives: the lightweight runtime needs it to correlate
+	// instantiations with profiled classifications.
+	if d.Config.Classifier != "ifcb" {
+		t.Errorf("classifier = %s", d.Config.Classifier)
+	}
+	// Errors.
+	if _, err := SetDistribution(im, dist, "x"); err == nil {
+		t.Error("un-instrumented image accepted")
+	}
+	if _, err := SetDistribution(inst, nil, "x"); err == nil {
+		t.Error("empty distribution accepted")
+	}
+	broken := inst.clone()
+	broken.Config = nil
+	if _, err := SetDistribution(broken, dist, "x"); err == nil {
+		t.Error("missing config accepted")
+	}
+}
+
+func TestDistributionMapNil(t *testing.T) {
+	var c *ConfigRecord
+	if c.DistributionMap() != nil {
+		t.Error("nil config produced a map")
+	}
+	if (&ConfigRecord{}).DistributionMap() != nil {
+		t.Error("empty config produced a map")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	im := BuildImage(testApp())
+	inst, _ := Instrument(im, "ifcb", 3, map[string]string{"I": "f"})
+	var buf bytes.Buffer
+	if err := inst.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AppName != "demo" || !got.Instrumented() {
+		t.Fatalf("decoded = %+v", got)
+	}
+	if len(got.Sections) != 2 || len(got.Sections[0].Data) != 2048 {
+		t.Fatalf("sections lost: %d", len(got.Sections))
+	}
+	if got.Config.Classifier != "ifcb" || got.Config.ClassifierDepth != 3 {
+		t.Fatalf("config lost: %+v", got.Config)
+	}
+	if !bytes.Equal(got.Sections[0].Data, inst.Sections[0].Data) {
+		t.Error("section data corrupted")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	im := BuildImage(testApp())
+	var buf bytes.Buffer
+	if err := im.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Flip a byte in the middle: checksum must catch it.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	if _, err := Decode(corrupt); err == nil {
+		t.Error("corrupted image decoded")
+	}
+	// Truncation.
+	if _, err := Decode(data[:5]); err == nil {
+		t.Error("truncated image decoded")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty image decoded")
+	}
+	// Bad magic (fix up checksum so only the magic is wrong).
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 1
+	// Recompute trailing CRC over the modified body.
+	body := bad[:len(bad)-4]
+	var crcbuf bytes.Buffer
+	crcbuf.Write(body)
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad-magic image decoded (checksum should catch or magic check)")
+	}
+}
+
+func TestImageFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "demo.img")
+	im := BuildImage(testApp())
+	if err := im.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AppName != im.AppName || got.CodeBytes() != im.CodeBytes() {
+		t.Error("file round trip lost data")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "nope.img")); err == nil {
+		t.Error("missing file read")
+	}
+}
+
+func TestProfileAccumulationInBinary(t *testing.T) {
+	im := BuildImage(testApp())
+	inst, _ := Instrument(im, "ifcb", 0, nil)
+
+	p1 := profile.New("demo", "ifcb")
+	p1.Scenarios = []string{"s1"}
+	p1.AddInstance(profile.InstanceRecord{ID: 1, Class: "A", Classification: "A@1"})
+	p1.Edge(profile.MainProgram, "A@1").Record(100, 200, false)
+	p1.InstEdge(0, 1).Record(100, 200, false)
+
+	if err := inst.Config.AccumulateProfile(p1); err != nil {
+		t.Fatal(err)
+	}
+	// Accumulate a second run.
+	p2 := profile.New("demo", "ifcb")
+	p2.Scenarios = []string{"s2"}
+	p2.Edge(profile.MainProgram, "A@1").Record(50, 50, false)
+	if err := inst.Config.AccumulateProfile(p2); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := inst.Config.GetProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalCalls() != 2 {
+		t.Errorf("accumulated calls = %d", got.TotalCalls())
+	}
+	if len(got.Scenarios) != 2 {
+		t.Errorf("scenarios = %v", got.Scenarios)
+	}
+	// The in-binary summary drops instance detail.
+	if len(got.InstEdges) != 0 || len(got.Instances) != 0 {
+		t.Error("in-binary profile kept instance detail")
+	}
+	// Survives image serialization.
+	var buf bytes.Buffer
+	if err := inst.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := decoded.Config.GetProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.TotalCalls() != 2 {
+		t.Error("embedded profile lost through serialization")
+	}
+}
+
+func TestGetProfileEmpty(t *testing.T) {
+	c := &ConfigRecord{}
+	p, err := c.GetProfile()
+	if err != nil || p != nil {
+		t.Fatalf("GetProfile on empty = %v, %v", p, err)
+	}
+}

@@ -1,0 +1,86 @@
+package binimg
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomImage builds an arbitrary image from a seed.
+func randomImage(seed int64) *Image {
+	rng := rand.New(rand.NewSource(seed))
+	im := &Image{AppName: "app" + string(rune('a'+rng.Intn(26)))}
+	for i := 0; i < rng.Intn(5); i++ {
+		im.Imports = append(im.Imports, string(rune('a'+i))+".dll")
+	}
+	for i := 0; i < rng.Intn(6); i++ {
+		data := make([]byte, rng.Intn(512))
+		rng.Read(data)
+		im.Sections = append(im.Sections, Section{
+			Name: ".s" + string(rune('0'+i)), Data: data,
+		})
+	}
+	if rng.Intn(2) == 0 {
+		im.Config = &ConfigRecord{
+			Mode:            ModeProfiling,
+			Classifier:      "ifcb",
+			ClassifierDepth: rng.Intn(8),
+		}
+	}
+	return im
+}
+
+func TestPropertyImageRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		im := randomImage(seed)
+		var buf bytes.Buffer
+		if err := im.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(buf.Bytes())
+		if err != nil {
+			return false
+		}
+		if got.AppName != im.AppName || len(got.Imports) != len(im.Imports) ||
+			len(got.Sections) != len(im.Sections) {
+			return false
+		}
+		for i := range im.Sections {
+			if !bytes.Equal(got.Sections[i].Data, im.Sections[i].Data) {
+				return false
+			}
+		}
+		if (got.Config == nil) != (im.Config == nil) {
+			return false
+		}
+		if im.Config != nil && got.Config.ClassifierDepth != im.Config.ClassifierDepth {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySingleBitCorruptionDetected(t *testing.T) {
+	// Any single-bit flip anywhere in the container is rejected (either by
+	// the checksum or by structural validation) — a decode never silently
+	// yields a different image.
+	f := func(seed int64, pos uint16, bit uint8) bool {
+		im := randomImage(seed)
+		var buf bytes.Buffer
+		if err := im.Encode(&buf); err != nil {
+			return false
+		}
+		data := append([]byte(nil), buf.Bytes()...)
+		p := int(pos) % len(data)
+		data[p] ^= 1 << (bit % 8)
+		_, err := Decode(data)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

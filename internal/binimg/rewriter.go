@@ -1,0 +1,108 @@
+package binimg
+
+import (
+	"fmt"
+
+	"repro/internal/com"
+)
+
+// BuildImage synthesizes the original (un-instrumented) binary image for
+// an application: one code section per component class sized by the
+// class's CodeBytes, plus the application's own import table.
+func BuildImage(app *com.App) *Image {
+	im := &Image{AppName: app.Name}
+	im.Imports = append(im.Imports, app.Imports...)
+	if len(im.Imports) == 0 {
+		im.Imports = []string{app.Name + ".exe"}
+	}
+	for _, c := range app.Classes.Classes() {
+		size := c.CodeBytes
+		if size <= 0 {
+			size = 1024
+		}
+		// Section contents are a deterministic fill; only sizes matter to
+		// the pipeline, but real bytes make checksums meaningful.
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(len(c.Name) + i)
+		}
+		im.Sections = append(im.Sections, Section{Name: ".text$" + string(c.ID), Data: data})
+	}
+	return im
+}
+
+// Instrument performs the binary rewriter's two modifications: it inserts
+// the Coign runtime into the first slot of the import table and appends a
+// configuration record directing the runtime to profile with the given
+// classifier. Instrumenting an already-instrumented image only replaces
+// the configuration record.
+func Instrument(im *Image, classifier string, depth int, ifaceMetadata map[string]string) (*Image, error) {
+	if classifier == "" {
+		return nil, fmt.Errorf("binimg: instrumentation requires a classifier")
+	}
+	out := im.clone()
+	if !out.Instrumented() {
+		out.Imports = append([]string{CoignRuntimeDLL}, out.Imports...)
+	}
+	cfg := &ConfigRecord{
+		Mode:              ModeProfiling,
+		Classifier:        classifier,
+		ClassifierDepth:   depth,
+		InterfaceMetadata: ifaceMetadata,
+	}
+	if out.Config != nil {
+		// Preserve any accumulated in-binary profile.
+		cfg.Profile = out.Config.Profile
+	}
+	out.Config = cfg
+	return out, nil
+}
+
+// SetDistribution rewrites the configuration record for distributed
+// execution: the profiling instrumentation is removed and in its place the
+// lightweight runtime will load to realize (enforce) the distribution
+// chosen by the graph-cutting algorithm.
+func SetDistribution(im *Image, dist map[string]com.Machine, network string) (*Image, error) {
+	if !im.Instrumented() {
+		return nil, fmt.Errorf("binimg: cannot set a distribution on an un-instrumented image")
+	}
+	if im.Config == nil {
+		return nil, fmt.Errorf("binimg: image has no configuration record")
+	}
+	if len(dist) == 0 {
+		return nil, fmt.Errorf("binimg: empty distribution")
+	}
+	out := im.clone()
+	cfg := *im.Config
+	cfg.Mode = ModeDistribution
+	cfg.Network = network
+	cfg.Distribution = make(map[string]int, len(dist))
+	for id, m := range dist {
+		cfg.Distribution[id] = int(m)
+	}
+	out.Config = &cfg
+	return out, nil
+}
+
+// DistributionMap extracts the distribution from a configuration record.
+func (c *ConfigRecord) DistributionMap() map[string]com.Machine {
+	if c == nil || len(c.Distribution) == 0 {
+		return nil
+	}
+	out := make(map[string]com.Machine, len(c.Distribution))
+	for id, m := range c.Distribution {
+		out[id] = com.Machine(m)
+	}
+	return out
+}
+
+func (im *Image) clone() *Image {
+	out := &Image{AppName: im.AppName}
+	out.Imports = append([]string(nil), im.Imports...)
+	out.Sections = append([]Section(nil), im.Sections...)
+	if im.Config != nil {
+		cfg := *im.Config
+		out.Config = &cfg
+	}
+	return out
+}

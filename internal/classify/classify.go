@@ -1,0 +1,288 @@
+// Package classify implements Coign's instance classifiers (paper §3.4).
+//
+// An instance classifier identifies component instances with similar
+// communication profiles across separate executions of an application. At
+// each instantiation request it forms a descriptor from the component's
+// static type and the execution call stack; instances with equal
+// descriptors belong to one classification, and the profile analysis
+// engine maps classifications — not individual instances — to machines.
+package classify
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+)
+
+// Frame is one entry of the component shadow stack maintained by the
+// runtime executive, innermost frame first: the instance executing, its
+// class, the classification that instance was assigned at its own
+// creation, and the interface function being executed.
+type Frame struct {
+	Instance           uint64
+	Class              string
+	InstClassification string
+	Function           string
+}
+
+// Classifier forms instantiation descriptors. Implementations must be
+// deterministic: equal (class, stack) inputs yield equal descriptors
+// across executions — except for the incremental straw man, whose whole
+// point is that it is not.
+type Classifier interface {
+	// Name returns the classifier's short name (with depth suffix if
+	// depth-limited), e.g. "ifcb" or "ifcb-d4".
+	Name() string
+	// Classify returns the descriptor for an instantiation of class with
+	// the given call stack (innermost frame first).
+	Classify(class string, stack []Frame) string
+	// Reset clears per-execution state at the start of a run.
+	Reset()
+}
+
+// Kind selects one of the seven classifiers.
+type Kind int
+
+// The seven classifiers of paper §3.4, Figure 3.
+const (
+	// Incremental assigns each instance a fresh classification in order of
+	// instantiation — the straw man that fails on input-driven programs.
+	Incremental Kind = iota
+	// PCB (procedure called-by) groups by static type and the stack of
+	// Class::Function frames, without distinguishing instances.
+	PCB
+	// ST (static type) groups by component class alone.
+	ST
+	// STCB (static-type called-by) groups by class and the classes of the
+	// instances on the stack.
+	STCB
+	// IFCB (internal-function called-by) groups by class and the
+	// (instance-classification, function) pairs on the stack. The most
+	// contextual and the classifier Coign typically uses.
+	IFCB
+	// EPCB (entry-point called-by) is IFCB restricted to the function by
+	// which each component instance on the stack was entered.
+	EPCB
+	// IB (instantiated-by) groups by class and parent classification —
+	// functionally IFCB with a depth-1 back-trace.
+	IB
+)
+
+// String returns the classifier's short name.
+func (k Kind) String() string {
+	switch k {
+	case Incremental:
+		return "incremental"
+	case PCB:
+		return "pcb"
+	case ST:
+		return "st"
+	case STCB:
+		return "stcb"
+	case IFCB:
+		return "ifcb"
+	case EPCB:
+		return "epcb"
+	case IB:
+		return "ib"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Kinds lists all seven classifiers in the order of paper Table 2.
+func Kinds() []Kind {
+	return []Kind{Incremental, PCB, ST, STCB, IFCB, EPCB, IB}
+}
+
+// KindByName resolves a short name (without depth suffix).
+func KindByName(name string) (Kind, error) {
+	for _, k := range Kinds() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("classify: unknown classifier %q", name)
+}
+
+// New returns a classifier of the given kind. depth limits the stack
+// back-trace for the called-by classifiers (PCB, STCB, IFCB, EPCB);
+// depth <= 0 walks the complete stack. Depth is ignored by the others.
+func New(kind Kind, depth int) Classifier {
+	switch kind {
+	case Incremental:
+		return &incremental{}
+	case ST:
+		return stc{}
+	case PCB, STCB, IFCB, EPCB:
+		return &calledBy{kind: kind, depth: depth}
+	case IB:
+		return ib{}
+	default:
+		panic("classify: unknown kind")
+	}
+}
+
+// incremental is the straw-man classifier.
+type incremental struct {
+	n int
+}
+
+func (c *incremental) Name() string { return "incremental" }
+func (c *incremental) Reset()       { c.n = 0 }
+func (c *incremental) Classify(class string, stack []Frame) string {
+	c.n++
+	return "[" + strconv.Itoa(c.n) + "]"
+}
+
+// stc is the static-type classifier.
+type stc struct{}
+
+func (stc) Name() string { return "st" }
+func (stc) Reset()       {}
+func (stc) Classify(class string, stack []Frame) string {
+	return "[" + class + "]"
+}
+
+// ib is the instantiated-by classifier.
+type ib struct{}
+
+func (ib) Name() string { return "ib" }
+func (ib) Reset()       {}
+func (ib) Classify(class string, stack []Frame) string {
+	parent := "<main>"
+	if len(stack) > 0 {
+		parent = stack[0].InstClassification
+	}
+	return "[" + class + ", " + parent + "]"
+}
+
+// calledBy implements the PCB, STCB, IFCB, and EPCB call-chain classifiers.
+type calledBy struct {
+	kind  Kind
+	depth int
+}
+
+func (c *calledBy) Name() string {
+	if c.depth > 0 {
+		return fmt.Sprintf("%s-d%d", c.kind, c.depth)
+	}
+	return c.kind.String()
+}
+
+func (c *calledBy) Reset() {}
+
+func (c *calledBy) Classify(class string, stack []Frame) string {
+	frames := stack
+	// STCB groups by the classes of the *instances* on the stack and EPCB
+	// by the function that entered each instance, so both collapse
+	// contiguous frames of one instance; PCB and IFCB keep every frame.
+	if c.kind == EPCB || c.kind == STCB {
+		frames = entryPoints(frames)
+	}
+	if c.depth > 0 && len(frames) > c.depth {
+		frames = frames[:c.depth]
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	b.WriteString(class)
+	for i := range frames {
+		b.WriteString(", ")
+		switch c.kind {
+		case PCB:
+			b.WriteString(frames[i].Class)
+			b.WriteString("::")
+			b.WriteString(frames[i].Function)
+		case STCB:
+			b.WriteString(frames[i].Class)
+		default: // IFCB, EPCB
+			b.WriteByte('[')
+			b.WriteString(frames[i].InstClassification)
+			b.WriteByte(',')
+			b.WriteString(frames[i].Function)
+			b.WriteByte(']')
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// entryPoints collapses consecutive frames belonging to the same instance,
+// keeping the function by which the instance was entered (the outermost
+// frame of each contiguous run; with innermost-first ordering, the last of
+// the run).
+func entryPoints(stack []Frame) []Frame {
+	if len(stack) == 0 {
+		return stack
+	}
+	out := make([]Frame, 0, len(stack))
+	for i := 0; i < len(stack); {
+		j := i
+		for j+1 < len(stack) && stack[j+1].Instance == stack[i].Instance {
+			j++
+		}
+		out = append(out, stack[j]) // outermost frame of the run
+		i = j + 1
+	}
+	return out
+}
+
+// DescriptorID derives the stable classification id for a descriptor: the
+// class name plus a 64-bit FNV-1a digest of the descriptor. Hashing keeps
+// ids bounded (descriptors reference parent classifications recursively)
+// while remaining identical across executions, which is what lets the
+// lightweight runtime correlate instantiations with profiled
+// classifications.
+func DescriptorID(class, descriptor string) string {
+	h := fnv.New64a()
+	h.Write([]byte(descriptor))
+	return class + "@" + strconv.FormatUint(h.Sum64(), 16)
+}
+
+// Table assigns classification ids and retains descriptors for
+// inspection. One Table serves one classifier over one or more runs.
+type Table struct {
+	classifier  Classifier
+	descriptors map[string]string // id -> descriptor
+	counts      map[string]int64  // id -> instances assigned
+}
+
+// NewTable returns a table over the given classifier.
+func NewTable(c Classifier) *Table {
+	return &Table{
+		classifier:  c,
+		descriptors: make(map[string]string),
+		counts:      make(map[string]int64),
+	}
+}
+
+// Classifier returns the underlying classifier.
+func (t *Table) Classifier() Classifier { return t.classifier }
+
+// Assign classifies one instantiation and returns its classification id.
+func (t *Table) Assign(class string, stack []Frame) string {
+	desc := t.classifier.Classify(class, stack)
+	id := DescriptorID(class, desc)
+	if prev, ok := t.descriptors[id]; ok && prev != desc {
+		// A 64-bit digest collision between distinct descriptors of the
+		// same class: disambiguate deterministically by descriptor length.
+		id = id + "+" + strconv.Itoa(len(desc))
+	}
+	t.descriptors[id] = desc
+	t.counts[id]++
+	return id
+}
+
+// Descriptor returns the descriptor recorded for a classification id.
+func (t *Table) Descriptor(id string) string { return t.descriptors[id] }
+
+// Classifications returns the number of distinct classifications assigned.
+func (t *Table) Classifications() int { return len(t.descriptors) }
+
+// Count returns how many instances were assigned to id.
+func (t *Table) Count(id string) int64 { return t.counts[id] }
+
+// Reset clears per-execution classifier state but keeps the id table, so a
+// later run can be correlated against earlier ones.
+func (t *Table) Reset() { t.classifier.Reset() }

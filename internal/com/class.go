@@ -1,0 +1,163 @@
+// Package com implements the synthetic component object model: classes,
+// instances, first-class interface handles, and an activation environment
+// with interception hooks.
+//
+// It reproduces the properties of Microsoft COM that Coign depends on:
+// components are packaged, instantiated, and connected in binary form; all
+// first-class communication passes through interfaces; and a runtime layer
+// can transparently interpose on instantiation requests and interface
+// calls without application cooperation.
+package com
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/idl"
+)
+
+// CLSID identifies a component class.
+type CLSID string
+
+// Well-known API names used by the profile analysis engine's static
+// analysis to derive location constraints (paper §2: components that access
+// a set of known GUI or storage APIs are placed on the client or server
+// respectively).
+const (
+	APIGdiPaint      = "gdi32.BitBlt"
+	APIUserWindow    = "user32.CreateWindow"
+	APIUserInput     = "user32.GetMessage"
+	APIFileRead      = "kernel32.ReadFile"
+	APIFileWrite     = "kernel32.WriteFile"
+	APIFileOpen      = "kernel32.CreateFile"
+	APIODBCConnect   = "odbc32.SQLConnect"
+	APIODBCExec      = "odbc32.SQLExecDirect"
+	APISharedMemory  = "kernel32.MapViewOfFile"
+	APIRegistryRead  = "advapi32.RegQueryValue"
+	APIClipboard     = "user32.OpenClipboard"
+	APIPrintSpool    = "winspool.StartDoc"
+	APIMemoryAlloc   = "kernel32.HeapAlloc"
+	APINetworkSocket = "ws2_32.connect"
+)
+
+// Object is a component implementation: a dispatcher for interface method
+// calls. Implementations receive a Call describing the invocation and
+// return the out-parameter list.
+type Object interface {
+	Invoke(call *Call) ([]idl.Value, error)
+}
+
+// ObjectFunc adapts a plain function to the Object interface.
+type ObjectFunc func(call *Call) ([]idl.Value, error)
+
+// Invoke calls f.
+func (f ObjectFunc) Invoke(call *Call) ([]idl.Value, error) { return f(call) }
+
+// Class describes a component class: its identity, the interfaces it
+// implements, the system APIs its binary imports (input to constraint
+// inference), and a constructor.
+type Class struct {
+	ID         CLSID
+	Name       string
+	Interfaces []string // IIDs implemented by instances of the class
+	APIs       []string // imported system APIs, for static analysis
+	CodeBytes  int      // granularity metadata: size of the component binary
+	New        func() Object
+
+	// Home is the machine the developer's default distribution assigns the
+	// class to (the application "as shipped"). Zero value is the client.
+	Home Machine
+	// Infrastructure marks environment components with a fixed location
+	// that Coign cannot move — the file server's storage, the ODBC
+	// database engine behind its proprietary protocol. Instances always
+	// run at Home and their classifications are pinned there during
+	// analysis.
+	Infrastructure bool
+}
+
+// Implements reports whether the class implements the interface.
+func (c *Class) Implements(iid string) bool {
+	for _, i := range c.Interfaces {
+		if i == iid {
+			return true
+		}
+	}
+	return false
+}
+
+// UsesAPI reports whether the class's binary imports the named API.
+func (c *Class) UsesAPI(api string) bool {
+	for _, a := range c.APIs {
+		if a == api {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassRegistry maps CLSIDs to classes, the analog of the COM class table
+// consulted by CoCreateInstance.
+type ClassRegistry struct {
+	byID   map[CLSID]*Class
+	byName map[string]*Class
+}
+
+// NewClassRegistry returns an empty class registry.
+func NewClassRegistry() *ClassRegistry {
+	return &ClassRegistry{byID: make(map[CLSID]*Class), byName: make(map[string]*Class)}
+}
+
+// Register adds a class; duplicate CLSIDs or names are a build error and
+// panic. Names must be unique because profiles and classifications refer
+// to classes by name.
+func (r *ClassRegistry) Register(c *Class) {
+	if c.ID == "" {
+		panic("com: class with empty CLSID")
+	}
+	if c.Name == "" {
+		panic(fmt.Sprintf("com: class %s has no name", c.ID))
+	}
+	if _, dup := r.byID[c.ID]; dup {
+		panic(fmt.Sprintf("com: duplicate class %s", c.ID))
+	}
+	if _, dup := r.byName[c.Name]; dup {
+		panic(fmt.Sprintf("com: duplicate class name %s", c.Name))
+	}
+	if c.New == nil {
+		panic(fmt.Sprintf("com: class %s has no constructor", c.ID))
+	}
+	r.byID[c.ID] = c
+	r.byName[c.Name] = c
+}
+
+// LookupName returns the class with the given name, or nil.
+func (r *ClassRegistry) LookupName(name string) *Class { return r.byName[name] }
+
+// Lookup returns the class for id, or nil.
+func (r *ClassRegistry) Lookup(id CLSID) *Class { return r.byID[id] }
+
+// Len returns the number of registered classes.
+func (r *ClassRegistry) Len() int { return len(r.byID) }
+
+// Classes returns all classes sorted by CLSID for deterministic iteration.
+func (r *ClassRegistry) Classes() []*Class {
+	out := make([]*Class, 0, len(r.byID))
+	for _, c := range r.byID {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// App bundles everything that constitutes an application built from
+// components: its class and interface registries, the import table of its
+// binary, and an entry point that drives a named usage scenario.
+type App struct {
+	Name       string
+	Classes    *ClassRegistry
+	Interfaces *idl.Registry
+	Imports    []string // DLL import table of the application binary
+	// Main drives the application through the named scenario. seed makes
+	// input-driven behaviour reproducible.
+	Main func(env *Env, scenario string, seed int64) error
+}

@@ -1,0 +1,351 @@
+package com
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/idl"
+)
+
+// testApp builds a two-class application: a Counter that accumulates, and a
+// Caller that invokes the counter when poked.
+func testApp() *App {
+	ifaces := idl.NewRegistry()
+	ifaces.Register(&idl.InterfaceDesc{
+		IID: "ICounter", Name: "ICounter", Remotable: true,
+		Methods: []idl.MethodDesc{
+			{Name: "Add", Params: []idl.ParamDesc{{Name: "n", Dir: idl.In, Type: idl.TInt32}}, Result: idl.TInt32},
+			{Name: "Get", Result: idl.TInt32},
+		},
+	})
+	ifaces.Register(&idl.InterfaceDesc{
+		IID: "IPoke", Name: "IPoke", Remotable: true,
+		Methods: []idl.MethodDesc{
+			{Name: "Poke", Params: []idl.ParamDesc{
+				{Name: "target", Dir: idl.In, Type: idl.InterfaceType("ICounter")},
+			}, Result: idl.TInt32},
+		},
+	})
+
+	classes := NewClassRegistry()
+	classes.Register(&Class{
+		ID: "CLSID_Counter", Name: "Counter", Interfaces: []string{"ICounter"},
+		APIs:      []string{APIFileRead},
+		CodeBytes: 4096,
+		New: func() Object {
+			total := int64(0)
+			return ObjectFunc(func(c *Call) ([]idl.Value, error) {
+				switch c.Method {
+				case "Add":
+					total += c.Args[0].AsInt()
+					return []idl.Value{idl.Int32(int32(total))}, nil
+				case "Get":
+					return []idl.Value{idl.Int32(int32(total))}, nil
+				}
+				return nil, errors.New("bad method")
+			})
+		},
+	})
+	classes.Register(&Class{
+		ID: "CLSID_Caller", Name: "Caller", Interfaces: []string{"IPoke"},
+		APIs:      []string{APIUserWindow},
+		CodeBytes: 1024,
+		New: func() Object {
+			return ObjectFunc(func(c *Call) ([]idl.Value, error) {
+				c.Compute(time.Millisecond)
+				target := c.Args[0].Iface.(*Interface)
+				return c.Invoke(target, "Add", idl.Int32(5))
+			})
+		},
+	})
+
+	return &App{
+		Name:       "testapp",
+		Classes:    classes,
+		Interfaces: ifaces,
+		Imports:    []string{"testapp.exe", "widgets.dll"},
+	}
+}
+
+func TestClassRegistry(t *testing.T) {
+	app := testApp()
+	if app.Classes.Len() != 2 {
+		t.Fatalf("Len = %d", app.Classes.Len())
+	}
+	c := app.Classes.Lookup("CLSID_Counter")
+	if c == nil || c.Name != "Counter" {
+		t.Fatalf("Lookup = %+v", c)
+	}
+	if app.Classes.Lookup("CLSID_None") != nil {
+		t.Fatal("unknown class found")
+	}
+	all := app.Classes.Classes()
+	if len(all) != 2 || all[0].ID > all[1].ID {
+		t.Fatalf("Classes() not sorted: %v %v", all[0].ID, all[1].ID)
+	}
+	if !c.Implements("ICounter") || c.Implements("IPoke") {
+		t.Error("Implements broken")
+	}
+	if !c.UsesAPI(APIFileRead) || c.UsesAPI(APIGdiPaint) {
+		t.Error("UsesAPI broken")
+	}
+}
+
+func TestClassRegistryPanics(t *testing.T) {
+	for name, reg := range map[string]func(*ClassRegistry){
+		"empty clsid": func(r *ClassRegistry) {
+			r.Register(&Class{New: func() Object { return nil }})
+		},
+		"no constructor": func(r *ClassRegistry) {
+			r.Register(&Class{ID: "X"})
+		},
+		"duplicate": func(r *ClassRegistry) {
+			c := &Class{ID: "X", New: func() Object { return nil }}
+			r.Register(c)
+			r.Register(c)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			reg(NewClassRegistry())
+		}()
+	}
+}
+
+func TestCreateAndCall(t *testing.T) {
+	env := NewEnv(testApp())
+	counter, err := env.CreateInstance(nil, "CLSID_Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter.ID != 1 || counter.Machine != Client {
+		t.Fatalf("instance = %+v", counter)
+	}
+	itf, err := env.Query(counter, "ICounter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if itf.IID() != "ICounter" || itf.InstanceID() != counter.ID || itf.Instance() != counter {
+		t.Fatalf("interface = %+v", itf)
+	}
+	out, err := env.Call(nil, itf, "Add", idl.Int32(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].AsInt() != 7 {
+		t.Fatalf("Add returned %v", out)
+	}
+	out, _ = env.Call(nil, itf, "Add", idl.Int32(3))
+	if out[0].AsInt() != 10 {
+		t.Fatalf("second Add returned %v", out)
+	}
+}
+
+func TestNestedCallThroughComponent(t *testing.T) {
+	env := NewEnv(testApp())
+	counter, _ := env.CreateInstance(nil, "CLSID_Counter")
+	caller, _ := env.CreateInstance(nil, "CLSID_Caller")
+	citf := env.MustQuery(counter, "ICounter")
+	pitf := env.MustQuery(caller, "IPoke")
+	out, err := env.Call(nil, pitf, "Poke", idl.IfacePtr(citf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].AsInt() != 5 {
+		t.Fatalf("Poke returned %v", out)
+	}
+	if env.TotalInstances() != 2 || env.LiveInstances() != 2 {
+		t.Fatalf("counts: total=%d live=%d", env.TotalInstances(), env.LiveInstances())
+	}
+}
+
+func TestStrictValidation(t *testing.T) {
+	env := NewEnv(testApp())
+	counter, _ := env.CreateInstance(nil, "CLSID_Counter")
+	itf := env.MustQuery(counter, "ICounter")
+	if _, err := env.Call(nil, itf, "Add"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := env.Call(nil, itf, "Add", idl.String("x")); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if _, err := env.Call(nil, itf, "NoSuch"); err == nil {
+		t.Error("unknown method accepted")
+	}
+	env.SetStrict(false)
+	if _, err := env.Call(nil, itf, "Get"); err != nil {
+		t.Errorf("non-strict call failed: %v", err)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	env := NewEnv(testApp())
+	counter, _ := env.CreateInstance(nil, "CLSID_Counter")
+	if _, err := env.Query(counter, "IPoke"); err == nil {
+		t.Error("query for unimplemented interface succeeded")
+	}
+	if _, err := env.Query(nil, "ICounter"); err == nil {
+		t.Error("query on nil instance succeeded")
+	}
+	env.Release(counter)
+	if _, err := env.Query(counter, "ICounter"); err == nil {
+		t.Error("query on released instance succeeded")
+	}
+}
+
+func TestReleaseSemantics(t *testing.T) {
+	env := NewEnv(testApp())
+	counter, _ := env.CreateInstance(nil, "CLSID_Counter")
+	itf := env.MustQuery(counter, "ICounter")
+	released := 0
+	env.SetHooks(Hooks{ReleaseInstance: func(*Instance) { released++ }})
+	env.Release(counter)
+	env.Release(counter) // double release is a no-op
+	env.Release(nil)
+	if released != 1 {
+		t.Fatalf("release hook ran %d times", released)
+	}
+	if env.LiveInstances() != 0 || env.TotalInstances() != 1 {
+		t.Fatalf("counts after release: live=%d total=%d", env.LiveInstances(), env.TotalInstances())
+	}
+	if _, err := env.Call(nil, itf, "Get"); err == nil {
+		t.Error("call to released instance succeeded")
+	}
+}
+
+func TestCreateUnknownClass(t *testing.T) {
+	env := NewEnv(testApp())
+	if _, err := env.CreateInstance(nil, "CLSID_None"); err == nil {
+		t.Fatal("unknown class created")
+	}
+}
+
+func TestHooksIntercept(t *testing.T) {
+	env := NewEnv(testApp())
+	var created []CLSID
+	var calls []string
+	env.SetHooks(Hooks{
+		CreateInstance: func(creator *Instance, class *Class, next func(Machine) *Instance) (*Instance, error) {
+			created = append(created, class.ID)
+			return next(Server), nil // relocate everything to the server
+		},
+		CallInterface: func(caller *Instance, target *Interface, method string,
+			args []idl.Value, next func() ([]idl.Value, error)) ([]idl.Value, error) {
+			calls = append(calls, target.IID()+"."+method)
+			return next()
+		},
+		WrapInterface: func(itf *Interface) *Interface {
+			itf.wrapped = true
+			return itf
+		},
+	})
+	counter, err := env.CreateInstance(nil, "CLSID_Counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter.Machine != Server {
+		t.Fatalf("hook placement ignored: %v", counter.Machine)
+	}
+	itf := env.MustQuery(counter, "ICounter")
+	if !itf.Wrapped() {
+		t.Fatal("interface not wrapped")
+	}
+	if _, err := env.Call(nil, itf, "Get"); err != nil {
+		t.Fatal(err)
+	}
+	if len(created) != 1 || created[0] != "CLSID_Counter" {
+		t.Fatalf("created = %v", created)
+	}
+	if len(calls) != 1 || calls[0] != "ICounter.Get" {
+		t.Fatalf("calls = %v", calls)
+	}
+}
+
+func TestDefaultPlacementFollowsCreator(t *testing.T) {
+	env := NewEnv(testApp())
+	parent, _ := env.CreateInstance(nil, "CLSID_Counter")
+	parent.Machine = Server
+	child, _ := env.CreateInstance(parent, "CLSID_Counter")
+	if child.Machine != Server {
+		t.Fatalf("child machine = %v, want server", child.Machine)
+	}
+}
+
+type recordingClock struct {
+	total   time.Duration
+	machine Machine
+}
+
+func (c *recordingClock) Compute(m Machine, d time.Duration) {
+	c.machine = m
+	c.total += d
+}
+
+func TestComputeClock(t *testing.T) {
+	env := NewEnv(testApp())
+	clk := &recordingClock{}
+	env.SetClock(clk)
+	counter, _ := env.CreateInstance(nil, "CLSID_Counter")
+	caller, _ := env.CreateInstance(nil, "CLSID_Caller")
+	caller.Machine = Server
+	citf := env.MustQuery(counter, "ICounter")
+	pitf := env.MustQuery(caller, "IPoke")
+	if _, err := env.Call(nil, pitf, "Poke", idl.IfacePtr(citf)); err != nil {
+		t.Fatal(err)
+	}
+	if clk.total != time.Millisecond || clk.machine != Server {
+		t.Fatalf("clock = %+v", clk)
+	}
+	// Compute with a nil clock or nil instance must not crash.
+	env.SetClock(nil)
+	env.Compute(nil, time.Second)
+	env.SetClock(clk)
+	env.Compute(nil, time.Second)
+	if clk.machine != Client {
+		t.Fatal("nil instance should accrue on client")
+	}
+}
+
+func TestInstancesIteration(t *testing.T) {
+	env := NewEnv(testApp())
+	a, _ := env.CreateInstance(nil, "CLSID_Counter")
+	b, _ := env.CreateInstance(nil, "CLSID_Caller")
+	env.Release(a)
+	all := env.Instances()
+	if len(all) != 2 || all[0] != a || all[1] != b {
+		t.Fatalf("Instances = %v", all)
+	}
+	if env.Instance(a.ID) != a || env.Instance(999) != nil {
+		t.Fatal("Instance lookup broken")
+	}
+}
+
+func TestMachineString(t *testing.T) {
+	if Client.String() != "client" || Server.String() != "server" ||
+		Middle.String() != "middle" || Machine(7).String() != "machine7" {
+		t.Fatal("Machine.String broken")
+	}
+}
+
+func TestMustQueryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	env := NewEnv(testApp())
+	counter, _ := env.CreateInstance(nil, "CLSID_Counter")
+	env.MustQuery(counter, "INope")
+}
+
+func TestCallNilInterface(t *testing.T) {
+	env := NewEnv(testApp())
+	if _, err := env.Call(nil, nil, "Get"); err == nil {
+		t.Fatal("call through nil interface succeeded")
+	}
+}

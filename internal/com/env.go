@@ -1,0 +1,322 @@
+package com
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/idl"
+)
+
+// Machine identifies a placement target. The two-way cut uses Client and
+// Server; the multiway extension adds Middle.
+type Machine int
+
+// Placement targets.
+const (
+	Client Machine = 0
+	Server Machine = 1
+	Middle Machine = 2
+)
+
+// String names the machine.
+func (m Machine) String() string {
+	switch m {
+	case Client:
+		return "client"
+	case Server:
+		return "server"
+	case Middle:
+		return "middle"
+	default:
+		return fmt.Sprintf("machine%d", int(m))
+	}
+}
+
+// Instance is one live component instance.
+type Instance struct {
+	ID             uint64
+	Class          *Class
+	Object         Object
+	Machine        Machine
+	Classification string // assigned by the instance classifier, "" before
+	Released       bool
+	env            *Env
+}
+
+// Env returns the environment that owns the instance.
+func (in *Instance) Env() *Env { return in.env }
+
+// Interface is a first-class handle to one interface of one instance. All
+// inter-component communication flows through Interface handles, which is
+// what lets the runtime interpose transparently.
+type Interface struct {
+	iid     string
+	inst    *Instance
+	wrapped bool // true once the RTE has wrapped the handle
+}
+
+// IID implements idl.InterfacePtr.
+func (i *Interface) IID() string { return i.iid }
+
+// InstanceID implements idl.InterfacePtr.
+func (i *Interface) InstanceID() uint64 { return i.inst.ID }
+
+// Instance returns the owning instance. The runtime executive uses this to
+// track interface ownership.
+func (i *Interface) Instance() *Instance { return i.inst }
+
+// Wrapped reports whether the handle has passed through runtime wrapping.
+func (i *Interface) Wrapped() bool { return i.wrapped }
+
+// MarkWrapped flags the handle as runtime-wrapped and returns it; used by
+// the runtime executive's interface-wrapping hook.
+func (i *Interface) MarkWrapped() *Interface {
+	i.wrapped = true
+	return i
+}
+
+// Call describes one in-flight interface invocation, passed to the target
+// object's dispatcher.
+type Call struct {
+	Self   *Instance
+	IID    string
+	Method string
+	Args   []idl.Value
+	Env    *Env
+}
+
+// Invoke makes an outgoing call from the currently executing component to
+// target. It routes through the environment so the runtime sees the call.
+func (c *Call) Invoke(target *Interface, method string, args ...idl.Value) ([]idl.Value, error) {
+	return c.Env.Call(c.Self, target, method, args...)
+}
+
+// Create instantiates a component on behalf of the currently executing
+// component.
+func (c *Call) Create(clsid CLSID) (*Instance, error) {
+	return c.Env.CreateInstance(c.Self, clsid)
+}
+
+// Compute accrues d of CPU time on the machine where the current component
+// executes. Behaviours use it to model their computational cost on the
+// virtual clock.
+func (c *Call) Compute(d time.Duration) {
+	c.Env.Compute(c.Self, d)
+}
+
+// Hooks are the interception points the Coign runtime installs. A nil hook
+// field means the default (un-instrumented) behaviour.
+type Hooks struct {
+	// CreateInstance intercepts instantiation requests. It must call next
+	// to perform the actual activation (possibly after deciding placement).
+	CreateInstance func(creator *Instance, class *Class, next func(Machine) *Instance) (*Instance, error)
+	// CallInterface intercepts interface invocations. It must call next to
+	// execute the target method.
+	CallInterface func(caller *Instance, target *Interface, method string,
+		args []idl.Value, next func() ([]idl.Value, error)) ([]idl.Value, error)
+	// WrapInterface intercepts the creation of interface handles; the
+	// default returns the handle unchanged.
+	WrapInterface func(itf *Interface) *Interface
+	// ReleaseInstance observes instance destruction.
+	ReleaseInstance func(inst *Instance)
+}
+
+// ComputeClock receives compute-time accruals. The distributed execution
+// engine implements it with a virtual clock; the default discards them.
+type ComputeClock interface {
+	Compute(machine Machine, d time.Duration)
+}
+
+// Env is the component activation environment: the synthetic COM runtime.
+// It owns live instances, dispatches interface calls, and exposes the
+// interception hooks the Coign runtime attaches to.
+type Env struct {
+	app       *App
+	hooks     Hooks
+	clock     ComputeClock
+	nextID    uint64
+	instances map[uint64]*Instance
+	liveCount int
+	strict    bool // validate call parameters against IDL metadata
+}
+
+// NewEnv returns an environment for app with no instrumentation installed.
+func NewEnv(app *App) *Env {
+	return &Env{
+		app:       app,
+		instances: make(map[uint64]*Instance),
+		strict:    true,
+	}
+}
+
+// App returns the application this environment hosts.
+func (e *Env) App() *App { return e.app }
+
+// SetHooks installs runtime interception hooks. Passing the zero Hooks
+// removes instrumentation.
+func (e *Env) SetHooks(h Hooks) { e.hooks = h }
+
+// Hooks returns the currently installed hooks.
+func (e *Env) Hooks() Hooks { return e.hooks }
+
+// SetClock installs a compute clock. A nil clock discards compute time.
+func (e *Env) SetClock(c ComputeClock) { e.clock = c }
+
+// SetStrict controls IDL validation of call parameters. Strict mode is the
+// default; benchmarks may disable it.
+func (e *Env) SetStrict(on bool) { e.strict = on }
+
+// LiveInstances returns the number of live (unreleased) instances.
+func (e *Env) LiveInstances() int { return e.liveCount }
+
+// TotalInstances returns the number of instances ever created.
+func (e *Env) TotalInstances() int { return int(e.nextID) }
+
+// Instance returns the instance with the given id, or nil.
+func (e *Env) Instance(id uint64) *Instance { return e.instances[id] }
+
+// Instances returns all instances ever created, in creation order.
+func (e *Env) Instances() []*Instance {
+	out := make([]*Instance, 0, len(e.instances))
+	for id := uint64(1); id <= e.nextID; id++ {
+		if in, ok := e.instances[id]; ok {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// CreateInstance activates a new instance of clsid on behalf of creator
+// (nil when the application's main program is the creator). The request is
+// routed through the CreateInstance hook when installed, mirroring the
+// RTE's trap on CoCreateInstance.
+func (e *Env) CreateInstance(creator *Instance, clsid CLSID) (*Instance, error) {
+	class := e.app.Classes.Lookup(clsid)
+	if class == nil {
+		return nil, fmt.Errorf("com: unknown class %s", clsid)
+	}
+	activate := func(m Machine) *Instance {
+		e.nextID++
+		in := &Instance{
+			ID:      e.nextID,
+			Class:   class,
+			Object:  class.New(),
+			Machine: m,
+			env:     e,
+		}
+		e.instances[in.ID] = in
+		e.liveCount++
+		return in
+	}
+	if e.hooks.CreateInstance != nil {
+		return e.hooks.CreateInstance(creator, class, activate)
+	}
+	// Default placement: components are created where their creator runs;
+	// the original, non-distributed application runs entirely on the
+	// client.
+	m := Client
+	if creator != nil {
+		m = creator.Machine
+	}
+	return activate(m), nil
+}
+
+// Query returns an interface handle on inst for iid, routed through the
+// WrapInterface hook. It fails if the class does not implement iid.
+func (e *Env) Query(inst *Instance, iid string) (*Interface, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("com: QueryInterface on nil instance")
+	}
+	if inst.Released {
+		return nil, fmt.Errorf("com: QueryInterface on released instance %d (%s)", inst.ID, inst.Class.Name)
+	}
+	if !inst.Class.Implements(iid) {
+		return nil, fmt.Errorf("com: class %s does not implement %s", inst.Class.Name, iid)
+	}
+	itf := &Interface{iid: iid, inst: inst}
+	if e.hooks.WrapInterface != nil {
+		return e.hooks.WrapInterface(itf), nil
+	}
+	return itf, nil
+}
+
+// MustQuery is Query for statically known-good requests; it panics on
+// failure and exists for concise application code.
+func (e *Env) MustQuery(inst *Instance, iid string) *Interface {
+	itf, err := e.Query(inst, iid)
+	if err != nil {
+		panic(err)
+	}
+	return itf
+}
+
+// Call invokes method on the target interface on behalf of caller (nil for
+// the main program). The invocation routes through the CallInterface hook
+// when installed.
+func (e *Env) Call(caller *Instance, target *Interface, method string, args ...idl.Value) ([]idl.Value, error) {
+	if target == nil {
+		return nil, fmt.Errorf("com: call through nil interface")
+	}
+	if target.inst.Released {
+		return nil, fmt.Errorf("com: call to released instance %d (%s)", target.inst.ID, target.inst.Class.Name)
+	}
+	var mdesc *idl.MethodDesc
+	if idesc := e.app.Interfaces.Lookup(target.iid); idesc != nil {
+		mdesc = idesc.Method(method)
+	}
+	if e.strict {
+		if mdesc == nil {
+			return nil, fmt.Errorf("com: no metadata for %s.%s", target.iid, method)
+		}
+		ins := mdesc.InParams()
+		if len(args) != len(ins) {
+			return nil, fmt.Errorf("com: %s.%s called with %d args, want %d",
+				target.iid, method, len(args), len(ins))
+		}
+		for i := range args {
+			if args[i].Type == nil || args[i].Type.Kind != ins[i].Type.Kind {
+				return nil, fmt.Errorf("com: %s.%s arg %d kind mismatch", target.iid, method, i)
+			}
+			if err := args[i].Validate(); err != nil {
+				return nil, fmt.Errorf("com: %s.%s arg %d: %w", target.iid, method, i, err)
+			}
+		}
+	}
+	invoke := func() ([]idl.Value, error) {
+		return target.inst.Object.Invoke(&Call{
+			Self:   target.inst,
+			IID:    target.iid,
+			Method: method,
+			Args:   args,
+			Env:    e,
+		})
+	}
+	if e.hooks.CallInterface != nil {
+		return e.hooks.CallInterface(caller, target, method, args, invoke)
+	}
+	return invoke()
+}
+
+// Release destroys an instance. Further calls through its interfaces fail.
+func (e *Env) Release(inst *Instance) {
+	if inst == nil || inst.Released {
+		return
+	}
+	inst.Released = true
+	e.liveCount--
+	if e.hooks.ReleaseInstance != nil {
+		e.hooks.ReleaseInstance(inst)
+	}
+}
+
+// Compute accrues CPU time for inst's machine on the installed clock.
+func (e *Env) Compute(inst *Instance, d time.Duration) {
+	if e.clock == nil {
+		return
+	}
+	m := Client
+	if inst != nil {
+		m = inst.Machine
+	}
+	e.clock.Compute(m, d)
+}

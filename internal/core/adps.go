@@ -1,0 +1,363 @@
+// Package core implements the Coign Automatic Distributed Partitioning
+// System pipeline (paper Figure 1): starting from an application binary,
+// the binary rewriter produces an instrumented binary; scenario-based
+// profiling produces abstract ICC data; the network profiler produces
+// network data; the profile analysis engine cuts the concrete graph to
+// choose the best distribution; and the rewriter writes the distribution
+// into the binary, which the lightweight runtime then realizes at the next
+// execution.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/binimg"
+	"repro/internal/classify"
+	"repro/internal/com"
+	"repro/internal/dist"
+	"repro/internal/netsim"
+	"repro/internal/profile"
+)
+
+// ADPS is the partitioning pipeline for one application.
+type ADPS struct {
+	App     *com.App
+	Network *netsim.Model
+
+	// Image is the application binary in its current pipeline state:
+	// original → instrumented → carrying a distribution.
+	Image *binimg.Image
+	// NetProfile is the network profiler's output.
+	NetProfile *netsim.Profile
+
+	ClassifierKind  classify.Kind
+	ClassifierDepth int
+	// AnalysisOptions tunes the analysis engine.
+	AnalysisOptions analysis.Options
+	// Samples is the number of observations per message size in network
+	// profiling.
+	Samples int
+	// EnableCaching turns on per-interface result caching (semi-custom
+	// marshaling) in distributed runs.
+	EnableCaching bool
+	// Seed drives all stochastic components reproducibly.
+	Seed int64
+}
+
+// New returns a pipeline with the paper's defaults: 10BaseT, the IFCB
+// classifier with complete stack walks, and the application's original
+// binary image.
+func New(app *com.App) *ADPS {
+	return &ADPS{
+		App:            app,
+		Network:        netsim.TenBaseT,
+		Image:          binimg.BuildImage(app),
+		ClassifierKind: classify.IFCB,
+		Samples:        25,
+		Seed:           1,
+	}
+}
+
+// classifier builds a fresh classifier per the pipeline configuration.
+func (a *ADPS) classifier() classify.Classifier {
+	return classify.New(a.ClassifierKind, a.ClassifierDepth)
+}
+
+// interfaceMetadata extracts format strings for the configuration record.
+func (a *ADPS) interfaceMetadata() map[string]string {
+	out := make(map[string]string)
+	for _, iid := range a.App.Interfaces.IIDs() {
+		out[iid] = a.App.Interfaces.Lookup(iid).FormatString()
+	}
+	return out
+}
+
+// Instrument runs the binary rewriter: the Coign runtime is inserted into
+// the first import slot and a profiling configuration record is appended.
+func (a *ADPS) Instrument() error {
+	img, err := binimg.Instrument(a.Image, a.ClassifierKind.String(), a.ClassifierDepth,
+		a.interfaceMetadata())
+	if err != nil {
+		return err
+	}
+	a.Image = img
+	return nil
+}
+
+// ProfileNetwork runs the network profiler, statistically sampling message
+// times for representative DCOM message sizes over the configured network.
+func (a *ADPS) ProfileNetwork() error {
+	rng := rand.New(rand.NewSource(a.Seed + 7))
+	np, err := netsim.SampleModel(a.Network, rng, netsim.DefaultSampleSizes, a.Samples)
+	if err != nil {
+		return err
+	}
+	a.NetProfile = np
+	return nil
+}
+
+// ProfileScenario runs the instrumented binary through one profiling
+// scenario and returns its ICC profile. The profile is also accumulated
+// into the binary's configuration record.
+func (a *ADPS) ProfileScenario(scenario string, instanceDetail bool) (*profile.Profile, *dist.Result, error) {
+	if a.Image == nil || !a.Image.Instrumented() {
+		return nil, nil, fmt.Errorf("core: application binary is not instrumented")
+	}
+	res, err := dist.Run(dist.Config{
+		App:            a.App,
+		Scenario:       scenario,
+		Seed:           a.Seed,
+		Mode:           dist.ModeProfiling,
+		Classifier:     a.classifier(),
+		InstanceDetail: instanceDetail,
+		Network:        a.Network,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Profile == nil {
+		return nil, nil, fmt.Errorf("core: profiling run produced no profile")
+	}
+	if err := a.Image.Config.AccumulateProfile(res.Profile); err != nil {
+		return nil, nil, err
+	}
+	return res.Profile, res, nil
+}
+
+// ProfileScenarios profiles several scenarios and merges their logs, the
+// combining step the analysis engine consumes.
+func (a *ADPS) ProfileScenarios(scenarios []string, instanceDetail bool) (*profile.Profile, error) {
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("core: no profiling scenarios")
+	}
+	var combined *profile.Profile
+	for _, s := range scenarios {
+		p, _, err := a.ProfileScenario(s, instanceDetail)
+		if err != nil {
+			return nil, fmt.Errorf("core: scenario %s: %w", s, err)
+		}
+		if combined == nil {
+			combined = p
+			continue
+		}
+		if err := combined.Merge(p); err != nil {
+			return nil, err
+		}
+	}
+	return combined, nil
+}
+
+// Analyze runs the profile analysis engine over a profile, using the
+// sampled network profile (running the network profiler on demand).
+func (a *ADPS) Analyze(p *profile.Profile) (*analysis.Result, error) {
+	if a.NetProfile == nil {
+		if err := a.ProfileNetwork(); err != nil {
+			return nil, err
+		}
+	}
+	return analysis.Analyze(p, a.NetProfile, a.App, a.AnalysisOptions)
+}
+
+// WriteDistribution rewrites the binary's configuration record with the
+// chosen distribution, replacing the profiling instrumentation with the
+// lightweight distribution runtime.
+func (a *ADPS) WriteDistribution(res *analysis.Result) error {
+	img, err := binimg.SetDistribution(a.Image, res.Distribution, a.Network.Name)
+	if err != nil {
+		return err
+	}
+	a.Image = img
+	return nil
+}
+
+// loadDistribution reads the distribution back out of the binary, exactly
+// as the lightweight runtime does at application load.
+func (a *ADPS) loadDistribution() (map[string]com.Machine, error) {
+	if a.Image == nil || a.Image.Config == nil {
+		return nil, fmt.Errorf("core: binary has no configuration record")
+	}
+	if a.Image.Config.Mode != binimg.ModeDistribution {
+		return nil, fmt.Errorf("core: binary is in %q mode, not distribution", a.Image.Config.Mode)
+	}
+	m := a.Image.Config.DistributionMap()
+	if m == nil {
+		return nil, fmt.Errorf("core: binary carries no distribution map")
+	}
+	return m, nil
+}
+
+// RunDistributed executes the application in the distribution recorded in
+// its binary.
+func (a *ADPS) RunDistributed(scenario string, jitter bool) (*dist.Result, error) {
+	dm, err := a.loadDistribution()
+	if err != nil {
+		return nil, err
+	}
+	kind, err := classify.KindByName(a.Image.Config.Classifier)
+	if err != nil {
+		return nil, err
+	}
+	return dist.Run(dist.Config{
+		App:           a.App,
+		Scenario:      scenario,
+		Seed:          a.Seed,
+		Mode:          dist.ModeCoign,
+		Classifier:    classify.New(kind, a.Image.Config.ClassifierDepth),
+		Distribution:  dm,
+		Network:       a.Network,
+		Jitter:        jitter,
+		EnableCaching: a.EnableCaching,
+	})
+}
+
+// RunDefault executes the application in the developer's default
+// distribution.
+func (a *ADPS) RunDefault(scenario string, jitter bool) (*dist.Result, error) {
+	return dist.Run(dist.Config{
+		App:        a.App,
+		Scenario:   scenario,
+		Seed:       a.Seed,
+		Mode:       dist.ModeDefault,
+		Classifier: a.classifier(),
+		Network:    a.Network,
+		Jitter:     jitter,
+	})
+}
+
+// ScenarioReport is the outcome of one end-to-end experiment on one
+// scenario: the rows of Tables 4 and 5 plus the figure-level placement
+// data.
+type ScenarioReport struct {
+	Scenario string
+
+	// Table 4: communication time.
+	DefaultComm time.Duration
+	CoignComm   time.Duration
+	Savings     float64
+
+	// Table 5: execution time.
+	PredictedExec time.Duration
+	MeasuredExec  time.Duration
+	PredictionErr float64
+
+	// Figure data: instances placed.
+	TotalInstances  int
+	ServerInstances int
+	// Analysis-side numbers.
+	Analysis *analysis.Result
+	// Runtime counters.
+	Violations int
+	Unknown    int64
+}
+
+// ScenarioExperiment performs the full pipeline on one scenario: profile
+// it, analyze, write the distribution into the binary, then execute both
+// the default and the Coign-chosen distribution and compare against the
+// prediction. The application is optimized for the chosen scenario before
+// execution, as in paper §4.5.
+func (a *ADPS) ScenarioExperiment(scenario string) (*ScenarioReport, error) {
+	if !a.Image.Instrumented() {
+		if err := a.Instrument(); err != nil {
+			return nil, err
+		}
+	}
+	prof, profRun, err := a.ProfileScenario(scenario, false)
+	if err != nil {
+		return nil, err
+	}
+	ares, err := a.Analyze(prof)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.WriteDistribution(ares); err != nil {
+		return nil, err
+	}
+	def, err := a.RunDefault(scenario, false)
+	if err != nil {
+		return nil, err
+	}
+	// Table 4 compares mean communication times; Table 5's "measured"
+	// execution is a separate stochastic run with network jitter.
+	coign, err := a.RunDistributed(scenario, false)
+	if err != nil {
+		return nil, err
+	}
+	measured, err := a.RunDistributed(scenario, true)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ScenarioReport{
+		Scenario:        scenario,
+		DefaultComm:     def.Clock.CommTime(),
+		CoignComm:       coign.Clock.CommTime(),
+		Analysis:        ares,
+		TotalInstances:  coign.AppInstances,
+		ServerInstances: coign.AppPerMachine[com.Server],
+		Violations:      coign.Violations,
+		Unknown:         coign.Unknown,
+	}
+	if rep.DefaultComm > 0 {
+		s := 1 - float64(rep.CoignComm)/float64(rep.DefaultComm)
+		if s > 0 {
+			rep.Savings = s
+		}
+	}
+	// Predicted execution time: profiled compute plus the analysis
+	// engine's communication prediction. Measured: the distributed run's
+	// virtual clock with jitter, classifier effects, and remote
+	// activations included.
+	rep.PredictedExec = profRun.Clock.ComputeTime() + ares.PredictedComm
+	rep.MeasuredExec = measured.Clock.Elapsed()
+	if rep.MeasuredExec > 0 {
+		rep.PredictionErr = float64(rep.PredictedExec-rep.MeasuredExec) / float64(rep.MeasuredExec)
+	}
+	// Re-arm the image for the next experiment: back to profiling mode.
+	if err := a.Instrument(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// ClassifierAccuracy runs the Table 2 experiment for one classifier: all
+// profiling scenarios are profiled and combined, then the evaluation
+// scenario (bigone) is profiled, and the classifier's ability to correlate
+// the two is measured.
+func ClassifierAccuracy(app *com.App, kind classify.Kind, depth int,
+	scenarios []string, evalScenario string, net *netsim.Model, seed int64) (*analysis.ClassifierEval, error) {
+	np := netsim.ExactProfile(net, netsim.DefaultSampleSizes)
+	var combined *profile.Profile
+	for _, s := range scenarios {
+		res, err := dist.Run(dist.Config{
+			App: app, Scenario: s, Seed: seed, Mode: dist.ModeProfiling,
+			Classifier: classify.New(kind, depth), InstanceDetail: true, Network: net,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling %s: %w", s, err)
+		}
+		if combined == nil {
+			combined = res.Profile
+			continue
+		}
+		// Instance ids restart every execution; shift this run's past the
+		// combined profile's so per-instance vectors stay distinct.
+		res.Profile.OffsetInstanceIDs(combined.MaxInstanceID())
+		if err := combined.Merge(res.Profile); err != nil {
+			return nil, err
+		}
+	}
+	if combined == nil {
+		return nil, fmt.Errorf("core: no profiling scenarios")
+	}
+	evalRes, err := dist.Run(dist.Config{
+		App: app, Scenario: evalScenario, Seed: seed + 1, Mode: dist.ModeProfiling,
+		Classifier: classify.New(kind, depth), InstanceDetail: true, Network: net,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: evaluating %s: %w", evalScenario, err)
+	}
+	return analysis.EvaluateClassifier(combined, evalRes.Profile, np)
+}

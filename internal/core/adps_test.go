@@ -1,0 +1,296 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/apps/octarine"
+	"repro/internal/binimg"
+	"repro/internal/classify"
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+)
+
+func TestPipelineStages(t *testing.T) {
+	app := octarine.New()
+	adps := New(app)
+
+	// Fresh pipeline: original binary, not instrumented.
+	if adps.Image.Instrumented() {
+		t.Fatal("fresh image instrumented")
+	}
+	if _, _, err := adps.ProfileScenario(octarine.ScenNewDoc, false); err == nil {
+		t.Fatal("profiling an un-instrumented binary succeeded")
+	}
+
+	// Rewrite.
+	if err := adps.Instrument(); err != nil {
+		t.Fatal(err)
+	}
+	if !adps.Image.Instrumented() || adps.Image.Config.Mode != binimg.ModeProfiling {
+		t.Fatalf("image after rewrite: %+v", adps.Image.Config)
+	}
+	if len(adps.Image.Config.InterfaceMetadata) == 0 {
+		t.Error("no interface metadata in configuration record")
+	}
+
+	// Profile: the run accumulates into the binary too.
+	p, run, err := adps.ProfileScenario(octarine.ScenOldWp0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalCalls() == 0 || run.Profile != p {
+		t.Fatal("profiling returned inconsistent results")
+	}
+	embedded, err := adps.Image.Config.GetProfile()
+	if err != nil || embedded == nil {
+		t.Fatalf("no in-binary profile: %v", err)
+	}
+	if embedded.TotalCalls() != p.TotalCalls() {
+		t.Errorf("embedded calls = %d, want %d", embedded.TotalCalls(), p.TotalCalls())
+	}
+
+	// Analyze and write the distribution into the binary.
+	res, err := adps.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Distribution) == 0 {
+		t.Fatal("analysis produced no distribution")
+	}
+	// Cannot run distributed before the rewriter writes the map.
+	if _, err := adps.RunDistributed(octarine.ScenOldWp0, false); err == nil {
+		t.Fatal("distributed run before SetDistribution succeeded")
+	}
+	if err := adps.WriteDistribution(res); err != nil {
+		t.Fatal(err)
+	}
+	if adps.Image.Config.Mode != binimg.ModeDistribution {
+		t.Fatal("binary not in distribution mode")
+	}
+
+	// The distributed run loads everything from the binary.
+	dres, err := adps.RunDistributed(octarine.ScenOldWp0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Violations != 0 {
+		t.Errorf("violations = %d", dres.Violations)
+	}
+}
+
+func TestProfileScenariosMerges(t *testing.T) {
+	adps := New(octarine.New())
+	if err := adps.Instrument(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := adps.ProfileScenarios([]string{octarine.ScenNewDoc, octarine.ScenNewTbl}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Scenarios) != 2 {
+		t.Errorf("scenarios = %v", p.Scenarios)
+	}
+	if _, err := adps.ProfileScenarios(nil, false); err == nil {
+		t.Error("empty scenario list accepted")
+	}
+}
+
+func TestNetworkProfileOnDemand(t *testing.T) {
+	adps := New(octarine.New())
+	if err := adps.Instrument(); err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := adps.ProfileScenario(octarine.ScenNewDoc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adps.NetProfile != nil {
+		t.Fatal("network profile exists before analysis")
+	}
+	if _, err := adps.Analyze(p); err != nil {
+		t.Fatal(err)
+	}
+	if adps.NetProfile == nil {
+		t.Fatal("analysis did not run the network profiler")
+	}
+	if adps.NetProfile.Name != netsim.TenBaseT.Name {
+		t.Errorf("profiled network = %s", adps.NetProfile.Name)
+	}
+}
+
+func TestScenarioExperimentReport(t *testing.T) {
+	adps := New(octarine.New())
+	rep, err := adps.ScenarioExperiment(octarine.ScenOldTb3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario != octarine.ScenOldTb3 {
+		t.Errorf("scenario = %s", rep.Scenario)
+	}
+	if rep.DefaultComm <= rep.CoignComm {
+		t.Errorf("no improvement: default %v vs coign %v", rep.DefaultComm, rep.CoignComm)
+	}
+	if rep.Savings <= 0.5 {
+		t.Errorf("savings = %v", rep.Savings)
+	}
+	// Prediction error within the paper's ±8% envelope.
+	if rep.PredictionErr > 0.08 || rep.PredictionErr < -0.08 {
+		t.Errorf("prediction error = %v, want within ±8%%", rep.PredictionErr)
+	}
+	// The experiment re-arms the image for the next scenario.
+	if adps.Image.Config.Mode != binimg.ModeProfiling {
+		t.Error("image not re-armed for profiling")
+	}
+}
+
+func TestClassifierAccuracyTable2Shape(t *testing.T) {
+	// Run the Table 2 experiment on Octarine for the key classifiers and
+	// verify the paper's qualitative ordering:
+	//   - the incremental straw man produces many new classifications on
+	//     bigone and the worst correlation;
+	//   - ST yields few classifications (one per class) and coarse
+	//     granularity (many instances per classification);
+	//   - IFCB yields the most classifications, no new classifications on
+	//     bigone, and the best correlation.
+	app := octarine.New()
+	training := scenario.TrainingForApp("octarine")
+	big, err := scenario.BigoneForApp("octarine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := func(kind classify.Kind) *analysis.ClassifierEval {
+		res, err := ClassifierAccuracy(app, kind, 0, training, big, netsim.TenBaseT, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		return res
+	}
+	inc := eval(classify.Incremental)
+	st := eval(classify.ST)
+	ifcb := eval(classify.IFCB)
+
+	if inc.NewClassifications == 0 {
+		t.Error("incremental produced no new classifications on bigone")
+	}
+	if ifcb.NewClassifications != 0 {
+		t.Errorf("ifcb produced %d new classifications on bigone", ifcb.NewClassifications)
+	}
+	if st.ProfiledClassifications >= ifcb.ProfiledClassifications {
+		t.Errorf("ST %d classifications >= IFCB %d", st.ProfiledClassifications, ifcb.ProfiledClassifications)
+	}
+	if st.AvgInstancesPerClassification <= ifcb.AvgInstancesPerClassification {
+		t.Errorf("ST granularity %v <= IFCB %v",
+			st.AvgInstancesPerClassification, ifcb.AvgInstancesPerClassification)
+	}
+	if ifcb.AvgCorrelation < st.AvgCorrelation {
+		t.Errorf("IFCB correlation %v < ST %v", ifcb.AvgCorrelation, st.AvgCorrelation)
+	}
+	if ifcb.AvgCorrelation < 0.9 {
+		t.Errorf("IFCB correlation = %v, want high", ifcb.AvgCorrelation)
+	}
+	// Incremental's accuracy suffers badly on the input-driven synthesis.
+	if inc.AvgCorrelation > 0.5 {
+		t.Errorf("incremental correlation = %v, suspiciously high", inc.AvgCorrelation)
+	}
+}
+
+func TestSTPlacementIsDebilitating(t *testing.T) {
+	// The ST classifier must assign all instances of a class to the same
+	// machine (paper §4.2: "a debilitating feature for all of the
+	// applications we examined"). In o_offtb3 the template reader and the
+	// 150-page table reader are distinct components with opposite optimal
+	// placements; IFCB separates them, ST cannot, so the ST-chosen
+	// distribution communicates at least as much.
+	commUnder := func(kind classify.Kind) float64 {
+		adps := New(octarine.New())
+		adps.ClassifierKind = kind
+		rep, err := adps.ScenarioExperiment(octarine.ScenOffTb3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.CoignComm.Seconds()
+	}
+	st := commUnder(classify.ST)
+	ifcb := commUnder(classify.IFCB)
+	if ifcb > st*1.001 {
+		t.Errorf("IFCB distribution (%vs) worse than ST (%vs)", ifcb, st)
+	}
+}
+
+func TestClassifierAccuracyStackDepthTable3Shape(t *testing.T) {
+	// Accuracy and classification counts increase with stack depth and
+	// saturate (paper Table 3).
+	app := octarine.New()
+	training := []string{octarine.ScenOldWp0, octarine.ScenOldBth, octarine.ScenNewMus}
+	prev := -1.0
+	prevCount := -1
+	for _, depth := range []int{1, 3, 0} {
+		res, err := ClassifierAccuracy(app, classify.IFCB, depth, training, octarine.ScenOldBth, netsim.TenBaseT, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ProfiledClassifications < prevCount {
+			t.Errorf("depth %d: classifications decreased (%d < %d)",
+				depth, res.ProfiledClassifications, prevCount)
+		}
+		if res.AvgCorrelation < prev-0.05 {
+			t.Errorf("depth %d: correlation regressed (%v < %v)", depth, res.AvgCorrelation, prev)
+		}
+		prev = res.AvgCorrelation
+		prevCount = res.ProfiledClassifications
+	}
+}
+
+func TestClassifierAccuracyErrors(t *testing.T) {
+	app := octarine.New()
+	if _, err := ClassifierAccuracy(app, classify.IFCB, 0, nil, octarine.ScenBigone, netsim.TenBaseT, 1); err == nil {
+		t.Error("no training scenarios accepted")
+	}
+	if _, err := ClassifierAccuracy(app, classify.IFCB, 0, []string{"o_nope"}, octarine.ScenBigone, netsim.TenBaseT, 1); err == nil {
+		t.Error("bad training scenario accepted")
+	}
+	if _, err := ClassifierAccuracy(app, classify.IFCB, 0, []string{octarine.ScenNewDoc}, "o_nope", netsim.TenBaseT, 1); err == nil {
+		t.Error("bad eval scenario accepted")
+	}
+}
+
+func TestImageRoundTripThroughDisk(t *testing.T) {
+	// The pipeline state survives writing the binary to disk and loading
+	// it back — the "end user without source code" workflow.
+	adps := New(octarine.New())
+	rep, err := adps.ScenarioExperiment(octarine.ScenOldWp7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rep
+	// Re-create the distribution image and run from a decoded copy.
+	p, _, err := adps.ProfileScenario(octarine.ScenOldWp7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := adps.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adps.WriteDistribution(res); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/octarine.img"
+	if err := adps.Image.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := binimg.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adps2 := New(octarine.New())
+	adps2.Image = loaded
+	dres, err := adps2.RunDistributed(octarine.ScenOldWp7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.AppPerMachine[1] == 0 { // com.Server
+		t.Error("distribution loaded from disk placed nothing on the server")
+	}
+}

@@ -1,0 +1,92 @@
+// Package dist executes applications under the synthetic two-machine (or
+// three-machine) environment: a virtual clock accrues compute time on each
+// machine and communication time for every message that crosses machines,
+// a run harness drives an application scenario under any instrumentation
+// mode, an event-trace replayer re-simulates executions from event logs,
+// and a loopback-TCP transport demonstrates real proxy/stub marshaling.
+package dist
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/netsim"
+)
+
+// Clock is the virtual clock of a (possibly distributed) execution. The
+// execution model is synchronous: components compute one at a time and
+// every cross-machine call blocks for a full round trip, so elapsed time
+// is the sum of compute time on all machines plus communication time —
+// matching the paper's single-user client/server scenarios.
+type Clock struct {
+	net     *netsim.Model
+	rng     *rand.Rand
+	compute map[com.Machine]time.Duration
+	comm    time.Duration
+	msgs    int64
+	bytes   int64
+}
+
+// NewClock returns a clock over the given network model. When rng is
+// non-nil, message times are sampled with the model's jitter ("measured"
+// executions); when nil, mean times are used (deterministic predictions).
+func NewClock(net *netsim.Model, rng *rand.Rand) *Clock {
+	return &Clock{
+		net:     net,
+		rng:     rng,
+		compute: make(map[com.Machine]time.Duration),
+	}
+}
+
+// Compute implements com.ComputeClock.
+func (c *Clock) Compute(m com.Machine, d time.Duration) {
+	c.compute[m] += d
+}
+
+// RemoteCall implements rte.CommSink: a synchronous cross-machine call
+// sends a request message and receives a reply message.
+func (c *Clock) RemoteCall(from, to com.Machine, reqBytes, respBytes int) {
+	c.comm += c.net.SampleMessageTime(reqBytes, c.rng)
+	c.comm += c.net.SampleMessageTime(respBytes, c.rng)
+	c.msgs += 2
+	c.bytes += int64(reqBytes + respBytes)
+}
+
+// CommTime returns accumulated communication time.
+func (c *Clock) CommTime() time.Duration { return c.comm }
+
+// ComputeTime returns total compute time across all machines.
+func (c *Clock) ComputeTime() time.Duration {
+	var t time.Duration
+	for _, d := range c.compute {
+		t += d
+	}
+	return t
+}
+
+// ComputeOn returns compute time accrued on one machine.
+func (c *Clock) ComputeOn(m com.Machine) time.Duration { return c.compute[m] }
+
+// Machines returns the machines that accrued compute time, sorted.
+func (c *Clock) Machines() []com.Machine {
+	out := make([]com.Machine, 0, len(c.compute))
+	for m := range c.compute {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Elapsed returns total virtual execution time.
+func (c *Clock) Elapsed() time.Duration { return c.ComputeTime() + c.comm }
+
+// Messages returns the number of cross-machine messages.
+func (c *Clock) Messages() int64 { return c.msgs }
+
+// Bytes returns the number of cross-machine payload bytes.
+func (c *Clock) Bytes() int64 { return c.bytes }
+
+// Network returns the clock's network model.
+func (c *Clock) Network() *netsim.Model { return c.net }

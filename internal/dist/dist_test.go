@@ -1,0 +1,463 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/com"
+	"repro/internal/idl"
+	"repro/internal/logger"
+	"repro/internal/netsim"
+)
+
+// pipelineApp models a tiny document pipeline: main creates a Reader
+// (which pulls blocks from server-pinned Storage) and a View that the
+// Reader feeds. Scenario "small" reads 2 blocks, "big" reads 20.
+func pipelineApp() *com.App {
+	ifaces := idl.NewRegistry()
+	ifaces.Register(&idl.InterfaceDesc{
+		IID: "IStorage", Remotable: true,
+		Methods: []idl.MethodDesc{{
+			Name:   "ReadBlock",
+			Params: []idl.ParamDesc{{Name: "n", Dir: idl.In, Type: idl.TInt32}},
+			Result: idl.TBytes,
+		}},
+	})
+	ifaces.Register(&idl.InterfaceDesc{
+		IID: "IReader", Remotable: true,
+		Methods: []idl.MethodDesc{{
+			Name:   "Load",
+			Params: []idl.ParamDesc{{Name: "blocks", Dir: idl.In, Type: idl.TInt32}},
+			Result: idl.TInt32,
+		}},
+	})
+	ifaces.Register(&idl.InterfaceDesc{
+		IID: "IView", Remotable: true,
+		Methods: []idl.MethodDesc{{
+			Name:   "Show",
+			Params: []idl.ParamDesc{{Name: "summary", Dir: idl.In, Type: idl.TString}},
+			Result: idl.TVoid,
+		}},
+	})
+
+	classes := com.NewClassRegistry()
+	classes.Register(&com.Class{
+		ID: "CLSID_Storage", Name: "Storage", Interfaces: []string{"IStorage"},
+		APIs: []string{com.APIFileRead}, Home: com.Server, Infrastructure: true,
+		New: func() com.Object {
+			return com.ObjectFunc(func(c *com.Call) ([]idl.Value, error) {
+				c.Compute(100 * time.Microsecond)
+				return []idl.Value{idl.ByteBuf(make([]byte, 4096))}, nil
+			})
+		},
+	})
+	classes.Register(&com.Class{
+		ID: "CLSID_Reader", Name: "Reader", Interfaces: []string{"IReader"},
+		New: func() com.Object {
+			var storage *com.Interface
+			return com.ObjectFunc(func(c *com.Call) ([]idl.Value, error) {
+				if storage == nil {
+					st, err := c.Create("CLSID_Storage")
+					if err != nil {
+						return nil, err
+					}
+					storage, err = c.Env.Query(st, "IStorage")
+					if err != nil {
+						return nil, err
+					}
+				}
+				n := int(c.Args[0].AsInt())
+				total := 0
+				for i := 0; i < n; i++ {
+					out, err := c.Invoke(storage, "ReadBlock", idl.Int32(int32(i)))
+					if err != nil {
+						return nil, err
+					}
+					total += len(out[0].Bytes)
+					c.Compute(50 * time.Microsecond)
+				}
+				return []idl.Value{idl.Int32(int32(total))}, nil
+			})
+		},
+	})
+	classes.Register(&com.Class{
+		ID: "CLSID_View", Name: "View", Interfaces: []string{"IView"},
+		APIs: []string{com.APIGdiPaint},
+		New: func() com.Object {
+			return com.ObjectFunc(func(c *com.Call) ([]idl.Value, error) {
+				c.Compute(20 * time.Microsecond)
+				return []idl.Value{}, nil
+			})
+		},
+	})
+
+	app := &com.App{Name: "pipeline", Classes: classes, Interfaces: ifaces}
+	app.Main = func(env *com.Env, scenario string, seed int64) error {
+		blocks := 2
+		if scenario == "big" {
+			blocks = 20
+		}
+		reader, err := env.CreateInstance(nil, "CLSID_Reader")
+		if err != nil {
+			return err
+		}
+		view, err := env.CreateInstance(nil, "CLSID_View")
+		if err != nil {
+			return err
+		}
+		ritf, err := env.Query(reader, "IReader")
+		if err != nil {
+			return err
+		}
+		if _, err := env.Call(nil, ritf, "Load", idl.Int32(int32(blocks))); err != nil {
+			return err
+		}
+		vitf, err := env.Query(view, "IView")
+		if err != nil {
+			return err
+		}
+		_, err = env.Call(nil, vitf, "Show", idl.String("done"))
+		return err
+	}
+	return app
+}
+
+func TestClockAccounting(t *testing.T) {
+	c := NewClock(netsim.TenBaseT, nil)
+	c.Compute(com.Client, time.Millisecond)
+	c.Compute(com.Server, 2*time.Millisecond)
+	c.RemoteCall(com.Client, com.Server, 100, 200)
+	if c.ComputeTime() != 3*time.Millisecond {
+		t.Errorf("compute = %v", c.ComputeTime())
+	}
+	if c.ComputeOn(com.Server) != 2*time.Millisecond {
+		t.Errorf("server compute = %v", c.ComputeOn(com.Server))
+	}
+	want := netsim.TenBaseT.RoundTripTime(100, 200)
+	if c.CommTime() != want {
+		t.Errorf("comm = %v, want %v", c.CommTime(), want)
+	}
+	if c.Elapsed() != c.ComputeTime()+c.CommTime() {
+		t.Error("elapsed not additive")
+	}
+	if c.Messages() != 2 || c.Bytes() != 300 {
+		t.Errorf("messages=%d bytes=%d", c.Messages(), c.Bytes())
+	}
+	ms := c.Machines()
+	if len(ms) != 2 || ms[0] != com.Client || ms[1] != com.Server {
+		t.Errorf("machines = %v", ms)
+	}
+	if c.Network() != netsim.TenBaseT {
+		t.Error("network accessor broken")
+	}
+}
+
+func TestClockJitterDeterministicWithSeed(t *testing.T) {
+	a := NewClock(netsim.TenBaseT, rand.New(rand.NewSource(1)))
+	b := NewClock(netsim.TenBaseT, rand.New(rand.NewSource(1)))
+	for i := 0; i < 10; i++ {
+		a.RemoteCall(com.Client, com.Server, 1000, 1000)
+		b.RemoteCall(com.Client, com.Server, 1000, 1000)
+	}
+	if a.CommTime() != b.CommTime() {
+		t.Error("seeded jitter not reproducible")
+	}
+	c := NewClock(netsim.TenBaseT, rand.New(rand.NewSource(2)))
+	for i := 0; i < 10; i++ {
+		c.RemoteCall(com.Client, com.Server, 1000, 1000)
+	}
+	if a.CommTime() == c.CommTime() {
+		t.Error("different seeds produced identical jitter")
+	}
+}
+
+func TestRunBareMode(t *testing.T) {
+	res, err := Run(Config{App: pipelineApp(), Scenario: "small", Mode: ModeBare})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instances != 3 {
+		t.Errorf("instances = %d", res.Instances)
+	}
+	if res.TrappedCalls != 0 {
+		t.Error("bare mode trapped calls")
+	}
+	if res.Clock.CommTime() != 0 {
+		t.Error("bare mode accrued communication")
+	}
+}
+
+func TestRunDefaultModeChargesStorageTraffic(t *testing.T) {
+	res, err := Run(Config{
+		App: pipelineApp(), Scenario: "small", Mode: ModeDefault,
+		Classifier: classify.New(classify.IFCB, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Storage is pinned to the server; the reader runs on the client, so
+	// every block read crosses the network.
+	if res.Clock.CommTime() == 0 {
+		t.Fatal("default distribution accrued no communication")
+	}
+	if res.PerMachine[com.Server] != 1 {
+		t.Errorf("server instances = %d", res.PerMachine[com.Server])
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations = %d", res.Violations)
+	}
+
+	// A bigger document means proportionally more communication.
+	big, err := Run(Config{
+		App: pipelineApp(), Scenario: "big", Mode: ModeDefault,
+		Classifier: classify.New(classify.IFCB, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Clock.CommTime() <= res.Clock.CommTime()*5 {
+		t.Errorf("big scenario comm %v not ≫ small %v", big.Clock.CommTime(), res.Clock.CommTime())
+	}
+}
+
+func TestRunProfilingMode(t *testing.T) {
+	res, err := Run(Config{
+		App: pipelineApp(), Scenario: "small", Mode: ModeProfiling,
+		Classifier: classify.New(classify.IFCB, 0), InstanceDetail: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("no profile collected")
+	}
+	if res.Profile.TotalInstances() != 3 {
+		t.Errorf("profile instances = %d", res.Profile.TotalInstances())
+	}
+	// 2 block reads + Load + Show = 4 calls.
+	if res.Profile.TotalCalls() != 4 {
+		t.Errorf("profile calls = %d", res.Profile.TotalCalls())
+	}
+	// Profiling runs non-distributed: no communication accrued.
+	if res.Clock.CommTime() != 0 {
+		t.Error("profiling run accrued communication")
+	}
+	if len(res.Profile.InstEdges) == 0 {
+		t.Error("instance detail missing")
+	}
+}
+
+func TestRunCoignModeMovesReaderToServer(t *testing.T) {
+	// Profile first to learn classifications.
+	prof, err := Run(Config{
+		App: pipelineApp(), Scenario: "big", Mode: ModeProfiling,
+		Classifier: classify.New(classify.IFCB, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a hand-made distribution: reader to the server.
+	distMap := make(map[string]com.Machine)
+	for id, ci := range prof.Profile.Classifications {
+		switch ci.Class {
+		case "Reader", "Storage":
+			distMap[id] = com.Server
+		default:
+			distMap[id] = com.Client
+		}
+	}
+	coign, err := Run(Config{
+		App: pipelineApp(), Scenario: "big", Mode: ModeCoign,
+		Classifier:   classify.New(classify.IFCB, 0),
+		Distribution: distMap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Run(Config{
+		App: pipelineApp(), Scenario: "big", Mode: ModeDefault,
+		Classifier: classify.New(classify.IFCB, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moving the reader server-side removes the bulk block traffic.
+	if coign.Clock.CommTime() >= def.Clock.CommTime() {
+		t.Errorf("coign %v not better than default %v", coign.Clock.CommTime(), def.Clock.CommTime())
+	}
+	if coign.PerMachine[com.Server] != 2 {
+		t.Errorf("server instances = %d", coign.PerMachine[com.Server])
+	}
+	if coign.Relocations == 0 {
+		t.Error("no relocations recorded")
+	}
+	if coign.Unknown != 0 {
+		t.Errorf("unknown classifications = %d", coign.Unknown)
+	}
+	if coign.Violations != 0 {
+		t.Errorf("violations = %d", coign.Violations)
+	}
+}
+
+func TestRunCoignUnknownClassificationFallback(t *testing.T) {
+	res, err := Run(Config{
+		App: pipelineApp(), Scenario: "small", Mode: ModeCoign,
+		Classifier:   classify.New(classify.IFCB, 0),
+		Distribution: map[string]com.Machine{"bogus": com.Server},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reader and View are unknown to the factory; Storage is
+	// infrastructure and never consults it.
+	if res.Unknown != 2 {
+		t.Errorf("unknown = %d, want 2", res.Unknown)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("nil app accepted")
+	}
+	if _, err := Run(Config{App: pipelineApp(), Mode: ModeProfiling}); err == nil {
+		t.Error("missing classifier accepted")
+	}
+	if _, err := Run(Config{App: pipelineApp(), Mode: ModeCoign,
+		Classifier: classify.New(classify.ST, 0)}); err == nil {
+		t.Error("missing distribution accepted")
+	}
+	if _, err := Run(Config{App: pipelineApp(), Mode: Mode(99),
+		Classifier: classify.New(classify.ST, 0)}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	bad := pipelineApp()
+	bad.Main = func(env *com.Env, scenario string, seed int64) error {
+		_, err := env.CreateInstance(nil, "CLSID_Missing")
+		return err
+	}
+	if _, err := Run(Config{App: bad, Scenario: "x", Mode: ModeBare}); err == nil {
+		t.Error("failing scenario not propagated")
+	}
+}
+
+func TestEventTraceAndReplay(t *testing.T) {
+	res, err := Run(Config{
+		App: pipelineApp(), Scenario: "big", Mode: ModeProfiling,
+		Classifier: classify.New(classify.IFCB, 0),
+		EventTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == nil || len(res.Events.Events) == 0 {
+		t.Fatal("no event trace")
+	}
+	// Replay under all-on-client: zero communication.
+	all := map[string]com.Machine{}
+	for id := range res.Profile.Classifications {
+		all[id] = com.Client
+	}
+	rr, err := Replay(res.Events.Events, all, netsim.TenBaseT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.CommTime != 0 || rr.Crossings != 0 {
+		t.Errorf("all-client replay: %+v", rr)
+	}
+	// Replay with storage remote: communication appears.
+	for id, ci := range res.Profile.Classifications {
+		if ci.Class == "Storage" {
+			all[id] = com.Server
+		}
+	}
+	rr2, err := Replay(res.Events.Events, all, netsim.TenBaseT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr2.CommTime == 0 || rr2.Crossings == 0 {
+		t.Errorf("storage-remote replay: %+v", rr2)
+	}
+	// Replay agrees with a live default-mode run (both use mean times and
+	// identical message sizes... live run uses distribution informer sizes
+	// measured by the transport, replay uses profiling informer sizes).
+	def, err := Run(Config{
+		App: pipelineApp(), Scenario: "big", Mode: ModeDefault,
+		Classifier: classify.New(classify.IFCB, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(rr2.CommTime) / float64(def.Clock.CommTime())
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("replay %v vs live %v (ratio %.3f)", rr2.CommTime, def.Clock.CommTime(), ratio)
+	}
+}
+
+func TestTransportRemoteCall(t *testing.T) {
+	app := pipelineApp()
+	env := com.NewEnv(app)
+	storage, err := env.CreateInstance(nil, "CLSID_Storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := NewStub(env)
+	srv, err := Serve("127.0.0.1:0", stub.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	proxy := NewProxy(conn, app.Interfaces, "IStorage", storage.ID)
+	rets, err := proxy.Invoke("ReadBlock", idl.Int32(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rets) != 1 || len(rets[0].Bytes) != 4096 {
+		t.Fatalf("remote ReadBlock returned %v", rets)
+	}
+	// Errors propagate.
+	if _, err := proxy.Invoke("NoSuchMethod"); err == nil {
+		t.Error("unknown method succeeded remotely")
+	}
+	bogus := NewProxy(conn, app.Interfaces, "IStorage", 9999)
+	if _, err := bogus.Invoke("ReadBlock", idl.Int32(0)); err == nil {
+		t.Error("call to unknown instance succeeded")
+	}
+	// Ping round trips.
+	d, err := conn.Ping(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Errorf("ping duration = %v", d)
+	}
+}
+
+func TestReplayUnknownInstance(t *testing.T) {
+	res, err := Run(Config{
+		App: pipelineApp(), Scenario: "small", Mode: ModeProfiling,
+		Classifier: classify.New(classify.IFCB, 0),
+		EventTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the trace: drop instantiation events.
+	trimmed := res.Events.Events[:0:0]
+	for _, ev := range res.Events.Events {
+		if ev.Kind != logger.EvInstantiation {
+			trimmed = append(trimmed, ev)
+		}
+	}
+	if _, err := Replay(trimmed, map[string]com.Machine{}, nil); err == nil {
+		t.Error("trace with missing instantiations replayed")
+	}
+}

@@ -1,0 +1,69 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/logger"
+	"repro/internal/netsim"
+)
+
+// Replay re-simulates an execution from an event-logger trace under a
+// hypothetical distribution and network, without re-running the
+// application (paper §3.3: "a colleague has used logs from the event
+// logger to drive detailed application simulations"). It returns the
+// communication time the traced execution would have spent if instances
+// had been placed per the assignment.
+type ReplayResult struct {
+	CommTime   time.Duration
+	Messages   int64
+	Bytes      int64
+	Crossings  int64
+	Violations int64 // non-remotable calls that would have crossed machines
+}
+
+// Replay walks the trace, placing each instantiated instance per
+// classification (falling back to the creator's machine), and charges
+// every call whose endpoints land on different machines.
+func Replay(events []logger.Event, dist map[string]com.Machine, net *netsim.Model) (*ReplayResult, error) {
+	if net == nil {
+		net = netsim.TenBaseT
+	}
+	place := make(map[uint64]com.Machine) // instance id -> machine; 0 = main on client
+	place[0] = com.Client
+	res := &ReplayResult{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case logger.EvInstantiation:
+			m, ok := dist[ev.Inst.Classification]
+			if !ok {
+				// Unknown classification: follow the creator. Creator
+				// machine is resolved through the creating instance if the
+				// trace recorded it, else client.
+				m = com.Client
+			}
+			place[ev.Inst.ID] = m
+		case logger.EvCall:
+			src, ok := place[ev.Call.SrcInst]
+			if !ok {
+				return nil, fmt.Errorf("dist: trace calls unknown instance %d", ev.Call.SrcInst)
+			}
+			dst, ok := place[ev.Call.DstInst]
+			if !ok {
+				return nil, fmt.Errorf("dist: trace calls unknown instance %d", ev.Call.DstInst)
+			}
+			if src == dst {
+				continue
+			}
+			res.Crossings++
+			if ev.Call.NonRemotable {
+				res.Violations++
+			}
+			res.CommTime += net.MessageTime(ev.Call.InBytes) + net.MessageTime(ev.Call.OutBytes)
+			res.Messages += 2
+			res.Bytes += int64(ev.Call.InBytes + ev.Call.OutBytes)
+		}
+	}
+	return res, nil
+}

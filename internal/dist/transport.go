@@ -1,0 +1,398 @@
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/com"
+	"repro/internal/idl"
+)
+
+// The loopback transport is a working DCOM stand-in over TCP: method calls
+// are marshaled by proxies with the NDR-like codec, framed, dispatched to
+// a stub that invokes the real component, and the results marshaled back.
+// The network profiler can also measure real message round trips through
+// it. Frames are u32-length-prefixed; a request carries an opcode (call or
+// ping), the target object reference, the method name, and the encoded
+// parameters.
+
+const (
+	opCall = 1
+	opPing = 2
+
+	statusOK  = 0
+	statusErr = 1
+
+	maxFrame = 16 << 20
+)
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("dist: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// CallHandler dispatches one unmarshaled-by-the-stub call.
+type CallHandler func(iid string, instID uint64, method string, argBytes []byte) (retBytes []byte, err error)
+
+// Server accepts transport connections and dispatches calls to a handler.
+type Server struct {
+	ln      net.Listener
+	handler CallHandler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0").
+func Serve(addr string, h CallHandler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server, severs live connections, and waits for their
+// handlers to finish.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// track registers a live connection; it reports false when the server is
+// already closed (the connection is closed instead).
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		c.Close()
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !s.track(conn) {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		resp := s.dispatch(req)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req []byte) []byte {
+	fail := func(msg string) []byte {
+		out := []byte{statusErr}
+		return append(out, msg...)
+	}
+	if len(req) < 1 {
+		return fail("empty request")
+	}
+	op := req[0]
+	body := req[1:]
+	switch op {
+	case opPing:
+		out := []byte{statusOK}
+		return append(out, body...)
+	case opCall:
+		d := idl.NewDecoder(body, nil)
+		iidV, err := d.Decode(idl.TString)
+		if err != nil {
+			return fail(err.Error())
+		}
+		instV, err := d.Decode(idl.TInt64)
+		if err != nil {
+			return fail(err.Error())
+		}
+		methodV, err := d.Decode(idl.TString)
+		if err != nil {
+			return fail(err.Error())
+		}
+		argsV, err := d.Decode(idl.TBytes)
+		if err != nil {
+			return fail(err.Error())
+		}
+		if s.handler == nil {
+			return fail("no handler")
+		}
+		rets, err := s.handler(iidV.Str, uint64(instV.Int), methodV.Str, argsV.Bytes)
+		if err != nil {
+			return fail(err.Error())
+		}
+		out := []byte{statusOK}
+		return append(out, rets...)
+	default:
+		return fail(fmt.Sprintf("unknown opcode %d", op))
+	}
+}
+
+// Conn is a client connection to a transport server.
+type Conn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// Dial connects to a transport server.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{c: c}, nil
+}
+
+// Close closes the connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+func (c *Conn) roundTrip(req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.c, req); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.c)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 1 {
+		return nil, errors.New("dist: empty response")
+	}
+	if resp[0] == statusErr {
+		return nil, fmt.Errorf("dist: remote error: %s", string(resp[1:]))
+	}
+	return resp[1:], nil
+}
+
+// Call invokes a remote method with pre-encoded parameters.
+func (c *Conn) Call(iid string, instID uint64, method string, argBytes []byte) ([]byte, error) {
+	e := idl.NewEncoder()
+	if err := e.Encode(idl.String(iid)); err != nil {
+		return nil, err
+	}
+	if err := e.Encode(idl.Int64(int64(instID))); err != nil {
+		return nil, err
+	}
+	if err := e.Encode(idl.String(method)); err != nil {
+		return nil, err
+	}
+	if err := e.Encode(idl.ByteBuf(argBytes)); err != nil {
+		return nil, err
+	}
+	req := append([]byte{opCall}, e.Bytes()...)
+	return c.roundTrip(req)
+}
+
+// Ping measures one round trip carrying a payload of the given size; the
+// network profiler samples it to build a profile of a real transport.
+func (c *Conn) Ping(size int) (time.Duration, error) {
+	payload := make([]byte, size)
+	req := append([]byte{opPing}, payload...)
+	start := time.Now()
+	if _, err := c.roundTrip(req); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// Proxy is the client-side stand-in for a remote component interface. It
+// implements idl.InterfacePtr, so proxies flow through parameters exactly
+// like local interface pointers.
+type Proxy struct {
+	conn   *Conn
+	reg    *idl.Registry
+	iid    string
+	instID uint64
+}
+
+// NewProxy returns a proxy for a remote instance's interface.
+func NewProxy(conn *Conn, reg *idl.Registry, iid string, instID uint64) *Proxy {
+	return &Proxy{conn: conn, reg: reg, iid: iid, instID: instID}
+}
+
+// IID implements idl.InterfacePtr.
+func (p *Proxy) IID() string { return p.iid }
+
+// InstanceID implements idl.InterfacePtr.
+func (p *Proxy) InstanceID() uint64 { return p.instID }
+
+// Invoke marshals the call, sends it, and unmarshals the results. The
+// reply convention is the out-parameter list followed by the result value
+// when the method's result is not void.
+func (p *Proxy) Invoke(method string, args ...idl.Value) ([]idl.Value, error) {
+	desc := p.reg.Lookup(p.iid)
+	if desc == nil {
+		return nil, fmt.Errorf("dist: proxy has no metadata for %s", p.iid)
+	}
+	if !desc.Remotable {
+		return nil, fmt.Errorf("dist: interface %s is not remotable", p.iid)
+	}
+	m := desc.Method(method)
+	if m == nil {
+		return nil, fmt.Errorf("dist: %s has no method %s", p.iid, method)
+	}
+	inTypes := paramTypes(m.InParams())
+	argBytes, err := idl.EncodeParams(inTypes, args)
+	if err != nil {
+		return nil, err
+	}
+	retBytes, err := p.conn.Call(p.iid, p.instID, method, argBytes)
+	if err != nil {
+		return nil, err
+	}
+	return idl.DecodeParams(retBytes, replyTypes(m), proxyResolver{p.conn, p.reg})
+}
+
+// proxyResolver turns object references in replies into further proxies.
+type proxyResolver struct {
+	conn *Conn
+	reg  *idl.Registry
+}
+
+// ResolveObjRef implements idl.Resolver.
+func (r proxyResolver) ResolveObjRef(iid string, instanceID uint64) (idl.InterfacePtr, error) {
+	return NewProxy(r.conn, r.reg, iid, instanceID), nil
+}
+
+func paramTypes(ps []idl.ParamDesc) []*idl.TypeDesc {
+	out := make([]*idl.TypeDesc, len(ps))
+	for i := range ps {
+		out[i] = ps[i].Type
+	}
+	return out
+}
+
+func replyTypes(m *idl.MethodDesc) []*idl.TypeDesc {
+	types := paramTypes(m.OutParams())
+	if m.Result != nil && m.Result.Kind != idl.KindVoid {
+		types = append(types, m.Result)
+	}
+	return types
+}
+
+// Stub is the server-side dispatcher: it unmarshals parameters, invokes
+// the real component through the environment, and marshals the results.
+type Stub struct {
+	env *com.Env
+}
+
+// NewStub returns a stub over the environment hosting the real instances.
+func NewStub(env *com.Env) *Stub { return &Stub{env: env} }
+
+// Handle implements CallHandler.
+func (s *Stub) Handle(iid string, instID uint64, method string, argBytes []byte) ([]byte, error) {
+	reg := s.env.App().Interfaces
+	desc := reg.Lookup(iid)
+	if desc == nil {
+		return nil, fmt.Errorf("dist: stub has no metadata for %s", iid)
+	}
+	m := desc.Method(method)
+	if m == nil {
+		return nil, fmt.Errorf("dist: %s has no method %s", iid, method)
+	}
+	inst := s.env.Instance(instID)
+	if inst == nil {
+		return nil, fmt.Errorf("dist: no instance %d", instID)
+	}
+	args, err := idl.DecodeParams(argBytes, paramTypes(m.InParams()), stubResolver{s.env})
+	if err != nil {
+		return nil, err
+	}
+	itf, err := s.env.Query(inst, iid)
+	if err != nil {
+		return nil, err
+	}
+	rets, err := s.env.Call(nil, itf, method, args...)
+	if err != nil {
+		return nil, err
+	}
+	types := replyTypes(m)
+	if len(rets) != len(types) {
+		return nil, fmt.Errorf("dist: %s.%s returned %d values, reply signature has %d",
+			iid, method, len(rets), len(types))
+	}
+	return idl.EncodeParams(types, rets)
+}
+
+// stubResolver resolves object references in requests to local instances.
+type stubResolver struct {
+	env *com.Env
+}
+
+// ResolveObjRef implements idl.Resolver.
+func (r stubResolver) ResolveObjRef(iid string, instanceID uint64) (idl.InterfacePtr, error) {
+	inst := r.env.Instance(instanceID)
+	if inst == nil {
+		return nil, fmt.Errorf("dist: object reference to unknown instance %d", instanceID)
+	}
+	return r.env.Query(inst, iid)
+}

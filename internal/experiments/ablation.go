@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+)
+
+// Ablations for the design choices DESIGN.md calls out: the graph-cutting
+// algorithm, the exponential message-size bucketing, and the sampled
+// network profile.
+
+// MinCutComparison cross-checks the lift-to-front algorithm against the
+// Edmonds–Karp baseline on a scenario's concrete graph.
+type MinCutComparison struct {
+	Scenario     string
+	Nodes, Edges int
+	LiftToFront  time.Duration
+	EdmondsKarp  time.Duration
+	WeightLTF    float64
+	WeightEK     float64
+	WeightsAgree bool
+}
+
+// CompareMinCut builds the concrete ICC graph of one scenario and times
+// both exact minimum-cut implementations.
+func CompareMinCut(scenName string) (*MinCutComparison, error) {
+	info, err := scenario.Lookup(scenName)
+	if err != nil {
+		return nil, err
+	}
+	app, err := scenario.NewApp(info.App)
+	if err != nil {
+		return nil, err
+	}
+	adps := core.New(app)
+	if err := adps.Instrument(); err != nil {
+		return nil, err
+	}
+	p, _, err := adps.ProfileScenario(scenName, false)
+	if err != nil {
+		return nil, err
+	}
+	np := netsim.ExactProfile(netsim.TenBaseT, netsim.DefaultSampleSizes)
+	build := func() *graph.Graph {
+		g, _, _ := analysis.BuildGraph(p, np, app.Classes, analysis.Options{})
+		return g
+	}
+
+	cmp := &MinCutComparison{Scenario: scenName}
+	g := build()
+	cmp.Nodes, cmp.Edges = g.Len(), g.Edges()
+
+	start := time.Now()
+	ltf, err := g.MinCut()
+	if err != nil {
+		return nil, err
+	}
+	cmp.LiftToFront = time.Since(start)
+	cmp.WeightLTF = ltf.Weight
+
+	g2 := build()
+	start = time.Now()
+	ek, err := g2.MinCutEdmondsKarp()
+	if err != nil {
+		return nil, err
+	}
+	cmp.EdmondsKarp = time.Since(start)
+	cmp.WeightEK = ek.Weight
+	cmp.WeightsAgree = math.Abs(ltf.Weight-ek.Weight) <= 1e-6*(1+ltf.Weight)
+	return cmp, nil
+}
+
+// BucketingComparison reports predicted communication time with
+// exponential bucket pricing versus exact byte totals.
+type BucketingComparison struct {
+	Scenario      string
+	BucketedComm  time.Duration
+	ExactComm     time.Duration
+	RelativeError float64 // |bucketed-exact| / exact
+	SamePlacement bool
+}
+
+// CompareBucketing runs the analysis twice — bucket representatives versus
+// exact byte totals — and compares predictions and placements.
+func CompareBucketing(scenName string) (*BucketingComparison, error) {
+	info, err := scenario.Lookup(scenName)
+	if err != nil {
+		return nil, err
+	}
+	app, err := scenario.NewApp(info.App)
+	if err != nil {
+		return nil, err
+	}
+	adps := core.New(app)
+	if err := adps.Instrument(); err != nil {
+		return nil, err
+	}
+	p, _, err := adps.ProfileScenario(scenName, false)
+	if err != nil {
+		return nil, err
+	}
+	bucketed, err := adps.Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	adps.AnalysisOptions.ExactPricing = true
+	exact, err := adps.Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &BucketingComparison{
+		Scenario:     scenName,
+		BucketedComm: bucketed.PredictedComm,
+		ExactComm:    exact.PredictedComm,
+	}
+	if exact.PredictedComm > 0 {
+		cmp.RelativeError = math.Abs(float64(bucketed.PredictedComm-exact.PredictedComm)) /
+			float64(exact.PredictedComm)
+	}
+	cmp.SamePlacement = true
+	for id, m := range bucketed.Distribution {
+		if exact.Distribution[id] != m {
+			cmp.SamePlacement = false
+			break
+		}
+	}
+	return cmp, nil
+}
+
+// NetProfileComparison reports how a sampled network profile's prediction
+// differs from an oracle (exact-mean) profile.
+type NetProfileComparison struct {
+	Scenario      string
+	SampledComm   time.Duration
+	OracleComm    time.Duration
+	RelativeError float64
+	SamePlacement bool
+}
+
+// CompareNetworkProfile analyzes one scenario under a statistically
+// sampled network profile and under the exact model means.
+func CompareNetworkProfile(scenName string, samples int) (*NetProfileComparison, error) {
+	info, err := scenario.Lookup(scenName)
+	if err != nil {
+		return nil, err
+	}
+	app, err := scenario.NewApp(info.App)
+	if err != nil {
+		return nil, err
+	}
+	adps := core.New(app)
+	adps.Samples = samples
+	if err := adps.Instrument(); err != nil {
+		return nil, err
+	}
+	p, _, err := adps.ProfileScenario(scenName, false)
+	if err != nil {
+		return nil, err
+	}
+	sampled, err := adps.Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	adps.NetProfile = netsim.ExactProfile(netsim.TenBaseT, netsim.DefaultSampleSizes)
+	oracle, err := adps.Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &NetProfileComparison{
+		Scenario:    scenName,
+		SampledComm: sampled.PredictedComm,
+		OracleComm:  oracle.PredictedComm,
+	}
+	if oracle.PredictedComm > 0 {
+		cmp.RelativeError = math.Abs(float64(sampled.PredictedComm-oracle.PredictedComm)) /
+			float64(oracle.PredictedComm)
+	}
+	cmp.SamePlacement = true
+	for id, m := range sampled.Distribution {
+		if oracle.Distribution[id] != m {
+			cmp.SamePlacement = false
+			break
+		}
+	}
+	return cmp, nil
+}
+
+// SyntheticCutInstance builds a random two-terminal graph of the given
+// size for min-cut scaling benchmarks.
+func SyntheticCutInstance(nodes int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	g.Pin("client", graph.SourceSide)
+	g.Pin("server", graph.SinkSide)
+	name := func(i int) string { return fmt.Sprintf("n%05d", i) }
+	for i := 0; i < nodes; i++ {
+		if i%13 == 0 {
+			g.AddEdge("client", name(i), rng.Float64()*5)
+		}
+		if i%17 == 0 {
+			g.AddEdge(name(i), "server", rng.Float64()*5)
+		}
+		for k := 0; k < 3; k++ {
+			g.AddEdge(name(i), name(rng.Intn(nodes)), rng.Float64())
+		}
+	}
+	return g
+}
+
+// CachingComparison reports the effect of per-interface caching
+// (semi-custom marshaling) on a Coign distribution's communication.
+type CachingComparison struct {
+	Scenario  string
+	Plain     time.Duration
+	Cached    time.Duration
+	CacheHits int64
+	Savings   float64
+}
+
+// CompareCaching runs one scenario's Coign distribution with and without
+// per-interface caching on its cacheable methods.
+func CompareCaching(scenName string) (*CachingComparison, error) {
+	info, err := scenario.Lookup(scenName)
+	if err != nil {
+		return nil, err
+	}
+	app, err := scenario.NewApp(info.App)
+	if err != nil {
+		return nil, err
+	}
+	adps := core.New(app)
+	if err := adps.Instrument(); err != nil {
+		return nil, err
+	}
+	p, _, err := adps.ProfileScenario(scenName, false)
+	if err != nil {
+		return nil, err
+	}
+	res, err := adps.Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := adps.WriteDistribution(res); err != nil {
+		return nil, err
+	}
+	plain, err := adps.RunDistributed(scenName, false)
+	if err != nil {
+		return nil, err
+	}
+	adps.EnableCaching = true
+	cached, err := adps.RunDistributed(scenName, false)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &CachingComparison{
+		Scenario:  scenName,
+		Plain:     plain.Clock.CommTime(),
+		Cached:    cached.Clock.CommTime(),
+		CacheHits: cached.CacheHits,
+	}
+	if plain.Clock.CommTime() > 0 {
+		cmp.Savings = 1 - float64(cached.Clock.CommTime())/float64(plain.Clock.CommTime())
+	}
+	return cmp, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+)
+
+// Changing scenarios and distributions (paper §4.4): a programmer's manual
+// distribution is static, but Coign can repartition arbitrarily often — in
+// the limit, once per execution — adapting to networks whose
+// bandwidth-to-latency trade-offs differ by more than an order of
+// magnitude. This experiment profiles a scenario once (ICC profiles are
+// network-independent) and re-analyzes it under several network models.
+
+// AdaptiveRow reports the distribution chosen for one network.
+type AdaptiveRow struct {
+	Network         string
+	ServerClasses   int
+	ServerInstances int64
+	PredictedComm   time.Duration
+	DefaultComm     time.Duration
+	Savings         float64
+}
+
+// Adaptive re-partitions one scenario for each named network model.
+func Adaptive(scenName string, networks []string) ([]AdaptiveRow, error) {
+	info, err := scenario.Lookup(scenName)
+	if err != nil {
+		return nil, err
+	}
+	app, err := scenario.NewApp(info.App)
+	if err != nil {
+		return nil, err
+	}
+	adps := core.New(app)
+	if err := adps.Instrument(); err != nil {
+		return nil, err
+	}
+	p, _, err := adps.ProfileScenario(scenName, false)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AdaptiveRow
+	for _, name := range networks {
+		model, err := netsim.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		adps.Network = model
+		adps.NetProfile = nil // re-profile the new network
+		res, err := adps.Analyze(p)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: adaptive %s: %w", name, err)
+		}
+		rows = append(rows, AdaptiveRow{
+			Network:         name,
+			ServerClasses:   res.ServerClassifications,
+			ServerInstances: res.ServerInstances,
+			PredictedComm:   res.PredictedComm,
+			DefaultComm:     res.DefaultComm,
+			Savings:         res.Savings(),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,307 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4). Each function returns the rows of one exhibit; the
+// coign CLI prints them and the benchmark harness in the repository root
+// drives them under testing.B.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/scenario"
+)
+
+// Table2Row is one row of Table 2 (classifier accuracy).
+type Table2Row struct {
+	Classifier              string
+	ProfiledClassifications int
+	NewClassifications      int
+	AvgInstances            float64
+	AvgCorrelation          float64
+}
+
+// Table2 evaluates all seven instance classifiers on an application:
+// profile every scenario except bigone, then correlate bigone instances
+// against the profiled classifications.
+func Table2(app string) ([]Table2Row, error) {
+	a, err := scenario.NewApp(app)
+	if err != nil {
+		return nil, err
+	}
+	training := scenario.TrainingForApp(app)
+	big, err := scenario.BigoneForApp(app)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, kind := range classify.Kinds() {
+		res, err := core.ClassifierAccuracy(a, kind, 0, training, big, netsim.TenBaseT, 1)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table 2 %s: %w", kind, err)
+		}
+		rows = append(rows, Table2Row{
+			Classifier:              kind.String(),
+			ProfiledClassifications: res.ProfiledClassifications,
+			NewClassifications:      res.NewClassifications,
+			AvgInstances:            res.AvgInstancesPerClassification,
+			AvgCorrelation:          res.AvgCorrelation,
+		})
+	}
+	return rows, nil
+}
+
+// Table3Row is one row of Table 3 (IFCB accuracy vs stack depth).
+type Table3Row struct {
+	Depth                   int // 0 = complete stack
+	ProfiledClassifications int
+	AvgInstances            float64
+	AvgCorrelation          float64
+}
+
+// Table3Depths are the stack-walk depths of paper Table 3.
+var Table3Depths = []int{1, 2, 3, 4, 8, 16, 0}
+
+// Table3 evaluates the IFCB classifier at limited stack depths.
+func Table3(app string) ([]Table3Row, error) {
+	a, err := scenario.NewApp(app)
+	if err != nil {
+		return nil, err
+	}
+	training := scenario.TrainingForApp(app)
+	big, err := scenario.BigoneForApp(app)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table3Row
+	for _, depth := range Table3Depths {
+		res, err := core.ClassifierAccuracy(a, classify.IFCB, depth, training, big, netsim.TenBaseT, 1)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table 3 depth %d: %w", depth, err)
+		}
+		rows = append(rows, Table3Row{
+			Depth:                   depth,
+			ProfiledClassifications: res.ProfiledClassifications,
+			AvgInstances:            res.AvgInstancesPerClassification,
+			AvgCorrelation:          res.AvgCorrelation,
+		})
+	}
+	return rows, nil
+}
+
+// ScenarioRow is one row of Tables 4 and 5 plus the figure-level placement
+// counts for the scenario.
+type ScenarioRow struct {
+	Scenario        string
+	App             string
+	DefaultComm     time.Duration
+	CoignComm       time.Duration
+	Savings         float64
+	PredictedExec   time.Duration
+	MeasuredExec    time.Duration
+	PredictionErr   float64
+	TotalInstances  int
+	ServerInstances int
+	Violations      int
+}
+
+// RunScenario performs the full pipeline experiment for one scenario.
+func RunScenario(name string) (*ScenarioRow, error) {
+	info, err := scenario.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	app, err := scenario.NewApp(info.App)
+	if err != nil {
+		return nil, err
+	}
+	adps := core.New(app)
+	rep, err := adps.ScenarioExperiment(name)
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioRow{
+		Scenario:        rep.Scenario,
+		App:             info.App,
+		DefaultComm:     rep.DefaultComm,
+		CoignComm:       rep.CoignComm,
+		Savings:         rep.Savings,
+		PredictedExec:   rep.PredictedExec,
+		MeasuredExec:    rep.MeasuredExec,
+		PredictionErr:   rep.PredictionErr,
+		TotalInstances:  rep.TotalInstances,
+		ServerInstances: rep.ServerInstances,
+		Violations:      rep.Violations,
+	}, nil
+}
+
+// Tables4And5 runs every scenario of Table 1 through the pipeline. One
+// pass produces both tables: communication time (Table 4) and execution
+// time prediction accuracy (Table 5).
+func Tables4And5() ([]ScenarioRow, error) {
+	var rows []ScenarioRow
+	for _, s := range scenario.Table1() {
+		row, err := RunScenario(s.Name)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", s.Name, err)
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// FigureRow summarizes one distribution figure.
+type FigureRow struct {
+	Figure            string
+	Scenario          string
+	TotalInstances    int
+	ServerInstances   int
+	NonRemotableEdges int
+	PaperNote         string
+}
+
+// figureSpecs maps the paper's distribution figures to scenarios.
+var figureSpecs = []struct {
+	figure, scenario, note string
+}{
+	{"Figure 4", "p_oldmsr", "paper: 8 of 295 components on the server"},
+	{"Figure 5", "o_oldwp7", "paper: 2 of 458 on the server (reader + text properties)"},
+	{"Figure 6", "b_bigone", "paper: 135 of 196 on the middle tier (programmer chose 187)"},
+	{"Figure 7", "o_oldtb0", "paper: 1 of 476 on the server"},
+	{"Figure 8", "o_oldbth", "paper: 281 of 786 on the server"},
+}
+
+// Figures regenerates the five distribution figures.
+func Figures() ([]FigureRow, error) {
+	var rows []FigureRow
+	for _, spec := range figureSpecs {
+		info, err := scenario.Lookup(spec.scenario)
+		if err != nil {
+			return nil, err
+		}
+		app, err := scenario.NewApp(info.App)
+		if err != nil {
+			return nil, err
+		}
+		adps := core.New(app)
+		if err := adps.Instrument(); err != nil {
+			return nil, err
+		}
+		p, _, err := adps.ProfileScenario(spec.scenario, false)
+		if err != nil {
+			return nil, err
+		}
+		res, err := adps.Analyze(p)
+		if err != nil {
+			return nil, err
+		}
+		coign, err2 := func() (*core.ScenarioReport, error) {
+			adps2 := core.New(app)
+			return adps2.ScenarioExperiment(spec.scenario)
+		}()
+		if err2 != nil {
+			return nil, err2
+		}
+		rows = append(rows, FigureRow{
+			Figure:            spec.figure,
+			Scenario:          spec.scenario,
+			TotalInstances:    coign.TotalInstances,
+			ServerInstances:   coign.ServerInstances,
+			NonRemotableEdges: res.NonRemotableEdges,
+			PaperNote:         spec.note,
+		})
+	}
+	return rows, nil
+}
+
+// Figure4 runs only the PhotoDraw distribution experiment.
+func Figure4() (*ScenarioRow, error) { return RunScenario("p_oldmsr") }
+
+// Figure5 runs only the Octarine text-document distribution experiment.
+func Figure5() (*ScenarioRow, error) { return RunScenario("o_oldwp7") }
+
+// Figure6 runs only the Benefits distribution experiment.
+func Figure6() (*ScenarioRow, error) { return RunScenario("b_bigone") }
+
+// Figure7 runs only the Octarine table-document distribution experiment.
+func Figure7() (*ScenarioRow, error) { return RunScenario("o_oldtb0") }
+
+// Figure8 runs only the Octarine mixed-document distribution experiment.
+func Figure8() (*ScenarioRow, error) { return RunScenario("o_oldbth") }
+
+// PrintTable2 renders Table 2 in the paper's layout.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintf(w, "%-24s %10s %8s %12s %12s\n",
+		"Instance Classifier", "Profiled", "New", "Inst/Class", "Avg Corr")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %10d %8d %12.1f %12.3f\n",
+			r.Classifier, r.ProfiledClassifications, r.NewClassifications,
+			r.AvgInstances, r.AvgCorrelation)
+	}
+}
+
+// PrintTable3 renders Table 3.
+func PrintTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintf(w, "%-12s %10s %12s %12s\n", "Stack Depth", "Profiled", "Inst/Class", "Avg Corr")
+	for _, r := range rows {
+		depth := fmt.Sprintf("%d", r.Depth)
+		if r.Depth == 0 {
+			depth = "complete"
+		}
+		fmt.Fprintf(w, "%-12s %10d %12.1f %12.3f\n",
+			depth, r.ProfiledClassifications, r.AvgInstances, r.AvgCorrelation)
+	}
+}
+
+// PrintTable4 renders Table 4 (communication time).
+func PrintTable4(w io.Writer, rows []ScenarioRow) {
+	fmt.Fprintf(w, "%-10s %12s %12s %9s\n", "Scenario", "Default", "Coign", "Savings")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %11.3fs %11.3fs %8.0f%%\n",
+			r.Scenario, r.DefaultComm.Seconds(), r.CoignComm.Seconds(), r.Savings*100)
+	}
+}
+
+// PrintTable5 renders Table 5 (prediction accuracy).
+func PrintTable5(w io.Writer, rows []ScenarioRow) {
+	fmt.Fprintf(w, "%-10s %12s %12s %8s\n", "Scenario", "Predicted", "Measured", "Error")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %11.1fs %11.1fs %+7.1f%%\n",
+			r.Scenario, r.PredictedExec.Seconds(), r.MeasuredExec.Seconds(), r.PredictionErr*100)
+	}
+}
+
+// PrintFigures renders the distribution-figure summaries.
+func PrintFigures(w io.Writer, rows []FigureRow) {
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s (%s): %d of %d components on the server; %d non-remotable edges\n    %s\n",
+			r.Figure, r.Scenario, r.ServerInstances, r.TotalInstances,
+			r.NonRemotableEdges, r.PaperNote)
+	}
+}
+
+// Distribution returns the full analysis for one scenario, for figure
+// drill-down (which classifications landed where).
+func Distribution(name string) (*analysis.Result, error) {
+	info, err := scenario.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	app, err := scenario.NewApp(info.App)
+	if err != nil {
+		return nil, err
+	}
+	adps := core.New(app)
+	if err := adps.Instrument(); err != nil {
+		return nil, err
+	}
+	p, _, err := adps.ProfileScenario(name, false)
+	if err != nil {
+		return nil, err
+	}
+	return adps.Analyze(p)
+}

@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2("octarine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7 classifiers", len(rows))
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Classifier] = r
+	}
+	inc, st, ifcb := byName["incremental"], byName["st"], byName["ifcb"]
+	if inc.NewClassifications == 0 {
+		t.Error("incremental found no new classifications on bigone")
+	}
+	if ifcb.NewClassifications != 0 || st.NewClassifications != 0 {
+		t.Error("stable classifiers produced new classifications")
+	}
+	if !(st.ProfiledClassifications < ifcb.ProfiledClassifications) {
+		t.Errorf("granularity ordering: st=%d ifcb=%d",
+			st.ProfiledClassifications, ifcb.ProfiledClassifications)
+	}
+	if ifcb.AvgCorrelation < st.AvgCorrelation || inc.AvgCorrelation > 0.5 {
+		t.Errorf("correlation ordering: ifcb=%.3f st=%.3f inc=%.3f",
+			ifcb.AvgCorrelation, st.AvgCorrelation, inc.AvgCorrelation)
+	}
+	var sb strings.Builder
+	PrintTable2(&sb, rows)
+	if !strings.Contains(sb.String(), "ifcb") {
+		t.Error("PrintTable2 output incomplete")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3("octarine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Table3Depths) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Classification count is non-decreasing in depth, and the complete
+	// walk matches depth 16 (saturation).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ProfiledClassifications < rows[i-1].ProfiledClassifications {
+			t.Errorf("depth %d: classifications decreased", rows[i].Depth)
+		}
+	}
+	last, complete := rows[len(rows)-2], rows[len(rows)-1]
+	if last.ProfiledClassifications != complete.ProfiledClassifications {
+		t.Errorf("depth-16 (%d) did not saturate to complete (%d)",
+			last.ProfiledClassifications, complete.ProfiledClassifications)
+	}
+	var sb strings.Builder
+	PrintTable3(&sb, rows)
+	if !strings.Contains(sb.String(), "complete") {
+		t.Error("PrintTable3 output incomplete")
+	}
+}
+
+func TestRunScenarioAndPrinters(t *testing.T) {
+	row, err := RunScenario("b_vueone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.App != "benefits" || row.DefaultComm <= 0 {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.Violations != 0 {
+		t.Errorf("violations = %d", row.Violations)
+	}
+	var sb strings.Builder
+	PrintTable4(&sb, []ScenarioRow{*row})
+	PrintTable5(&sb, []ScenarioRow{*row})
+	if !strings.Contains(sb.String(), "b_vueone") {
+		t.Error("printers dropped the scenario")
+	}
+	if _, err := RunScenario("nope"); err == nil {
+		t.Error("unknown scenario ran")
+	}
+}
+
+func TestFigureHelpers(t *testing.T) {
+	f7, err := Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f7.ServerInstances != 1 {
+		t.Errorf("Figure 7 server components = %d, want 1", f7.ServerInstances)
+	}
+	f5, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f5.ServerInstances != 2 {
+		t.Errorf("Figure 5 server components = %d, want 2", f5.ServerInstances)
+	}
+}
+
+func TestMeasureOverheadOrdering(t *testing.T) {
+	row, err := MeasureOverhead("o_oldwp0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Profiling costs more than the lightweight distribution informer.
+	if row.Profiling <= row.Distribution {
+		t.Errorf("profiling %v not slower than distribution %v", row.Profiling, row.Distribution)
+	}
+	if row.ProfilingOverhead <= row.DistributionOverhead {
+		t.Errorf("overhead ordering: profiling %+.0f%% vs distribution %+.0f%%",
+			row.ProfilingOverhead*100, row.DistributionOverhead*100)
+	}
+	if row.String() == "" {
+		t.Error("empty overhead string")
+	}
+	if _, err := MeasureOverhead("nope", 1); err == nil {
+		t.Error("unknown scenario measured")
+	}
+}
+
+func TestAdaptiveRepartitioning(t *testing.T) {
+	rows, err := Adaptive("o_oldwp7", []string{"ISDN", "10BaseT", "ATM"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// All networks profit from moving the reader for the 208-page doc; the
+	// absolute predicted times shrink as the network gets faster.
+	if !(rows[0].PredictedComm > rows[1].PredictedComm &&
+		rows[1].PredictedComm > rows[2].PredictedComm) {
+		t.Errorf("predicted comm not decreasing with network speed: %v %v %v",
+			rows[0].PredictedComm, rows[1].PredictedComm, rows[2].PredictedComm)
+	}
+	for _, r := range rows {
+		if r.Savings <= 0 {
+			t.Errorf("%s: no savings", r.Network)
+		}
+	}
+	if _, err := Adaptive("o_oldwp7", []string{"smoke-signals"}); err == nil {
+		t.Error("unknown network accepted")
+	}
+	if _, err := Adaptive("nope", nil); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestCompareMinCut(t *testing.T) {
+	cmp, err := CompareMinCut("o_oldbth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.WeightsAgree {
+		t.Errorf("algorithms disagree: ltf=%v ek=%v", cmp.WeightLTF, cmp.WeightEK)
+	}
+	if cmp.Nodes < 100 {
+		t.Errorf("graph too small: %d nodes", cmp.Nodes)
+	}
+}
+
+func TestCompareBucketing(t *testing.T) {
+	cmp, err := CompareBucketing("o_oldwp7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket quantization stays within a factor-of-two envelope of exact
+	// pricing; the paper relies on it not changing placement decisions.
+	if cmp.RelativeError > 1.0 {
+		t.Errorf("bucketing error = %v", cmp.RelativeError)
+	}
+	if !cmp.SamePlacement {
+		t.Error("bucketing changed the placement")
+	}
+}
+
+func TestCompareNetworkProfile(t *testing.T) {
+	cmp, err := CompareNetworkProfile("o_oldtb3", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.RelativeError > 0.2 {
+		t.Errorf("sampled profile error = %v", cmp.RelativeError)
+	}
+	if !cmp.SamePlacement {
+		t.Error("sampling noise flipped the placement")
+	}
+}
+
+func TestSyntheticCutInstance(t *testing.T) {
+	g := SyntheticCutInstance(500, 1)
+	if g.Len() < 500 {
+		t.Fatalf("nodes = %d", g.Len())
+	}
+	cut, err := g.MinCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Weight < 0 {
+		t.Fatal("negative cut")
+	}
+}
+
+func TestFiguresBundleAndPrinter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all five figures")
+	}
+	rows, err := Figures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("figures = %d", len(rows))
+	}
+	var sb strings.Builder
+	PrintFigures(&sb, rows)
+	for _, want := range []string{"Figure 4", "Figure 8"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("printer missing %s", want)
+		}
+	}
+	_ = netsim.TenBaseT
+}
+
+func TestDistributionDrillDown(t *testing.T) {
+	res, err := Distribution("p_oldmsr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerInstances == 0 {
+		t.Error("no server instances in PhotoDraw distribution")
+	}
+	if _, err := Distribution("nope"); err == nil {
+		t.Error("unknown scenario analyzed")
+	}
+}
+
+func TestThreeTierEndToEnd(t *testing.T) {
+	res, err := ThreeTier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three machines host application components... the database
+	// machine hosts only infrastructure, so check client and middle.
+	if res.PerMachine[0] == 0 || res.PerMachine[2] == 0 {
+		t.Errorf("degenerate three-way placement: %v", res.PerMachine)
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations = %d", res.Violations)
+	}
+	if res.CutWeight <= 0 || res.Comm <= 0 {
+		t.Errorf("weights: cut=%v comm=%v", res.CutWeight, res.Comm)
+	}
+	// Splitting the middle tier from the database costs extra crossings;
+	// the three-way distribution cannot beat the two-way one here, but it
+	// must stay within a small factor (the DB round trips are chatty).
+	if res.Comm > res.TwoWayComm*20 {
+		t.Errorf("three-way comm %v implausibly worse than two-way %v", res.Comm, res.TwoWayComm)
+	}
+}
+
+func TestCompareCaching(t *testing.T) {
+	// Text-properties queries repeat across paragraphs; with the
+	// properties component on the server, per-interface caching answers
+	// the repeats locally.
+	cmp, err := CompareCaching("o_oldwp7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.CacheHits == 0 {
+		t.Fatal("no cache hits on repeated property queries")
+	}
+	if cmp.Cached >= cmp.Plain {
+		t.Errorf("caching did not reduce communication: %v vs %v", cmp.Cached, cmp.Plain)
+	}
+	if cmp.Savings <= 0 || cmp.Savings > 0.6 {
+		t.Errorf("caching savings = %v", cmp.Savings)
+	}
+	if _, err := CompareCaching("nope"); err == nil {
+		t.Error("unknown scenario compared")
+	}
+}
+
+func TestTable2OtherApplications(t *testing.T) {
+	// The classifier experiment generalizes beyond Octarine: PhotoDraw and
+	// Benefits keep the same qualitative orderings.
+	for _, app := range []string{"photodraw", "benefits"} {
+		rows, err := Table2(app)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		byName := map[string]Table2Row{}
+		for _, r := range rows {
+			byName[r.Classifier] = r
+		}
+		if byName["incremental"].NewClassifications == 0 {
+			t.Errorf("%s: incremental found no new classifications", app)
+		}
+		if byName["ifcb"].NewClassifications != 0 {
+			t.Errorf("%s: ifcb produced new classifications", app)
+		}
+		if byName["st"].ProfiledClassifications > byName["ifcb"].ProfiledClassifications {
+			t.Errorf("%s: granularity ordering violated", app)
+		}
+	}
+	if _, err := Table2("solitaire"); err == nil {
+		t.Error("unknown app evaluated")
+	}
+	if _, err := Table3("solitaire"); err == nil {
+		t.Error("unknown app evaluated for table 3")
+	}
+}
+
+func TestWhatIfCoignNearOptimalOnTrace(t *testing.T) {
+	res, err := WhatIf("o_oldwp7", 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 60 {
+		t.Fatalf("samples = %d", res.Samples)
+	}
+	// The replayed Coign distribution must beat (or tie within bucket
+	// quantization) essentially every random alternative.
+	if res.Beaten > 3 {
+		t.Errorf("%d of %d random assignments beat the Coign cut (coign=%v best-random=%v)",
+			res.Beaten, res.Samples, res.CoignComm, res.BestRandom)
+	}
+	if res.WorstRandom <= res.CoignComm {
+		t.Errorf("no random assignment was worse: worst=%v coign=%v",
+			res.WorstRandom, res.CoignComm)
+	}
+	if _, err := WhatIf("nope", 1, 1); err == nil {
+		t.Error("unknown scenario analyzed")
+	}
+}

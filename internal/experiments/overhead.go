@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/dist"
+	"repro/internal/scenario"
+)
+
+// Instrumentation overhead (paper §3.2): scenario-based profiling adds up
+// to 85% to execution time (typically closer to 45%), nearly all of it in
+// the profiling interface informer's parameter walks; the distribution
+// informer that stays in the application afterwards costs under 3%. We
+// measure real (host) wall time of the same scenario under the three
+// configurations.
+
+// OverheadRow reports relative instrumentation overheads for one scenario.
+type OverheadRow struct {
+	Scenario             string
+	Bare                 time.Duration
+	Profiling            time.Duration
+	Distribution         time.Duration
+	ProfilingOverhead    float64 // (profiling-bare)/bare
+	DistributionOverhead float64 // (distribution-bare)/bare
+}
+
+// MeasureOverhead runs one scenario repeatedly under the bare, profiling,
+// and distribution-informer configurations and reports median wall times.
+func MeasureOverhead(scenName string, reps int) (*OverheadRow, error) {
+	info, err := scenario.Lookup(scenName)
+	if err != nil {
+		return nil, err
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	run := func(mode dist.Mode) (time.Duration, error) {
+		best := time.Duration(1<<62 - 1)
+		for i := 0; i < reps; i++ {
+			app, err := scenario.NewApp(info.App)
+			if err != nil {
+				return 0, err
+			}
+			cfg := dist.Config{App: app, Scenario: scenName, Mode: mode}
+			if mode != dist.ModeBare {
+				cfg.Classifier = classify.New(classify.IFCB, 0)
+			}
+			res, err := dist.Run(cfg)
+			if err != nil {
+				return 0, err
+			}
+			if res.WallTime < best {
+				best = res.WallTime
+			}
+		}
+		return best, nil
+	}
+	bare, err := run(dist.ModeBare)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := run(dist.ModeProfiling)
+	if err != nil {
+		return nil, err
+	}
+	distr, err := run(dist.ModeDefault) // lightweight distribution informer
+	if err != nil {
+		return nil, err
+	}
+	row := &OverheadRow{
+		Scenario:     scenName,
+		Bare:         bare,
+		Profiling:    prof,
+		Distribution: distr,
+	}
+	if bare > 0 {
+		row.ProfilingOverhead = float64(prof-bare) / float64(bare)
+		row.DistributionOverhead = float64(distr-bare) / float64(bare)
+	}
+	return row, nil
+}
+
+// PrintOverhead renders an overhead row.
+func (r *OverheadRow) String() string {
+	return fmt.Sprintf("%s: bare=%v profiling=%v (+%.0f%%) distribution=%v (+%.0f%%)",
+		r.Scenario, r.Bare, r.Profiling, r.ProfilingOverhead*100,
+		r.Distribution, r.DistributionOverhead*100)
+}

@@ -1,0 +1,98 @@
+package factory
+
+import (
+	"testing"
+
+	"repro/internal/com"
+)
+
+func testClass() *com.Class {
+	return &com.Class{ID: "CLSID_X", Name: "X", New: func() com.Object { return nil }}
+}
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New(nil, FollowCreator); err == nil {
+		t.Fatal("empty distribution accepted")
+	}
+}
+
+func TestPlaceKnownClassifications(t *testing.T) {
+	f, err := New(map[string]com.Machine{
+		"a": com.Client,
+		"b": com.Server,
+	}, FollowCreator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Place("a", testClass(), com.Client); got != com.Client {
+		t.Errorf("a placed on %v", got)
+	}
+	if got := f.Place("b", testClass(), com.Client); got != com.Server {
+		t.Errorf("b placed on %v", got)
+	}
+	if f.Relocations() != 1 {
+		t.Errorf("relocations = %d", f.Relocations())
+	}
+	if f.Unknown() != 0 {
+		t.Errorf("unknown = %d", f.Unknown())
+	}
+}
+
+func TestPlaceUnknownFollowsCreator(t *testing.T) {
+	f, _ := New(map[string]com.Machine{"a": com.Server}, FollowCreator)
+	if got := f.Place("mystery", testClass(), com.Server); got != com.Server {
+		t.Errorf("unknown placed on %v", got)
+	}
+	if f.Unknown() != 1 {
+		t.Errorf("unknown = %d", f.Unknown())
+	}
+	if f.Relocations() != 0 {
+		t.Errorf("relocations = %d", f.Relocations())
+	}
+}
+
+func TestPlaceUnknownToClient(t *testing.T) {
+	f, _ := New(map[string]com.Machine{"a": com.Server}, ToClient)
+	if got := f.Place("mystery", testClass(), com.Server); got != com.Client {
+		t.Errorf("unknown placed on %v", got)
+	}
+	if f.Relocations() != 1 {
+		t.Errorf("relocation not counted")
+	}
+}
+
+func TestPeerAccounting(t *testing.T) {
+	f, _ := New(map[string]com.Machine{
+		"a": com.Client,
+		"b": com.Server,
+	}, FollowCreator)
+	f.Place("a", testClass(), com.Client) // local fulfillment
+	f.Place("b", testClass(), com.Client) // forwarded client -> server
+	f.Place("b", testClass(), com.Client)
+	peers := f.Peers()
+	if len(peers) != 2 {
+		t.Fatalf("peers = %d", len(peers))
+	}
+	client, server := peers[0], peers[1]
+	if client.Machine != com.Client || server.Machine != com.Server {
+		t.Fatalf("peer order: %v %v", client.Machine, server.Machine)
+	}
+	if client.Fulfilled != 1 || client.Forwarded != 2 {
+		t.Errorf("client peer = %+v", client)
+	}
+	if server.Fulfilled != 2 || server.Forwarded != 0 {
+		t.Errorf("server peer = %+v", server)
+	}
+}
+
+func TestMachines(t *testing.T) {
+	f, _ := New(map[string]com.Machine{
+		"a": com.Server,
+		"b": com.Server,
+		"c": com.Middle,
+	}, FollowCreator)
+	ms := f.Machines()
+	if len(ms) != 2 || ms[0] != com.Server || ms[1] != com.Middle {
+		t.Errorf("machines = %v", ms)
+	}
+}

@@ -1,0 +1,187 @@
+// Package graph implements the inter-component communication graph and the
+// graph-cutting algorithms Coign uses to choose distributions: the exact
+// two-way lift-to-front (relabel-to-front) minimum-cut algorithm of
+// CLRS [paper ref 9] for client–server partitioning, a BFS augmenting-path
+// baseline for cross-checking and ablation, and the isolation-heuristic
+// multiway cut for the paper's future-work extension to three or more
+// machines.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Side identifies which terminal a node lands with after a two-way cut.
+type Side int
+
+// Cut sides.
+const (
+	SourceSide Side = 0 // the client in Coign's usage
+	SinkSide   Side = 1 // the server
+)
+
+// Graph is an undirected, weighted communication graph with two designated
+// terminals. Node weights are communication times (seconds): the cost paid
+// if the edge's endpoints are placed on different machines.
+type Graph struct {
+	names  []string
+	index  map[string]int
+	edges  map[[2]int]float64
+	pinned map[int]Side
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		index:  make(map[string]int),
+		edges:  make(map[[2]int]float64),
+		pinned: make(map[int]Side),
+	}
+}
+
+// Node interns a node by name and returns its index.
+func (g *Graph) Node(name string) int {
+	if i, ok := g.index[name]; ok {
+		return i
+	}
+	i := len(g.names)
+	g.names = append(g.names, name)
+	g.index[name] = i
+	return i
+}
+
+// HasNode reports whether the named node exists.
+func (g *Graph) HasNode(name string) bool {
+	_, ok := g.index[name]
+	return ok
+}
+
+// Name returns the name of node i.
+func (g *Graph) Name(i int) string { return g.names[i] }
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.names) }
+
+// AddEdge accumulates weight w onto the undirected edge {a, b}. Self-edges
+// and non-positive weights are ignored: communication within one node
+// never crosses a machine boundary.
+func (g *Graph) AddEdge(a, b string, w float64) {
+	if a == b || w <= 0 {
+		return
+	}
+	i, j := g.Node(a), g.Node(b)
+	if i > j {
+		i, j = j, i
+	}
+	g.edges[[2]int{i, j}] += w
+}
+
+// EdgeWeight returns the accumulated weight of edge {a, b}.
+func (g *Graph) EdgeWeight(a, b string) float64 {
+	i, ok := g.index[a]
+	if !ok {
+		return 0
+	}
+	j, ok := g.index[b]
+	if !ok {
+		return 0
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return g.edges[[2]int{i, j}]
+}
+
+// Edges returns the number of distinct edges.
+func (g *Graph) Edges() int { return len(g.edges) }
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	var t float64
+	for _, w := range g.edges {
+		t += w
+	}
+	return t
+}
+
+// Pin constrains a node to a side. Location constraints — GUI components
+// to the client, storage components to the server, programmer-specified
+// absolute constraints — become infinite-capacity edges to the terminals.
+func (g *Graph) Pin(name string, s Side) {
+	g.pinned[g.Node(name)] = s
+}
+
+// Pinned returns the side a node is pinned to, if any.
+func (g *Graph) Pinned(name string) (Side, bool) {
+	i, ok := g.index[name]
+	if !ok {
+		return 0, false
+	}
+	s, ok := g.pinned[i]
+	return s, ok
+}
+
+// CoLocate constrains two nodes to the same machine (the paper's pair-wise
+// constraint, used for endpoints of non-remotable interfaces) by joining
+// them with an effectively infinite edge.
+func (g *Graph) CoLocate(a, b string) {
+	i, j := g.Node(a), g.Node(b)
+	if i > j {
+		i, j = j, i
+	}
+	g.edges[[2]int{i, j}] = math.Inf(1)
+}
+
+// Validate reports structural problems: contradictory pins joined by
+// infinite edges make the instance unsatisfiable.
+func (g *Graph) Validate() error {
+	for e, w := range g.edges {
+		if !math.IsInf(w, 1) {
+			continue
+		}
+		si, iok := g.pinned[e[0]]
+		sj, jok := g.pinned[e[1]]
+		if iok && jok && si != sj {
+			return fmt.Errorf("graph: nodes %q and %q are co-located but pinned to different machines",
+				g.names[e[0]], g.names[e[1]])
+		}
+	}
+	return nil
+}
+
+// Cut is the result of a two-way partition.
+type Cut struct {
+	// Assignment maps every node name to its side.
+	Assignment map[string]Side
+	// Weight is the total weight of edges crossing the cut (the
+	// communication time of the chosen distribution).
+	Weight float64
+	// FlowValue is the max-flow value computed; equal to Weight up to
+	// floating-point error, kept separately as a cross-check.
+	FlowValue float64
+}
+
+// Count returns how many nodes landed on the given side.
+func (c *Cut) Count(s Side) int {
+	n := 0
+	for _, side := range c.Assignment {
+		if side == s {
+			n++
+		}
+	}
+	return n
+}
+
+// NodesOn returns the sorted names on a side.
+func (c *Cut) NodesOn(s Side) []string {
+	var out []string
+	for name, side := range c.Assignment {
+		if side == s {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,427 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeInterning(t *testing.T) {
+	g := New()
+	a := g.Node("a")
+	if g.Node("a") != a {
+		t.Error("re-interning changed index")
+	}
+	b := g.Node("b")
+	if a == b || g.Len() != 2 {
+		t.Errorf("indices %d %d len %d", a, b, g.Len())
+	}
+	if g.Name(a) != "a" || !g.HasNode("b") || g.HasNode("c") {
+		t.Error("name/has broken")
+	}
+}
+
+func TestAddEdgeAccumulates(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", 1.5)
+	g.AddEdge("b", "a", 2.5) // undirected: same edge
+	if got := g.EdgeWeight("a", "b"); got != 4 {
+		t.Errorf("weight = %v", got)
+	}
+	if g.Edges() != 1 {
+		t.Errorf("edges = %d", g.Edges())
+	}
+	g.AddEdge("a", "a", 9) // self edge ignored
+	g.AddEdge("a", "c", 0) // zero weight ignored
+	g.AddEdge("a", "d", -1)
+	if g.Edges() != 1 || g.TotalWeight() != 4 {
+		t.Errorf("after ignored edges: %d edges, weight %v", g.Edges(), g.TotalWeight())
+	}
+	if g.EdgeWeight("x", "y") != 0 || g.EdgeWeight("a", "x") != 0 {
+		t.Error("missing edge weight nonzero")
+	}
+}
+
+func TestPinAndValidate(t *testing.T) {
+	g := New()
+	g.Pin("gui", SourceSide)
+	g.Pin("db", SinkSide)
+	if s, ok := g.Pinned("gui"); !ok || s != SourceSide {
+		t.Error("pin lost")
+	}
+	if _, ok := g.Pinned("nothing"); ok {
+		t.Error("phantom pin")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+	g.CoLocate("gui", "db")
+	if err := g.Validate(); err == nil {
+		t.Error("contradictory constraints accepted")
+	}
+}
+
+// simpleCut builds the canonical small example:
+//
+//	client* --10-- a --1-- b --10-- server*
+//
+// The minimum cut severs the a-b edge (weight 1).
+func simpleCut(t *testing.T, f func(*Graph) (*Cut, error)) *Cut {
+	t.Helper()
+	g := New()
+	g.AddEdge("client", "a", 10)
+	g.AddEdge("a", "b", 1)
+	g.AddEdge("b", "server", 10)
+	g.Pin("client", SourceSide)
+	g.Pin("server", SinkSide)
+	cut, err := f(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cut
+}
+
+func TestMinCutSimple(t *testing.T) {
+	for name, algo := range map[string]func(*Graph) (*Cut, error){
+		"lift-to-front": (*Graph).MinCut,
+		"edmonds-karp":  (*Graph).MinCutEdmondsKarp,
+	} {
+		cut := simpleCut(t, algo)
+		if cut.Weight != 1 {
+			t.Errorf("%s: weight = %v, want 1", name, cut.Weight)
+		}
+		if math.Abs(cut.FlowValue-cut.Weight) > 1e-9 {
+			t.Errorf("%s: flow %v != weight %v", name, cut.FlowValue, cut.Weight)
+		}
+		want := map[string]Side{"client": SourceSide, "a": SourceSide, "b": SinkSide, "server": SinkSide}
+		for n, s := range want {
+			if cut.Assignment[n] != s {
+				t.Errorf("%s: %s on %v, want %v", name, n, cut.Assignment[n], s)
+			}
+		}
+		if cut.Count(SourceSide) != 2 || cut.Count(SinkSide) != 2 {
+			t.Errorf("%s: counts %d/%d", name, cut.Count(SourceSide), cut.Count(SinkSide))
+		}
+		srcs := cut.NodesOn(SourceSide)
+		if len(srcs) != 2 || srcs[0] != "a" || srcs[1] != "client" {
+			t.Errorf("%s: NodesOn = %v", name, srcs)
+		}
+	}
+}
+
+func TestMinCutRespectsCoLocation(t *testing.T) {
+	// Without co-location, b is cheap to strand on the server; with
+	// co-location b must follow a to the client.
+	build := func(colocate bool) *Graph {
+		g := New()
+		g.Pin("client", SourceSide)
+		g.Pin("server", SinkSide)
+		g.AddEdge("client", "a", 10)
+		g.AddEdge("a", "b", 1)
+		g.AddEdge("b", "server", 2)
+		if colocate {
+			g.CoLocate("a", "b")
+		}
+		return g
+	}
+	cut, err := build(false).MinCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Assignment["b"] != SinkSide || cut.Weight != 1 {
+		t.Errorf("uncolocated: b=%v weight=%v", cut.Assignment["b"], cut.Weight)
+	}
+	cut, err = build(true).MinCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Assignment["b"] != SourceSide || cut.Weight != 2 {
+		t.Errorf("colocated: b=%v weight=%v", cut.Assignment["b"], cut.Weight)
+	}
+}
+
+func TestMinCutFreeComponentGoesToClient(t *testing.T) {
+	g := New()
+	g.Pin("client", SourceSide)
+	g.Pin("server", SinkSide)
+	g.AddEdge("client", "server", 3)
+	g.AddEdge("float1", "float2", 5) // touches no terminal
+	g.Node("lonely")                 // no edges at all
+	cut, err := g.MinCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.Assignment["float1"] != SourceSide || cut.Assignment["float2"] != SourceSide {
+		t.Error("floating component not on client")
+	}
+	if cut.Assignment["lonely"] != SourceSide {
+		t.Error("isolated node not on client")
+	}
+	if cut.Weight != 3 {
+		t.Errorf("weight = %v", cut.Weight)
+	}
+}
+
+func TestMinCutUnsatisfiable(t *testing.T) {
+	g := New()
+	g.Pin("a", SourceSide)
+	g.Pin("b", SinkSide)
+	g.CoLocate("a", "b")
+	if _, err := g.MinCut(); err == nil {
+		t.Fatal("unsatisfiable instance cut")
+	}
+}
+
+func TestEvaluateAssignment(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", 2)
+	g.AddEdge("b", "c", 3)
+	assign := map[string]Side{"a": SourceSide, "b": SourceSide, "c": SinkSide}
+	if got := g.EvaluateAssignment(assign); got != 3 {
+		t.Errorf("Evaluate = %v", got)
+	}
+	// Missing nodes default to source.
+	if got := g.EvaluateAssignment(map[string]Side{"c": SinkSide}); got != 3 {
+		t.Errorf("Evaluate with defaults = %v", got)
+	}
+	g.CoLocate("a", "b")
+	bad := map[string]Side{"a": SourceSide, "b": SinkSide}
+	if got := g.EvaluateAssignment(bad); !math.IsInf(got, 1) {
+		t.Errorf("crossing co-location = %v", got)
+	}
+}
+
+func TestAllOn(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", 1)
+	g.Pin("srv", SinkSide)
+	assign := g.AllOn(SourceSide)
+	if assign["a"] != SourceSide || assign["b"] != SourceSide || assign["srv"] != SinkSide {
+		t.Errorf("AllOn = %v", assign)
+	}
+}
+
+func TestMinCutOptimalOverBruteForce(t *testing.T) {
+	// Exhaustively verify optimality on random small graphs.
+	rng := rand.New(rand.NewSource(11))
+	names := []string{"n0", "n1", "n2", "n3", "n4", "n5"}
+	for trial := 0; trial < 60; trial++ {
+		g := New()
+		g.Pin("s", SourceSide)
+		g.Pin("t", SinkSide)
+		all := append([]string{"s", "t"}, names...)
+		for i := 0; i < len(all); i++ {
+			for j := i + 1; j < len(all); j++ {
+				if rng.Intn(3) != 0 {
+					g.AddEdge(all[i], all[j], float64(1+rng.Intn(9)))
+				}
+			}
+		}
+		cut, err := g.MinCut()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force over free nodes.
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<len(names); mask++ {
+			assign := map[string]Side{"s": SourceSide, "t": SinkSide}
+			for b, n := range names {
+				if mask&(1<<b) != 0 {
+					assign[n] = SinkSide
+				} else {
+					assign[n] = SourceSide
+				}
+			}
+			if w := g.EvaluateAssignment(assign); w < best {
+				best = w
+			}
+		}
+		if math.Abs(cut.Weight-best) > 1e-9 {
+			t.Fatalf("trial %d: lift-to-front %v vs brute force %v", trial, cut.Weight, best)
+		}
+		ek, err := g.MinCutEdmondsKarp()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ek.Weight-best) > 1e-9 {
+			t.Fatalf("trial %d: edmonds-karp %v vs brute force %v", trial, ek.Weight, best)
+		}
+	}
+}
+
+func TestPropertyTwoAlgorithmsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		g.Pin("s", SourceSide)
+		g.Pin("t", SinkSide)
+		n := 4 + rng.Intn(12)
+		nodes := []string{"s", "t"}
+		for i := 0; i < n; i++ {
+			nodes = append(nodes, string(rune('a'+i)))
+		}
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				if rng.Intn(2) == 0 {
+					g.AddEdge(nodes[i], nodes[j], rng.Float64()*10)
+				}
+			}
+		}
+		a, err := g.MinCut()
+		if err != nil {
+			return false
+		}
+		b, err := g.MinCutEdmondsKarp()
+		if err != nil {
+			return false
+		}
+		if math.Abs(a.Weight-b.Weight) > 1e-6 {
+			return false
+		}
+		// The cut's weight equals the evaluation of its own assignment.
+		return math.Abs(g.EvaluateAssignment(a.Assignment)-a.Weight) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCutNeverWorseThanDefault(t *testing.T) {
+	// Coign never chooses a worse distribution than the default: the
+	// minimum cut is at most the cost of the all-on-client assignment.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		g.Pin("s", SourceSide)
+		g.Pin("t", SinkSide)
+		for i := 0; i < 10; i++ {
+			a := string(rune('a' + rng.Intn(8)))
+			b := string(rune('a' + rng.Intn(8)))
+			g.AddEdge(a, b, rng.Float64()*5)
+			if rng.Intn(4) == 0 {
+				g.AddEdge("s", a, rng.Float64()*5)
+			}
+			if rng.Intn(4) == 0 {
+				g.AddEdge(b, "t", rng.Float64()*5)
+			}
+		}
+		cut, err := g.MinCut()
+		if err != nil {
+			return false
+		}
+		def := g.EvaluateAssignment(g.AllOn(SourceSide))
+		return cut.Weight <= def+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiwayCutThreeTerminals(t *testing.T) {
+	// Three clusters, each hanging off its own terminal with heavy
+	// internal edges and light cross edges.
+	g := New()
+	clusters := map[string][]string{
+		"client": {"c1", "c2"},
+		"middle": {"m1", "m2"},
+		"server": {"s1", "s2"},
+	}
+	for term, nodes := range clusters {
+		for _, n := range nodes {
+			g.AddEdge(term, n, 100)
+		}
+	}
+	g.AddEdge("c1", "m1", 1)
+	g.AddEdge("m2", "s1", 1)
+	g.AddEdge("c2", "s2", 1)
+	assign, w, err := g.MultiwayCut([]MultiwayTerminal{
+		{Machine: "client", Pinned: []string{"client"}},
+		{Machine: "middle", Pinned: []string{"middle"}},
+		{Machine: "server", Pinned: []string{"server"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for term, nodes := range clusters {
+		for _, n := range nodes {
+			if assign[n] != term {
+				t.Errorf("%s assigned to %s, want %s", n, assign[n], term)
+			}
+		}
+	}
+	if w != 3 {
+		t.Errorf("multiway weight = %v, want 3", w)
+	}
+}
+
+func TestMultiwayCutErrors(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b", 1)
+	if _, _, err := g.MultiwayCut([]MultiwayTerminal{{Machine: "x", Pinned: []string{"a"}}}); err == nil {
+		t.Fatal("single terminal accepted")
+	}
+}
+
+func TestMultiwayCutTwoTerminalsMatchesMinCut(t *testing.T) {
+	g := New()
+	g.Pin("s", SourceSide)
+	g.Pin("t", SinkSide)
+	g.AddEdge("s", "a", 10)
+	g.AddEdge("a", "b", 1)
+	g.AddEdge("b", "t", 10)
+	cut, err := g.MinCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, w, err := g.MultiwayCut([]MultiwayTerminal{
+		{Machine: "client", Pinned: []string{"s"}},
+		{Machine: "server", Pinned: []string{"t"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-cut.Weight) > 1e-9 {
+		t.Errorf("multiway %v vs mincut %v", w, cut.Weight)
+	}
+	if assign["a"] != "client" || assign["b"] != "server" {
+		t.Errorf("assignment = %v", assign)
+	}
+}
+
+func TestLargeGraphPerformanceSanity(t *testing.T) {
+	// The paper's largest graphs have a few thousand classifications; the
+	// cut must be fast at that scale.
+	rng := rand.New(rand.NewSource(5))
+	g := New()
+	g.Pin("s", SourceSide)
+	g.Pin("t", SinkSide)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		name := nodeName(i)
+		if i%17 == 0 {
+			g.AddEdge("s", name, rng.Float64()*10)
+		}
+		if i%23 == 0 {
+			g.AddEdge(name, "t", rng.Float64()*10)
+		}
+		for k := 0; k < 3; k++ {
+			g.AddEdge(name, nodeName(rng.Intn(n)), rng.Float64())
+		}
+	}
+	cut, err := g.MinCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ek, err := g.MinCutEdmondsKarp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cut.Weight-ek.Weight) > 1e-6*(1+cut.Weight) {
+		t.Errorf("large graph: %v vs %v", cut.Weight, ek.Weight)
+	}
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('A'+i%26)) + string(rune('A'+(i/26)%26)) + string(rune('A'+(i/676)%26)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,343 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The lift-to-front minimum-cut algorithm (push-relabel with the
+// relabel-to-front discharge order, CLRS chapter 26) chooses the
+// distribution with minimal communication time. It is exact for two-way
+// client/server cuts; partitioning across three or more machines is
+// NP-hard and handled by the heuristic in multiway.go.
+
+// flowNet is a residual network over the graph's nodes plus two terminals.
+type flowNet struct {
+	n    int
+	s, t int
+	// arcs[u] lists outgoing arcs; arc.rev is the index of the reverse arc
+	// in arcs[arc.to].
+	arcs [][]arc
+}
+
+type arc struct {
+	to  int
+	rev int
+	cap float64
+}
+
+func newFlowNet(n, s, t int) *flowNet {
+	return &flowNet{n: n, s: s, t: t, arcs: make([][]arc, n)}
+}
+
+// addUndirected installs an undirected edge of capacity c: a directed arc
+// of capacity c each way, each serving as the other's residual.
+func (f *flowNet) addUndirected(u, v int, c float64) {
+	f.arcs[u] = append(f.arcs[u], arc{to: v, rev: len(f.arcs[v]), cap: c})
+	f.arcs[v] = append(f.arcs[v], arc{to: u, rev: len(f.arcs[u]) - 1, cap: c})
+}
+
+// addDirected installs a directed edge of capacity c with a zero-capacity
+// reverse residual.
+func (f *flowNet) addDirected(u, v int, c float64) {
+	f.arcs[u] = append(f.arcs[u], arc{to: v, rev: len(f.arcs[v]), cap: c})
+	f.arcs[v] = append(f.arcs[v], arc{to: u, rev: len(f.arcs[u]) - 1, cap: 0})
+}
+
+const capEps = 1e-12
+
+// maxFlowRelabelToFront runs push-relabel with the relabel-to-front
+// selection rule and returns the max-flow value. Heights are initialized
+// to exact residual distances and periodically refreshed (the standard
+// global-relabeling heuristic), which keeps the lift-to-front algorithm
+// fast on the multi-thousand-node ICC graphs the applications produce.
+func (f *flowNet) maxFlowRelabelToFront() float64 {
+	n := f.n
+	height := make([]int, n)
+	excess := make([]float64, n)
+	current := make([]int, n)
+
+	// globalRelabel sets height[v] to the exact residual distance from v
+	// to t, or n plus the exact residual distance to s for nodes that can
+	// no longer reach t (their excess must return to the source). Both are
+	// the pointwise-maximum valid labeling, so heights never decrease —
+	// required for termination.
+	distT := make([]int, n)
+	distS := make([]int, n)
+	queue := make([]int, 0, n)
+	// bfsTo computes, for every node, the residual distance to root (the
+	// length of the shortest path with positive residual capacity from the
+	// node to root), or -1.
+	bfsTo := func(root int, dist []int) {
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue = queue[:0]
+		queue = append(queue, root)
+		dist[root] = 0
+		for len(queue) > 0 {
+			w := queue[0]
+			queue = queue[1:]
+			for i := range f.arcs[w] {
+				a := &f.arcs[w][i]
+				// a.to reaches w iff residual(a.to -> w) > 0.
+				if f.arcs[a.to][a.rev].cap > capEps && dist[a.to] == -1 {
+					dist[a.to] = dist[w] + 1
+					queue = append(queue, a.to)
+				}
+			}
+		}
+	}
+	globalRelabel := func() {
+		bfsTo(f.t, distT)
+		bfsTo(f.s, distS)
+		for v := 0; v < n; v++ {
+			if v == f.s {
+				continue
+			}
+			switch {
+			case distT[v] >= 0:
+				height[v] = distT[v]
+			case distS[v] >= 0:
+				height[v] = n + distS[v]
+			default:
+				// Unreachable from both terminals: trapped excess; park
+				// the node above every pushable height.
+				height[v] = 2*n + 1
+			}
+			current[v] = 0
+		}
+		height[f.s] = n
+	}
+
+	globalRelabel()
+	for i := range f.arcs[f.s] {
+		a := &f.arcs[f.s][i]
+		if a.cap > capEps {
+			amt := a.cap
+			a.cap = 0
+			f.arcs[a.to][a.rev].cap += amt
+			excess[a.to] += amt
+			excess[f.s] -= amt
+		}
+	}
+
+	// L: all vertices except s and t. With zero initial heights any order
+	// is topological for the (empty) admissible network; with
+	// exact-distance heights the admissible arcs point from higher to
+	// lower labels, so decreasing height is a topological order.
+	var list []int
+	for v := 0; v < n; v++ {
+		if v != f.s && v != f.t {
+			list = append(list, v)
+		}
+	}
+	sortByHeightDesc := func() {
+		sort.SliceStable(list, func(i, j int) bool {
+			return height[list[i]] > height[list[j]]
+		})
+	}
+	sortByHeightDesc()
+
+	relabels := 0
+	discharge := func(u int) {
+		for excess[u] > capEps {
+			if current[u] == len(f.arcs[u]) {
+				// relabel: lift u to 1 + min height of admissible neighbors.
+				minH := math.MaxInt
+				for i := range f.arcs[u] {
+					if f.arcs[u][i].cap > capEps {
+						if h := height[f.arcs[u][i].to]; h < minH {
+							minH = h
+						}
+					}
+				}
+				if minH == math.MaxInt {
+					// No residual arcs: excess is trapped (isolated node).
+					return
+				}
+				height[u] = minH + 1
+				current[u] = 0
+				relabels++
+				continue
+			}
+			a := &f.arcs[u][current[u]]
+			if a.cap > capEps && height[u] == height[a.to]+1 {
+				// push
+				amt := excess[u]
+				if a.cap < amt {
+					amt = a.cap
+				}
+				a.cap -= amt
+				f.arcs[a.to][a.rev].cap += amt
+				excess[u] -= amt
+				excess[a.to] += amt
+			} else {
+				current[u]++
+			}
+		}
+	}
+
+	for i := 0; i < len(list); {
+		if relabels >= n {
+			// Heights changed globally: re-establish a topological order of
+			// the admissible network and restart the scan.
+			relabels = 0
+			globalRelabel()
+			sortByHeightDesc()
+			i = 0
+		}
+		u := list[i]
+		oldH := height[u]
+		discharge(u)
+		if height[u] > oldH {
+			// Move u to the front and restart the scan after it.
+			copy(list[1:i+1], list[:i])
+			list[0] = u
+			i = 0
+		}
+		i++
+	}
+	return excess[f.t]
+}
+
+// minCutSides returns, after max flow, the set of nodes reachable from s
+// in the residual network (the source side of a minimum cut).
+func (f *flowNet) minCutSides() []bool {
+	seen := make([]bool, f.n)
+	queue := []int{f.s}
+	seen[f.s] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for i := range f.arcs[u] {
+			a := &f.arcs[u][i]
+			if a.cap > capEps && !seen[a.to] {
+				seen[a.to] = true
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return seen
+}
+
+// build constructs the flow network for a two-way cut: graph nodes plus a
+// source terminal (client) and sink terminal (server); pins become
+// infinite-capacity terminal edges. Infinite weights are replaced by a
+// finite capacity exceeding the sum of all finite weights, which no
+// minimum cut can afford to cross.
+func (g *Graph) build() (*flowNet, float64) {
+	n := g.Len()
+	s, t := n, n+1
+	f := newFlowNet(n+2, s, t)
+
+	var finiteSum float64
+	for _, w := range g.edges {
+		if !math.IsInf(w, 1) {
+			finiteSum += w
+		}
+	}
+	inf := finiteSum*2 + 1
+
+	for e, w := range g.edges {
+		c := w
+		if math.IsInf(w, 1) {
+			c = inf
+		}
+		f.addUndirected(e[0], e[1], c)
+	}
+	for v, side := range g.pinned {
+		if side == SourceSide {
+			f.addDirected(s, v, inf)
+		} else {
+			f.addDirected(v, t, inf)
+		}
+	}
+	return f, inf
+}
+
+// MinCut partitions the graph between client (source side) and server
+// (sink side) minimizing the weight of crossing edges, using the
+// lift-to-front algorithm. Unpinned nodes in components touching neither
+// terminal carry no crossing cost; they land on the source side.
+func (g *Graph) MinCut() (*Cut, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	f, inf := g.build()
+	flow := f.maxFlowRelabelToFront()
+	return g.extractCut(f, flow, inf)
+}
+
+func (g *Graph) extractCut(f *flowNet, flow, inf float64) (*Cut, error) {
+	onSource := f.minCutSides()
+	cut := &Cut{Assignment: make(map[string]Side, g.Len()), FlowValue: flow}
+	for i, name := range g.names {
+		if onSource[i] {
+			cut.Assignment[name] = SourceSide
+		} else {
+			cut.Assignment[name] = SinkSide
+		}
+	}
+	// A connected component that touches neither terminal (no pinned node)
+	// is unreachable from s and lands wholly on the sink side at zero
+	// cost. Coign leaves such free-floating components on the client,
+	// where the undistributed application would have run them.
+	uf := newUnionFind(g.Len())
+	for e := range g.edges {
+		uf.union(e[0], e[1])
+	}
+	componentPinned := make(map[int]bool)
+	for v := range g.pinned {
+		componentPinned[uf.find(v)] = true
+	}
+	for i, name := range g.names {
+		if !onSource[i] && !componentPinned[uf.find(i)] {
+			cut.Assignment[name] = SourceSide
+		}
+	}
+	// Weight of the cut under original capacities.
+	var w float64
+	for e, ew := range g.edges {
+		if cut.Assignment[g.names[e[0]]] != cut.Assignment[g.names[e[1]]] {
+			if math.IsInf(ew, 1) {
+				return nil, fmt.Errorf("graph: minimum cut crosses a co-location constraint")
+			}
+			w += ew
+		}
+	}
+	cut.Weight = w
+	if w > inf {
+		return nil, fmt.Errorf("graph: cut weight %g exceeds infinity proxy %g", w, inf)
+	}
+	return cut, nil
+}
+
+// unionFind is a standard disjoint-set forest with path compression.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Multiway partitioning. The paper restricts itself to the exact two-way
+// algorithm because multiterminal cuts are NP-hard [Dahlhaus et al.], but
+// names multiway heuristics as the path to three or more machines. This
+// file implements the classic isolation heuristic (2 - 2/k approximation):
+// for each terminal, compute the exact two-way cut isolating it from the
+// other terminals merged together, then discard the most expensive
+// isolating cut and assign by the remaining ones.
+
+// MultiwayTerminal pins a set of nodes to a named machine.
+type MultiwayTerminal struct {
+	Machine string
+	Pinned  []string
+}
+
+// MultiwayCut assigns every node to one of the terminals' machines using
+// the isolation heuristic. It requires at least two terminals; with
+// exactly two it reduces to the exact minimum cut.
+func (g *Graph) MultiwayCut(terminals []MultiwayTerminal) (map[string]string, float64, error) {
+	if len(terminals) < 2 {
+		return nil, 0, fmt.Errorf("graph: multiway cut needs >= 2 terminals, got %d", len(terminals))
+	}
+	type isoCut struct {
+		term   int
+		cut    *Cut
+		weight float64
+	}
+	cuts := make([]isoCut, 0, len(terminals))
+	for ti, term := range terminals {
+		iso := g.cloneUnpinned()
+		for _, n := range term.Pinned {
+			iso.Pin(n, SourceSide)
+		}
+		for tj, other := range terminals {
+			if tj == ti {
+				continue
+			}
+			for _, n := range other.Pinned {
+				iso.Pin(n, SinkSide)
+			}
+		}
+		c, err := iso.MinCut()
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: isolating cut for %s: %w", term.Machine, err)
+		}
+		cuts = append(cuts, isoCut{term: ti, cut: c, weight: c.Weight})
+	}
+
+	// Discard the heaviest isolating cut: its terminal becomes the default
+	// owner of nodes not isolated with anyone else.
+	sort.SliceStable(cuts, func(i, j int) bool { return cuts[i].weight < cuts[j].weight })
+	defaultTerm := cuts[len(cuts)-1].term
+	kept := cuts[:len(cuts)-1]
+
+	assign := make(map[string]string, g.Len())
+	for i := range g.names {
+		assign[g.names[i]] = terminals[defaultTerm].Machine
+	}
+	// Earlier (cheaper) cuts win conflicts.
+	for i := len(kept) - 1; i >= 0; i-- {
+		c := kept[i]
+		for name, side := range c.cut.Assignment {
+			if side == SourceSide {
+				assign[name] = terminals[c.term].Machine
+			}
+		}
+	}
+	// Terminal pins always hold.
+	for _, term := range terminals {
+		for _, n := range term.Pinned {
+			assign[n] = term.Machine
+		}
+	}
+
+	// Total weight of edges crossing machine boundaries.
+	var w float64
+	for e, ew := range g.edges {
+		if assign[g.names[e[0]]] != assign[g.names[e[1]]] {
+			if math.IsInf(ew, 1) {
+				return nil, 0, fmt.Errorf("graph: multiway assignment crosses a co-location constraint")
+			}
+			w += ew
+		}
+	}
+	return assign, w, nil
+}
+
+// cloneUnpinned copies the graph's nodes and edges without pins.
+func (g *Graph) cloneUnpinned() *Graph {
+	c := New()
+	c.names = append([]string(nil), g.names...)
+	for i, n := range c.names {
+		c.index[n] = i
+	}
+	for e, w := range g.edges {
+		c.edges[e] = w
+	}
+	return c
+}

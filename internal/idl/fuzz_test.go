@@ -1,0 +1,49 @@
+package idl
+
+import "testing"
+
+// FuzzDecodeParams hardens the NDR-like decoder against arbitrary wire
+// bytes for a representative signature: it must never panic and never
+// allocate absurdly from hostile conformance counts.
+func FuzzDecodeParams(f *testing.F) {
+	types := []*TypeDesc{
+		TInt32, TString, TBytes,
+		Struct("S", Field("a", TInt64), Field("b", Array(TFloat64))),
+		InterfaceType("IAny"),
+	}
+	// Seed with a valid encoding.
+	vals := []Value{
+		Int32(7), String("hello"), ByteBuf([]byte{1, 2, 3}),
+		StructVal(types[3], Int64(9), ArrayVal(Array(TFloat64), Float64(1.5))),
+		IfacePtr(fakePtr{"IAny", 4}),
+	}
+	good, err := EncodeParams(types, vals)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := DecodeParams(data, types, testResolver{})
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode.
+		re, err := EncodeParams(types, decoded)
+		if err != nil {
+			t.Fatalf("decoded values failed to encode: %v", err)
+		}
+		// And the re-encoding must decode to structurally equal values.
+		back, err := DecodeParams(re, types, testResolver{})
+		if err != nil {
+			t.Fatalf("re-encoded stream failed to decode: %v", err)
+		}
+		for i := range decoded {
+			if !equalValue(decoded[i], back[i]) {
+				t.Fatalf("value %d not stable across encode/decode", i)
+			}
+		}
+	})
+}

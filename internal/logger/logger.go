@@ -1,0 +1,266 @@
+// Package logger implements Coign's information loggers (paper §3.3).
+// Under direction of the runtime executive, Coign components pass
+// application events — component instantiations and destructions,
+// interface calls — to the information logger, which is free to summarize
+// them (profiling logger), trace them in full (event logger), or discard
+// them (null logger, used during distributed execution).
+package logger
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/profile"
+)
+
+// InstRecord describes one component instantiation event.
+type InstRecord struct {
+	ID                    uint64
+	Class                 string
+	Classification        string
+	CreatorClassification string
+	Order                 int
+}
+
+// CallRecord describes one inter-component interface call.
+type CallRecord struct {
+	SrcInst, DstInst                     uint64
+	SrcClassification, DstClassification string
+	IID, Method                          string
+	InBytes, OutBytes                    int
+	NonRemotable                         bool
+	Crossing                             bool // endpoints on different machines
+}
+
+// Logger consumes application events.
+type Logger interface {
+	// BeginRun starts a named scenario run.
+	BeginRun(app, scenario string)
+	// Instantiation records a component creation.
+	Instantiation(rec InstRecord)
+	// Call records one interface invocation.
+	Call(rec CallRecord)
+	// Release records a component destruction.
+	Release(instID uint64)
+	// EndRun finishes the current run.
+	EndRun()
+}
+
+// Null discards all events; it is the logger loaded during distributed
+// execution, where instrumentation must cost nothing.
+type Null struct{}
+
+// BeginRun implements Logger.
+func (Null) BeginRun(string, string) {}
+
+// Instantiation implements Logger.
+func (Null) Instantiation(InstRecord) {}
+
+// Call implements Logger.
+func (Null) Call(CallRecord) {}
+
+// Release implements Logger.
+func (Null) Release(uint64) {}
+
+// EndRun implements Logger.
+func (Null) EndRun() {}
+
+// Profiling summarizes inter-component communication into in-memory
+// structures (per classification pair, with exponential size buckets) and
+// produces a profile.Profile at the end of the run. Memory use is bounded
+// by the number of distinct edges, not by execution length.
+type Profiling struct {
+	classifier     string
+	instanceDetail bool
+	current        *profile.Profile
+	runs           []*profile.Profile
+}
+
+// NewProfiling returns a profiling logger for the given classifier name.
+// When instanceDetail is true the logger additionally keeps per-instance
+// edges, which classifier evaluation (Tables 2 and 3) requires.
+func NewProfiling(classifier string, instanceDetail bool) *Profiling {
+	return &Profiling{classifier: classifier, instanceDetail: instanceDetail}
+}
+
+// BeginRun implements Logger.
+func (l *Profiling) BeginRun(app, scenario string) {
+	l.current = profile.New(app, l.classifier)
+	l.current.Scenarios = []string{scenario}
+}
+
+// Instantiation implements Logger.
+func (l *Profiling) Instantiation(rec InstRecord) {
+	if l.current == nil {
+		return
+	}
+	l.current.AddInstance(profile.InstanceRecord{
+		ID:                    rec.ID,
+		Class:                 rec.Class,
+		Classification:        rec.Classification,
+		CreatorClassification: rec.CreatorClassification,
+		Order:                 rec.Order,
+	})
+}
+
+// Call implements Logger.
+func (l *Profiling) Call(rec CallRecord) {
+	if l.current == nil {
+		return
+	}
+	l.current.Edge(rec.SrcClassification, rec.DstClassification).
+		Record(rec.InBytes, rec.OutBytes, rec.NonRemotable)
+	if l.instanceDetail {
+		l.current.InstEdge(rec.SrcInst, rec.DstInst).
+			Record(rec.InBytes, rec.OutBytes, rec.NonRemotable)
+	}
+}
+
+// Release implements Logger. The profiling logger does not need
+// destruction events; lifetime is irrelevant to communication cost.
+func (l *Profiling) Release(uint64) {}
+
+// EndRun implements Logger.
+func (l *Profiling) EndRun() {
+	if l.current != nil {
+		l.runs = append(l.runs, l.current)
+		l.current = nil
+	}
+}
+
+// Runs returns the profiles collected so far, one per completed run.
+func (l *Profiling) Runs() []*profile.Profile { return l.runs }
+
+// LastRun returns the most recently completed profile, or nil.
+func (l *Profiling) LastRun() *profile.Profile {
+	if len(l.runs) == 0 {
+		return nil
+	}
+	return l.runs[len(l.runs)-1]
+}
+
+// Combined merges all completed runs into a single profile, the form the
+// analysis engine consumes.
+func (l *Profiling) Combined() (*profile.Profile, error) {
+	if len(l.runs) == 0 {
+		return nil, fmt.Errorf("logger: no completed profiling runs")
+	}
+	combined := profile.New(l.runs[0].App, l.classifier)
+	for _, r := range l.runs {
+		if err := combined.Merge(r); err != nil {
+			return nil, err
+		}
+	}
+	return combined, nil
+}
+
+// EventKind enumerates trace event types.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EvBegin EventKind = iota
+	EvInstantiation
+	EvCall
+	EvRelease
+	EvEnd
+)
+
+// Event is one entry of an event-logger trace.
+type Event struct {
+	Kind EventKind
+	Inst InstRecord
+	Call CallRecord
+	App  string
+	Scen string
+}
+
+// EventLogger creates detailed traces of all component-related events; a
+// colleague used such logs to drive application simulations (paper §3.3).
+// The trace can be replayed by the dist package's replayer.
+type EventLogger struct {
+	Events []Event
+	w      io.Writer // optional live text sink
+}
+
+// NewEventLogger returns an event logger; w may be nil.
+func NewEventLogger(w io.Writer) *EventLogger { return &EventLogger{w: w} }
+
+// BeginRun implements Logger.
+func (l *EventLogger) BeginRun(app, scenario string) {
+	l.Events = append(l.Events, Event{Kind: EvBegin, App: app, Scen: scenario})
+	if l.w != nil {
+		fmt.Fprintf(l.w, "begin %s %s\n", app, scenario)
+	}
+}
+
+// Instantiation implements Logger.
+func (l *EventLogger) Instantiation(rec InstRecord) {
+	l.Events = append(l.Events, Event{Kind: EvInstantiation, Inst: rec})
+	if l.w != nil {
+		fmt.Fprintf(l.w, "create #%d %s as %s\n", rec.ID, rec.Class, rec.Classification)
+	}
+}
+
+// Call implements Logger.
+func (l *EventLogger) Call(rec CallRecord) {
+	l.Events = append(l.Events, Event{Kind: EvCall, Call: rec})
+	if l.w != nil {
+		fmt.Fprintf(l.w, "call #%d->#%d %s.%s in=%d out=%d\n",
+			rec.SrcInst, rec.DstInst, rec.IID, rec.Method, rec.InBytes, rec.OutBytes)
+	}
+}
+
+// Release implements Logger.
+func (l *EventLogger) Release(instID uint64) {
+	l.Events = append(l.Events, Event{Kind: EvRelease, Inst: InstRecord{ID: instID}})
+	if l.w != nil {
+		fmt.Fprintf(l.w, "release #%d\n", instID)
+	}
+}
+
+// EndRun implements Logger.
+func (l *EventLogger) EndRun() {
+	l.Events = append(l.Events, Event{Kind: EvEnd})
+	if l.w != nil {
+		fmt.Fprintln(l.w, "end")
+	}
+}
+
+// Multi fans events out to several loggers.
+type Multi []Logger
+
+// BeginRun implements Logger.
+func (m Multi) BeginRun(app, scenario string) {
+	for _, l := range m {
+		l.BeginRun(app, scenario)
+	}
+}
+
+// Instantiation implements Logger.
+func (m Multi) Instantiation(rec InstRecord) {
+	for _, l := range m {
+		l.Instantiation(rec)
+	}
+}
+
+// Call implements Logger.
+func (m Multi) Call(rec CallRecord) {
+	for _, l := range m {
+		l.Call(rec)
+	}
+}
+
+// Release implements Logger.
+func (m Multi) Release(id uint64) {
+	for _, l := range m {
+		l.Release(id)
+	}
+}
+
+// EndRun implements Logger.
+func (m Multi) EndRun() {
+	for _, l := range m {
+		l.EndRun()
+	}
+}

@@ -1,0 +1,154 @@
+package logger
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleInst(id uint64) InstRecord {
+	return InstRecord{ID: id, Class: "Reader", Classification: "Reader@1",
+		CreatorClassification: "<main>", Order: int(id)}
+}
+
+func sampleCall() CallRecord {
+	return CallRecord{SrcInst: 0, DstInst: 1, SrcClassification: "<main>",
+		DstClassification: "Reader@1", IID: "IReader", Method: "Read",
+		InBytes: 100, OutBytes: 4000}
+}
+
+func TestNullLoggerDoesNothing(t *testing.T) {
+	var n Null
+	n.BeginRun("a", "s")
+	n.Instantiation(sampleInst(1))
+	n.Call(sampleCall())
+	n.Release(1)
+	n.EndRun()
+}
+
+func TestProfilingLoggerSummarizes(t *testing.T) {
+	l := NewProfiling("ifcb", true)
+	l.BeginRun("app", "o_newdoc")
+	l.Instantiation(sampleInst(1))
+	l.Instantiation(sampleInst(2))
+	l.Call(sampleCall())
+	l.Call(sampleCall())
+	l.EndRun()
+
+	p := l.LastRun()
+	if p == nil {
+		t.Fatal("no run recorded")
+	}
+	if p.TotalInstances() != 2 || p.TotalCalls() != 2 {
+		t.Fatalf("instances=%d calls=%d", p.TotalInstances(), p.TotalCalls())
+	}
+	e := p.Edge("<main>", "Reader@1")
+	if e.Calls != 2 || e.ExactInBytes != 200 || e.ExactOutBytes != 8000 {
+		t.Fatalf("edge = %+v", e)
+	}
+	if len(p.InstEdges) != 1 {
+		t.Fatalf("instance detail = %d edges", len(p.InstEdges))
+	}
+	if len(p.Scenarios) != 1 || p.Scenarios[0] != "o_newdoc" {
+		t.Fatalf("scenarios = %v", p.Scenarios)
+	}
+}
+
+func TestProfilingLoggerWithoutInstanceDetail(t *testing.T) {
+	l := NewProfiling("ifcb", false)
+	l.BeginRun("app", "s")
+	l.Instantiation(sampleInst(1))
+	l.Call(sampleCall())
+	l.EndRun()
+	if len(l.LastRun().InstEdges) != 0 {
+		t.Fatal("instance detail recorded when disabled")
+	}
+}
+
+func TestProfilingLoggerMultipleRunsAndCombined(t *testing.T) {
+	l := NewProfiling("ifcb", false)
+	for _, s := range []string{"s1", "s2", "s3"} {
+		l.BeginRun("app", s)
+		l.Instantiation(sampleInst(1))
+		l.Call(sampleCall())
+		l.EndRun()
+	}
+	if len(l.Runs()) != 3 {
+		t.Fatalf("runs = %d", len(l.Runs()))
+	}
+	c, err := l.Combined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalCalls() != 3 || len(c.Scenarios) != 3 {
+		t.Fatalf("combined: calls=%d scenarios=%v", c.TotalCalls(), c.Scenarios)
+	}
+}
+
+func TestProfilingLoggerCombinedEmpty(t *testing.T) {
+	if _, err := NewProfiling("ifcb", false).Combined(); err == nil {
+		t.Fatal("empty combine succeeded")
+	}
+}
+
+func TestProfilingLoggerIgnoresEventsOutsideRun(t *testing.T) {
+	l := NewProfiling("ifcb", true)
+	l.Instantiation(sampleInst(1)) // before BeginRun: dropped
+	l.Call(sampleCall())
+	l.EndRun() // no active run: no-op
+	if len(l.Runs()) != 0 {
+		t.Fatal("phantom run recorded")
+	}
+}
+
+func TestEventLoggerTracesEverything(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLogger(&buf)
+	l.BeginRun("app", "s")
+	l.Instantiation(sampleInst(1))
+	l.Call(sampleCall())
+	l.Release(1)
+	l.EndRun()
+	if len(l.Events) != 5 {
+		t.Fatalf("events = %d", len(l.Events))
+	}
+	kinds := []EventKind{EvBegin, EvInstantiation, EvCall, EvRelease, EvEnd}
+	for i, k := range kinds {
+		if l.Events[i].Kind != k {
+			t.Errorf("event %d kind = %v, want %v", i, l.Events[i].Kind, k)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"begin app s", "create #1 Reader", "call #0->#1 IReader.Read", "release #1", "end"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestEventLoggerNilWriter(t *testing.T) {
+	l := NewEventLogger(nil)
+	l.BeginRun("a", "s")
+	l.Call(sampleCall())
+	l.EndRun()
+	if len(l.Events) != 3 {
+		t.Fatalf("events = %d", len(l.Events))
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	p := NewProfiling("ifcb", false)
+	e := NewEventLogger(nil)
+	m := Multi{p, e}
+	m.BeginRun("app", "s")
+	m.Instantiation(sampleInst(1))
+	m.Call(sampleCall())
+	m.Release(1)
+	m.EndRun()
+	if len(p.Runs()) != 1 || p.LastRun().TotalCalls() != 1 {
+		t.Error("profiling logger missed events via Multi")
+	}
+	if len(e.Events) != 5 {
+		t.Error("event logger missed events via Multi")
+	}
+}

@@ -1,0 +1,41 @@
+package netsim_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Network generations shift the bandwidth-to-latency trade-off: a chatty
+// exchange of 100 tiny messages versus one bulk transfer of the same total
+// payload invert in cost between ISDN and a SAN.
+func ExampleModel_MessageTime() {
+	chattyOnISDN := 100 * netsim.ISDN.MessageTime(100)
+	bulkOnISDN := netsim.ISDN.MessageTime(100 * 100)
+	fmt.Println("ISDN: chatty > 10x bulk:", chattyOnISDN > 10*bulkOnISDN)
+
+	chattyOnSAN := 100 * netsim.SAN.MessageTime(100)
+	bulkOnSAN := netsim.SAN.MessageTime(100 * 100)
+	fmt.Println("SAN:  chatty > 10x bulk:", chattyOnSAN > 10*bulkOnSAN)
+	// Output:
+	// ISDN: chatty > 10x bulk: false
+	// SAN:  chatty > 10x bulk: true
+}
+
+// The network profiler samples message costs and answers arbitrary sizes
+// by piecewise-linear interpolation.
+func ExampleSample() {
+	measure := func(size int) time.Duration {
+		return time.Millisecond + time.Duration(size)*time.Microsecond
+	}
+	p, err := netsim.Sample("affine", measure, []int{0, 1000, 4000}, 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.MessageTime(0))
+	fmt.Println(p.MessageTime(2000)) // interpolated between samples
+	// Output:
+	// 1ms
+	// 3ms
+}

@@ -1,0 +1,203 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMessageTimeComposition(t *testing.T) {
+	m := &Model{Name: "t", Latency: time.Millisecond, Bandwidth: 1e6,
+		PerMessageCPU: 500 * time.Microsecond}
+	// 0 bytes: latency + cpu only.
+	if got := m.MessageTime(0); got != 1500*time.Microsecond {
+		t.Errorf("null message = %v", got)
+	}
+	// 1 MB at 1 MB/s: one extra second.
+	if got := m.MessageTime(1e6); got != time.Second+1500*time.Microsecond {
+		t.Errorf("1MB message = %v", got)
+	}
+	// Negative clamps to zero.
+	if got := m.MessageTime(-5); got != m.MessageTime(0) {
+		t.Errorf("negative size = %v", got)
+	}
+}
+
+func TestRoundTripTime(t *testing.T) {
+	m := TenBaseT
+	if got, want := m.RoundTripTime(100, 200), m.MessageTime(100)+m.MessageTime(200); got != want {
+		t.Errorf("RTT = %v, want %v", got, want)
+	}
+}
+
+func TestModelsCatalog(t *testing.T) {
+	all := Models()
+	if len(all) != 6 {
+		t.Fatalf("Models() has %d entries", len(all))
+	}
+	m, err := ByName("10BaseT")
+	if err != nil || m != TenBaseT {
+		t.Fatalf("ByName(10BaseT) = %v, %v", m, err)
+	}
+	if _, err := ByName("carrier-pigeon"); err == nil {
+		t.Fatal("unknown model found")
+	}
+	// The paper's premise: bandwidth-to-latency ratios differ by more than
+	// an order of magnitude across network generations.
+	isdnRatio := ISDN.Bandwidth / ISDN.Latency.Seconds()
+	sanRatio := SAN.Bandwidth / SAN.Latency.Seconds()
+	if sanRatio/isdnRatio < 10 {
+		t.Errorf("ISDN and SAN bandwidth-to-latency ratios too similar: %v vs %v", isdnRatio, sanRatio)
+	}
+}
+
+func TestNullRTTCalibration(t *testing.T) {
+	// DCOM null RPC on the paper's testbed is on the order of 2 ms.
+	rtt := TenBaseT.RoundTripTime(0, 0)
+	if rtt < time.Millisecond || rtt > 4*time.Millisecond {
+		t.Errorf("10BaseT null RTT = %v, want ~2ms", rtt)
+	}
+}
+
+func TestSampleMessageTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := TenBaseT
+	mean := m.MessageTime(1024)
+	var sum time.Duration
+	n := 2000
+	for i := 0; i < n; i++ {
+		s := m.SampleMessageTime(1024, rng)
+		if s < mean/2 {
+			t.Fatalf("sample %v below floor %v", s, mean/2)
+		}
+		sum += s
+	}
+	avg := sum / time.Duration(n)
+	if avg < time.Duration(float64(mean)*0.97) || avg > time.Duration(float64(mean)*1.03) {
+		t.Errorf("sample mean %v far from model mean %v", avg, mean)
+	}
+	// Zero jitter or nil rng: deterministic.
+	noJitter := &Model{Latency: time.Millisecond, Bandwidth: 1e6}
+	if noJitter.SampleMessageTime(10, rng) != noJitter.MessageTime(10) {
+		t.Error("zero-jitter sample differs from mean")
+	}
+	if m.SampleMessageTime(10, nil) != m.MessageTime(10) {
+		t.Error("nil-rng sample differs from mean")
+	}
+}
+
+func TestSampleProfileApproximatesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p, err := SampleModel(TenBaseT, rng, DefaultSampleSizes, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Points) != len(DefaultSampleSizes) {
+		t.Fatalf("points = %d", len(p.Points))
+	}
+	for _, sz := range []int{0, 100, 1000, 30000, 500000} {
+		got := p.MessageTime(sz)
+		want := TenBaseT.MessageTime(sz)
+		ratio := float64(got) / float64(want)
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("size %d: profile %v vs model %v (ratio %.2f)", sz, got, want, ratio)
+		}
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	if _, err := Sample("x", nil, nil, 3); err == nil {
+		t.Error("no sizes accepted")
+	}
+	if _, err := Sample("x", func(int) time.Duration { return 0 }, []int{1}, 0); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	obs := []time.Duration{10, 1, 100, 12, 11} // outliers 1 and 100 dropped
+	if got := trimmedMean(obs); got != 11 {
+		t.Errorf("trimmedMean = %v", got)
+	}
+	if got := trimmedMean([]time.Duration{5, 7}); got != 6 {
+		t.Errorf("trimmedMean short = %v", got)
+	}
+	if got := trimmedMean(nil); got != 0 {
+		t.Errorf("trimmedMean nil = %v", got)
+	}
+}
+
+func TestExactProfileInterpolation(t *testing.T) {
+	p := ExactProfile(TenBaseT, DefaultSampleSizes)
+	// At sampled sizes the profile is exact.
+	for _, sz := range DefaultSampleSizes {
+		if got, want := p.MessageTime(sz), TenBaseT.MessageTime(sz); got != want {
+			t.Errorf("size %d: %v != %v", sz, got, want)
+		}
+	}
+	// The model is affine in size, so linear interpolation is exact
+	// between points too (within rounding).
+	for _, sz := range []int{32, 500, 3000, 100000} {
+		got := p.MessageTime(sz)
+		want := TenBaseT.MessageTime(sz)
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > time.Microsecond {
+			t.Errorf("size %d: interp %v vs model %v", sz, got, want)
+		}
+	}
+	// Extrapolation beyond the last point follows the marginal slope.
+	got := p.MessageTime(1 << 20)
+	want := TenBaseT.MessageTime(1 << 20)
+	ratio := float64(got) / float64(want)
+	if ratio < 0.99 || ratio > 1.01 {
+		t.Errorf("extrapolated %v vs model %v", got, want)
+	}
+}
+
+func TestProfileEdgeCases(t *testing.T) {
+	empty := &Profile{}
+	if empty.MessageTime(100) != 0 {
+		t.Error("empty profile nonzero")
+	}
+	single := &Profile{Points: []ProfilePoint{{Size: 10, Time: time.Millisecond}}}
+	if single.MessageTime(5) != time.Millisecond || single.MessageTime(50) != time.Millisecond {
+		t.Error("single-point profile should be constant")
+	}
+	if single.MessageTime(-1) != time.Millisecond {
+		t.Error("negative size not clamped")
+	}
+	p := ExactProfile(TenBaseT, DefaultSampleSizes)
+	if got, want := p.RoundTripTime(10, 20), p.MessageTime(10)+p.MessageTime(20); got != want {
+		t.Error("profile RTT not additive")
+	}
+}
+
+func TestPropertyMessageTimeMonotone(t *testing.T) {
+	// Larger messages never cost less, for models and profiles alike.
+	p := ExactProfile(TenBaseT, DefaultSampleSizes)
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return TenBaseT.MessageTime(x) <= TenBaseT.MessageTime(y) &&
+			p.MessageTime(x) <= p.MessageTime(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := TenBaseT.String(); s == "" {
+		t.Error("model String empty")
+	}
+	p := ExactProfile(TenBaseT, []int{0, 64})
+	if s := p.String(); s == "" {
+		t.Error("profile String empty")
+	}
+}

@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Profile is the output of the network profiler: sampled mean message
+// times at representative sizes. The profile analysis engine predicts the
+// cost of an arbitrary message by piecewise-linear interpolation, so
+// predictions carry a small sampling error relative to the true network —
+// one of the real sources of the predicted-vs-measured gap in Table 5.
+type Profile struct {
+	Name   string
+	Points []ProfilePoint // sorted by ascending size
+}
+
+// ProfilePoint is the sampled mean one-way time for one message size.
+type ProfilePoint struct {
+	Size int
+	Time time.Duration
+}
+
+// DefaultSampleSizes are the representative DCOM message sizes the profiler
+// measures, spanning null RPCs to bulk transfers.
+var DefaultSampleSizes = []int{0, 64, 256, 1024, 4096, 16384, 65536, 262144}
+
+// MeasureFunc observes the one-way time of a single message of the given
+// payload size. Implementations exist for simulated models
+// (Model.SampleMessageTime) and for the loopback-TCP transport.
+type MeasureFunc func(size int) time.Duration
+
+// Sample builds a profile by taking `samples` observations at each size and
+// recording the trimmed mean (drop min and max when samples >= 4, as a
+// cheap robust estimator against scheduling outliers).
+func Sample(name string, measure MeasureFunc, sizes []int, samples int) (*Profile, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("netsim: no sample sizes")
+	}
+	if samples < 1 {
+		return nil, fmt.Errorf("netsim: samples must be positive, got %d", samples)
+	}
+	p := &Profile{Name: name, Points: make([]ProfilePoint, 0, len(sizes))}
+	sorted := append([]int(nil), sizes...)
+	sort.Ints(sorted)
+	for _, sz := range sorted {
+		obs := make([]time.Duration, samples)
+		for i := range obs {
+			obs[i] = measure(sz)
+		}
+		p.Points = append(p.Points, ProfilePoint{Size: sz, Time: trimmedMean(obs)})
+	}
+	return p, nil
+}
+
+// SampleModel profiles a simulated network model.
+func SampleModel(m *Model, rng *rand.Rand, sizes []int, samples int) (*Profile, error) {
+	return Sample(m.Name, func(sz int) time.Duration {
+		return m.SampleMessageTime(sz, rng)
+	}, sizes, samples)
+}
+
+func trimmedMean(obs []time.Duration) time.Duration {
+	if len(obs) == 0 {
+		return 0
+	}
+	sort.Slice(obs, func(i, j int) bool { return obs[i] < obs[j] })
+	lo, hi := 0, len(obs)
+	if len(obs) >= 4 {
+		lo, hi = 1, len(obs)-1
+	}
+	var sum time.Duration
+	for _, o := range obs[lo:hi] {
+		sum += o
+	}
+	return sum / time.Duration(hi-lo)
+}
+
+// MessageTime predicts the one-way cost of a message of the given size by
+// piecewise-linear interpolation between sampled points, extrapolating the
+// last segment's slope beyond the largest sample.
+func (p *Profile) MessageTime(bytes int) time.Duration {
+	if len(p.Points) == 0 {
+		return 0
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	pts := p.Points
+	if bytes <= pts[0].Size {
+		return pts[0].Time
+	}
+	for i := 1; i < len(pts); i++ {
+		if bytes <= pts[i].Size {
+			return lerp(pts[i-1], pts[i], bytes)
+		}
+	}
+	if len(pts) == 1 {
+		return pts[0].Time
+	}
+	// Extrapolate using the final segment's marginal cost per byte.
+	a, b := pts[len(pts)-2], pts[len(pts)-1]
+	return lerp(a, b, bytes)
+}
+
+func lerp(a, b ProfilePoint, x int) time.Duration {
+	if b.Size == a.Size {
+		return b.Time
+	}
+	frac := float64(x-a.Size) / float64(b.Size-a.Size)
+	return a.Time + time.Duration(frac*float64(b.Time-a.Time))
+}
+
+// RoundTripTime predicts a synchronous call's cost from the profile.
+func (p *Profile) RoundTripTime(inBytes, outBytes int) time.Duration {
+	return p.MessageTime(inBytes) + p.MessageTime(outBytes)
+}
+
+// ExactProfile builds a profile that reproduces a model's mean exactly at
+// the given sizes (no sampling noise). Useful for tests and for the
+// ablation comparing sampled against oracle network knowledge.
+func ExactProfile(m *Model, sizes []int) *Profile {
+	p := &Profile{Name: m.Name + "-exact"}
+	sorted := append([]int(nil), sizes...)
+	sort.Ints(sorted)
+	for _, sz := range sorted {
+		p.Points = append(p.Points, ProfilePoint{Size: sz, Time: m.MessageTime(sz)})
+	}
+	return p
+}
+
+// String renders the profile as a table.
+func (p *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "network profile %s:", p.Name)
+	for _, pt := range p.Points {
+		fmt.Fprintf(&b, " %d=%v", pt.Size, pt.Time)
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+// Package profile defines the inter-component communication (ICC) profiles
+// Coign collects during scenario-based profiling: message summaries in
+// exponentially growing size buckets, per-instance records, communication
+// vectors, and the dot-product correlation metric of paper §4.2.
+package profile
+
+import "math/bits"
+
+// Message sizes are summarized into buckets whose ranges grow
+// exponentially (paper §3.3: "successive ranges grow in size
+// exponentially"), which keeps profile storage bounded regardless of
+// execution length while preserving network independence: the analysis can
+// later price each bucket under any network profile.
+
+// BucketIndex returns the bucket for a message of the given size. Bucket 0
+// holds empty messages; bucket k (k >= 1) holds sizes in [2^(k-1), 2^k).
+func BucketIndex(size int) int {
+	if size <= 0 {
+		return 0
+	}
+	return bits.Len(uint(size))
+}
+
+// BucketRepresentative returns the size used to price messages in a
+// bucket: the midpoint of its range.
+func BucketRepresentative(idx int) int {
+	if idx <= 0 {
+		return 0
+	}
+	lo := 1 << (idx - 1)
+	hi := 1 << idx
+	return (lo + hi) / 2
+}
+
+// NumBuckets is a safe upper bound on bucket indices for 32-bit message
+// sizes.
+const NumBuckets = 33
+
+// BucketCounts is a sparse histogram of message counts per size bucket.
+type BucketCounts map[int]int64
+
+// Add records n messages of the given byte size.
+func (b BucketCounts) Add(size int, n int64) {
+	b[BucketIndex(size)] += n
+}
+
+// Merge folds other into b.
+func (b BucketCounts) Merge(other BucketCounts) {
+	for idx, n := range other {
+		b[idx] += n
+	}
+}
+
+// Total returns the total message count.
+func (b BucketCounts) Total() int64 {
+	var t int64
+	for _, n := range b {
+		t += n
+	}
+	return t
+}
+
+// ApproxBytes returns the total bytes implied by bucket representatives.
+func (b BucketCounts) ApproxBytes() int64 {
+	var t int64
+	for idx, n := range b {
+		t += n * int64(BucketRepresentative(idx))
+	}
+	return t
+}
+
+// Clone returns a deep copy.
+func (b BucketCounts) Clone() BucketCounts {
+	c := make(BucketCounts, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}

@@ -1,0 +1,155 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Log file serialization. At the end of a profiling execution Coign writes
+// the ICC profile to a file for later analysis; log files from multiple
+// scenarios may be combined during analysis (paper §2). The format is
+// line-oriented JSON of a stable, sorted mirror structure.
+
+type edgeForm struct {
+	Src          string        `json:"src"`
+	Dst          string        `json:"dst"`
+	Calls        int64         `json:"calls"`
+	In           map[int]int64 `json:"in,omitempty"`
+	Out          map[int]int64 `json:"out,omitempty"`
+	ExactIn      int64         `json:"exactIn"`
+	ExactOut     int64         `json:"exactOut"`
+	NonRemotable bool          `json:"nonRemotable,omitempty"`
+}
+
+type instEdgeForm struct {
+	Src          uint64        `json:"src"`
+	Dst          uint64        `json:"dst"`
+	Calls        int64         `json:"calls"`
+	In           map[int]int64 `json:"in,omitempty"`
+	Out          map[int]int64 `json:"out,omitempty"`
+	ExactIn      int64         `json:"exactIn"`
+	ExactOut     int64         `json:"exactOut"`
+	NonRemotable bool          `json:"nonRemotable,omitempty"`
+}
+
+type fileForm struct {
+	App             string               `json:"app"`
+	Classifier      string               `json:"classifier"`
+	Scenarios       []string             `json:"scenarios"`
+	Edges           []edgeForm           `json:"edges"`
+	Classifications []ClassificationInfo `json:"classifications"`
+	Instances       []InstanceRecord     `json:"instances,omitempty"`
+	InstEdges       []instEdgeForm       `json:"instEdges,omitempty"`
+}
+
+// Encode writes the profile as JSON.
+func (p *Profile) Encode(w io.Writer) error {
+	f := fileForm{
+		App:        p.App,
+		Classifier: p.Classifier,
+		Scenarios:  p.Scenarios,
+	}
+	for k, e := range p.Edges {
+		f.Edges = append(f.Edges, edgeForm{
+			Src: k.Src, Dst: k.Dst, Calls: e.Calls,
+			In: e.In, Out: e.Out,
+			ExactIn: e.ExactInBytes, ExactOut: e.ExactOutBytes,
+			NonRemotable: e.NonRemotable,
+		})
+	}
+	sort.Slice(f.Edges, func(i, j int) bool {
+		if f.Edges[i].Src != f.Edges[j].Src {
+			return f.Edges[i].Src < f.Edges[j].Src
+		}
+		return f.Edges[i].Dst < f.Edges[j].Dst
+	})
+	for _, ci := range p.Classifications {
+		f.Classifications = append(f.Classifications, *ci)
+	}
+	sort.Slice(f.Classifications, func(i, j int) bool {
+		return f.Classifications[i].ID < f.Classifications[j].ID
+	})
+	f.Instances = p.Instances
+	for k, e := range p.InstEdges {
+		f.InstEdges = append(f.InstEdges, instEdgeForm{
+			Src: k.Src, Dst: k.Dst, Calls: e.Calls,
+			In: e.In, Out: e.Out,
+			ExactIn: e.ExactInBytes, ExactOut: e.ExactOutBytes,
+			NonRemotable: e.NonRemotable,
+		})
+	}
+	sort.Slice(f.InstEdges, func(i, j int) bool {
+		if f.InstEdges[i].Src != f.InstEdges[j].Src {
+			return f.InstEdges[i].Src < f.InstEdges[j].Src
+		}
+		return f.InstEdges[i].Dst < f.InstEdges[j].Dst
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}
+
+// Decode reads a profile previously written by Encode.
+func Decode(r io.Reader) (*Profile, error) {
+	var f fileForm
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("profile: decode: %w", err)
+	}
+	p := New(f.App, f.Classifier)
+	p.Scenarios = f.Scenarios
+	for _, ef := range f.Edges {
+		e := p.Edge(ef.Src, ef.Dst)
+		e.Calls = ef.Calls
+		if ef.In != nil {
+			e.In = BucketCounts(ef.In)
+		}
+		if ef.Out != nil {
+			e.Out = BucketCounts(ef.Out)
+		}
+		e.ExactInBytes, e.ExactOutBytes = ef.ExactIn, ef.ExactOut
+		e.NonRemotable = ef.NonRemotable
+	}
+	for _, ci := range f.Classifications {
+		c := ci
+		p.Classifications[ci.ID] = &c
+	}
+	p.Instances = f.Instances
+	for _, ef := range f.InstEdges {
+		e := p.InstEdge(ef.Src, ef.Dst)
+		e.Calls = ef.Calls
+		if ef.In != nil {
+			e.In = BucketCounts(ef.In)
+		}
+		if ef.Out != nil {
+			e.Out = BucketCounts(ef.Out)
+		}
+		e.ExactInBytes, e.ExactOutBytes = ef.ExactIn, ef.ExactOut
+		e.NonRemotable = ef.NonRemotable
+	}
+	return p, nil
+}
+
+// WriteFile writes the profile log to a file.
+func (p *Profile) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := p.Encode(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a profile log from a file.
+func ReadFile(path string) (*Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

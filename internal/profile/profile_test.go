@@ -1,0 +1,426 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+func TestBucketIndexRanges(t *testing.T) {
+	cases := []struct{ size, want int }{
+		{-3, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{63, 6}, {64, 7}, {1024, 11}, {1 << 20, 21},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.size); got != c.want {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestBucketRepresentativeWithinRange(t *testing.T) {
+	if BucketRepresentative(0) != 0 {
+		t.Error("bucket 0 rep nonzero")
+	}
+	for idx := 1; idx < 30; idx++ {
+		rep := BucketRepresentative(idx)
+		if BucketIndex(rep) != idx {
+			t.Errorf("rep %d of bucket %d falls in bucket %d", rep, idx, BucketIndex(rep))
+		}
+	}
+}
+
+func TestPropertyBucketRoundTrip(t *testing.T) {
+	// Every size lands in a bucket whose range contains it, and ranges grow
+	// exponentially: rep(idx+1) is about 2x rep(idx).
+	f := func(sz uint32) bool {
+		s := int(sz >> 2)
+		idx := BucketIndex(s)
+		if s == 0 {
+			return idx == 0
+		}
+		lo := 1 << (idx - 1)
+		hi := 1 << idx
+		return s >= lo && s < hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketCounts(t *testing.T) {
+	b := make(BucketCounts)
+	b.Add(0, 2)
+	b.Add(100, 3)
+	b.Add(120, 1)
+	if b.Total() != 6 {
+		t.Errorf("Total = %d", b.Total())
+	}
+	if b[0] != 2 || b[BucketIndex(100)] != 4 {
+		t.Errorf("buckets = %v", b)
+	}
+	c := b.Clone()
+	c.Add(100, 1)
+	if b[BucketIndex(100)] != 4 {
+		t.Error("Clone aliases original")
+	}
+	other := make(BucketCounts)
+	other.Add(0, 5)
+	b.Merge(other)
+	if b[0] != 7 {
+		t.Errorf("Merge: %v", b)
+	}
+	// ApproxBytes sums representatives.
+	ab := b.ApproxBytes()
+	if ab != 4*int64(BucketRepresentative(BucketIndex(100))) {
+		t.Errorf("ApproxBytes = %d", ab)
+	}
+}
+
+func TestEdgeSummaryRecordAndTime(t *testing.T) {
+	np := netsim.ExactProfile(netsim.TenBaseT, netsim.DefaultSampleSizes)
+	e := NewEdgeSummary()
+	e.Record(100, 1000, false)
+	e.Record(100, 1000, false)
+	if e.Calls != 2 || e.ExactInBytes != 200 || e.ExactOutBytes != 2000 {
+		t.Fatalf("summary = %+v", e)
+	}
+	if e.NonRemotable {
+		t.Fatal("spurious non-remotable flag")
+	}
+	e.Record(0, 0, true)
+	if !e.NonRemotable {
+		t.Fatal("non-remotable flag not sticky")
+	}
+	bt := e.Time(np)
+	et := e.ExactTime(np)
+	if bt <= 0 || et <= 0 {
+		t.Fatalf("times: bucketed=%v exact=%v", bt, et)
+	}
+	// Bucketed pricing should approximate exact pricing within the bucket
+	// quantization (factor of ~2 worst case; much closer typically).
+	ratio := float64(bt) / float64(et)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("bucketed %v vs exact %v (ratio %.2f)", bt, et, ratio)
+	}
+	if NewEdgeSummary().ExactTime(np) != 0 {
+		t.Error("empty edge has nonzero exact time")
+	}
+}
+
+func TestEdgeSummaryMerge(t *testing.T) {
+	a := NewEdgeSummary()
+	a.Record(10, 20, false)
+	b := NewEdgeSummary()
+	b.Record(30, 40, true)
+	a.Merge(b)
+	if a.Calls != 2 || a.ExactInBytes != 40 || a.ExactOutBytes != 60 || !a.NonRemotable {
+		t.Fatalf("merged = %+v", a)
+	}
+}
+
+func buildTestProfile() *Profile {
+	p := New("app", "ifcb")
+	p.Scenarios = []string{"s1"}
+	p.AddInstance(InstanceRecord{ID: 1, Class: "Reader", Classification: "c:reader", Order: 1})
+	p.AddInstance(InstanceRecord{ID: 2, Class: "View", Classification: "c:view", Order: 2})
+	p.AddInstance(InstanceRecord{ID: 3, Class: "View", Classification: "c:view", Order: 3})
+	p.Edge(MainProgram, "c:reader").Record(64, 4096, false)
+	p.Edge("c:reader", "c:view").Record(128, 16, false)
+	p.InstEdge(0, 1).Record(64, 4096, false)
+	p.InstEdge(1, 2).Record(128, 16, false)
+	p.InstEdge(1, 3).Record(128, 16, false)
+	return p
+}
+
+func TestProfileAccumulation(t *testing.T) {
+	p := buildTestProfile()
+	if p.TotalInstances() != 3 {
+		t.Errorf("TotalInstances = %d", p.TotalInstances())
+	}
+	if p.TotalCalls() != 2 {
+		t.Errorf("TotalCalls = %d", p.TotalCalls())
+	}
+	ids := p.ClassificationIDs()
+	if len(ids) != 2 || ids[0] != "c:reader" || ids[1] != "c:view" {
+		t.Errorf("ClassificationIDs = %v", ids)
+	}
+	if p.Classifications["c:view"].Instances != 2 {
+		t.Errorf("view instances = %d", p.Classifications["c:view"].Instances)
+	}
+}
+
+func TestProfileMerge(t *testing.T) {
+	a := buildTestProfile()
+	b := buildTestProfile()
+	b.Scenarios = []string{"s2"}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Scenarios) != 2 {
+		t.Errorf("scenarios = %v", a.Scenarios)
+	}
+	if a.Edge(MainProgram, "c:reader").Calls != 2 {
+		t.Errorf("merged edge calls = %d", a.Edge(MainProgram, "c:reader").Calls)
+	}
+	if a.Classifications["c:view"].Instances != 4 {
+		t.Errorf("merged view instances = %d", a.Classifications["c:view"].Instances)
+	}
+
+	wrong := New("app", "st")
+	if err := a.Merge(wrong); err == nil {
+		t.Error("classifier mismatch merged")
+	}
+	wrongApp := New("other", "ifcb")
+	if err := a.Merge(wrongApp); err == nil {
+		t.Error("app mismatch merged")
+	}
+}
+
+func TestDropInstanceDetail(t *testing.T) {
+	p := buildTestProfile()
+	p.DropInstanceDetail()
+	if len(p.Instances) != 0 || len(p.InstEdges) != 0 {
+		t.Fatal("instance detail kept")
+	}
+	if p.TotalInstances() != 3 {
+		t.Fatal("classification-level data lost")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	a := Vector{"x": 1, "y": 1}
+	if got := Correlation(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self correlation = %v", got)
+	}
+	b := Vector{"z": 5}
+	if got := Correlation(a, b); got != 0 {
+		t.Errorf("disjoint correlation = %v", got)
+	}
+	// Scale invariance.
+	c := Vector{"x": 10, "y": 10}
+	if got := Correlation(a, c); math.Abs(got-1) > 1e-12 {
+		t.Errorf("scaled correlation = %v", got)
+	}
+	// Partial overlap lands strictly between.
+	d := Vector{"x": 1}
+	got := Correlation(a, d)
+	if got <= 0 || got >= 1 {
+		t.Errorf("partial correlation = %v", got)
+	}
+	// Empty vs empty: both silent, equivalent.
+	if got := Correlation(Vector{}, Vector{}); got != 1 {
+		t.Errorf("empty correlation = %v", got)
+	}
+	if got := Correlation(a, Vector{}); got != 0 {
+		t.Errorf("empty-vs-nonempty = %v", got)
+	}
+}
+
+func TestPropertyCorrelationBounds(t *testing.T) {
+	f := func(x1, y1, x2, y2 uint8) bool {
+		a := Vector{"x": float64(x1), "y": float64(y1)}
+		b := Vector{"x": float64(x2), "y": float64(y2)}
+		c := Correlation(a, b)
+		return c >= -1e-9 && c <= 1+1e-9 && math.Abs(Correlation(a, b)-Correlation(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstanceVectors(t *testing.T) {
+	np := netsim.ExactProfile(netsim.TenBaseT, netsim.DefaultSampleSizes)
+	p := buildTestProfile()
+	vecs := p.InstanceVectors(np)
+	if len(vecs) != 3 {
+		t.Fatalf("got %d vectors", len(vecs))
+	}
+	// Instance 1 (reader) talks to main and to both views.
+	v1 := vecs[1]
+	if v1[MainProgram] == 0 || v1["c:view"] == 0 {
+		t.Fatalf("reader vector = %v", v1)
+	}
+	// Views 2 and 3 have identical behaviour: perfect correlation.
+	if got := Correlation(vecs[2], vecs[3]); math.Abs(got-1) > 1e-12 {
+		t.Errorf("twin views correlation = %v", got)
+	}
+	// Reader's vector differs from a view's.
+	if got := Correlation(vecs[1], vecs[2]); got > 0.999 {
+		t.Errorf("reader-view correlation = %v", got)
+	}
+}
+
+func TestClassificationVectors(t *testing.T) {
+	np := netsim.ExactProfile(netsim.TenBaseT, netsim.DefaultSampleSizes)
+	p := buildTestProfile()
+	cv := p.ClassificationVectors(np)
+	if len(cv) != 2 {
+		t.Fatalf("got %d classification vectors", len(cv))
+	}
+	inst := p.InstanceVectors(np)
+	// The view classification's mean vector equals each (identical) member.
+	if got := Correlation(cv["c:view"], inst[2]); math.Abs(got-1) > 1e-12 {
+		t.Errorf("mean vs member correlation = %v", got)
+	}
+}
+
+func TestLogFileRoundTrip(t *testing.T) {
+	p := buildTestProfile()
+	p.Edge("c:reader", "c:view").NonRemotable = true
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != "app" || got.Classifier != "ifcb" || len(got.Scenarios) != 1 {
+		t.Fatalf("header = %+v", got)
+	}
+	if got.TotalCalls() != p.TotalCalls() || got.TotalInstances() != p.TotalInstances() {
+		t.Fatal("totals differ after round trip")
+	}
+	e := got.Edge("c:reader", "c:view")
+	if !e.NonRemotable || e.Calls != 1 || e.ExactInBytes != 128 {
+		t.Fatalf("edge = %+v", e)
+	}
+	if len(got.Instances) != 3 || len(got.InstEdges) != 3 {
+		t.Fatal("instance detail lost")
+	}
+	// Vectors survive serialization.
+	np := netsim.ExactProfile(netsim.TenBaseT, netsim.DefaultSampleSizes)
+	want := p.InstanceVectors(np)[1]
+	have := got.InstanceVectors(np)[1]
+	if got := Correlation(want, have); math.Abs(got-1) > 1e-12 {
+		t.Errorf("vector after round trip correlates %v", got)
+	}
+}
+
+func TestLogFileOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "o_newdoc.icc")
+	p := buildTestProfile()
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalCalls() != p.TotalCalls() {
+		t.Fatal("file round trip lost calls")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.icc")); err == nil {
+		t.Fatal("missing file read")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestEdgeTimeUsesBuckets(t *testing.T) {
+	// Two messages in the same bucket price identically even if sizes
+	// differ: network independence with bounded storage.
+	np := netsim.ExactProfile(netsim.TenBaseT, netsim.DefaultSampleSizes)
+	a := NewEdgeSummary()
+	a.Record(1000, 0, false)
+	b := NewEdgeSummary()
+	b.Record(1023, 0, false)
+	if a.Time(np) != b.Time(np) {
+		t.Error("same-bucket messages priced differently")
+	}
+	// Messages a bucket apart price differently.
+	c := NewEdgeSummary()
+	c.Record(2048, 0, false)
+	if a.Time(np) == c.Time(np) {
+		t.Error("different buckets priced identically")
+	}
+	var zero time.Duration
+	if NewEdgeSummary().Time(np) != zero {
+		t.Error("empty edge nonzero time")
+	}
+}
+
+func TestPropertyMergeCommutesOnTotals(t *testing.T) {
+	gen := func(seed int64) *Profile {
+		rr := rand.New(rand.NewSource(seed))
+		p := New("app", "ifcb")
+		p.Scenarios = []string{"s"}
+		for i := 0; i < 1+rr.Intn(6); i++ {
+			src := string(rune('a' + rr.Intn(4)))
+			dst := string(rune('a' + rr.Intn(4)))
+			if src == dst {
+				continue
+			}
+			p.Edge(src, dst).Record(rr.Intn(4096), rr.Intn(4096), rr.Intn(8) == 0)
+		}
+		for i := 0; i < rr.Intn(4); i++ {
+			p.AddInstance(InstanceRecord{ID: uint64(i + 1),
+				Class: "C", Classification: string(rune('a' + rr.Intn(4)))})
+		}
+		return p
+	}
+	f := func(s1, s2 int64) bool {
+		ab := gen(s1)
+		if err := ab.Merge(gen(s2)); err != nil {
+			return false
+		}
+		ba := gen(s2)
+		if err := ba.Merge(gen(s1)); err != nil {
+			return false
+		}
+		if ab.TotalCalls() != ba.TotalCalls() || ab.TotalInstances() != ba.TotalInstances() {
+			return false
+		}
+		// Edge-level equality both ways.
+		for k, e := range ab.Edges {
+			o := ba.Edges[k]
+			if o == nil || o.Calls != e.Calls || o.ExactInBytes != e.ExactInBytes ||
+				o.NonRemotable != e.NonRemotable {
+				return false
+			}
+		}
+		return len(ab.Edges) == len(ba.Edges)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOffsetInstanceIDs(t *testing.T) {
+	p := buildTestProfile()
+	maxBefore := p.MaxInstanceID()
+	if maxBefore != 3 {
+		t.Fatalf("max id = %d", maxBefore)
+	}
+	p.OffsetInstanceIDs(100)
+	if p.MaxInstanceID() != 103 {
+		t.Fatalf("max id after offset = %d", p.MaxInstanceID())
+	}
+	// Main program (id 0) stays fixed.
+	if _, ok := p.InstEdges[InstPairKey{Src: 0, Dst: 101}]; !ok {
+		t.Fatalf("main edge not preserved: %v", p.InstEdges)
+	}
+	// Zero offset is a no-op.
+	p.OffsetInstanceIDs(0)
+	if p.MaxInstanceID() != 103 {
+		t.Fatal("zero offset changed ids")
+	}
+	// Vectors survive offsetting (same shape under new ids).
+	np := netsim.ExactProfile(netsim.TenBaseT, netsim.DefaultSampleSizes)
+	vecs := p.InstanceVectors(np)
+	if len(vecs) != 3 {
+		t.Fatalf("vectors after offset = %d", len(vecs))
+	}
+}

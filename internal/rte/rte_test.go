@@ -1,0 +1,346 @@
+package rte
+
+import (
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/com"
+	"repro/internal/idl"
+	"repro/internal/informer"
+	"repro/internal/logger"
+	"repro/internal/profile"
+)
+
+// chainApp builds an app where Root.Run creates a Leaf and calls it,
+// exercising nested instantiation (non-empty shadow stack) and nested
+// calls.
+func chainApp() *com.App {
+	ifaces := idl.NewRegistry()
+	ifaces.Register(&idl.InterfaceDesc{
+		IID: "IRoot", Remotable: true,
+		Methods: []idl.MethodDesc{{
+			Name:   "Run",
+			Result: idl.TInt32,
+		}},
+	})
+	ifaces.Register(&idl.InterfaceDesc{
+		IID: "ILeaf", Remotable: true,
+		Methods: []idl.MethodDesc{{
+			Name:   "Work",
+			Params: []idl.ParamDesc{{Name: "data", Dir: idl.In, Type: idl.TBytes}},
+			Result: idl.TInt32,
+		}},
+	})
+	ifaces.Register(&idl.InterfaceDesc{
+		IID: "ISharedMem", Remotable: false,
+		Methods: []idl.MethodDesc{{
+			Name:   "Ptr",
+			Params: []idl.ParamDesc{{Name: "p", Dir: idl.In, Type: idl.TOpaque}},
+			Result: idl.TVoid,
+		}},
+	})
+
+	classes := com.NewClassRegistry()
+	classes.Register(&com.Class{
+		ID: "CLSID_Root", Name: "Root", Interfaces: []string{"IRoot"},
+		New: func() com.Object {
+			return com.ObjectFunc(func(c *com.Call) ([]idl.Value, error) {
+				leaf, err := c.Create("CLSID_Leaf")
+				if err != nil {
+					return nil, err
+				}
+				itf, err := c.Env.Query(leaf, "ILeaf")
+				if err != nil {
+					return nil, err
+				}
+				return c.Invoke(itf, "Work", idl.ByteBuf(make([]byte, 100)))
+			})
+		},
+	})
+	classes.Register(&com.Class{
+		ID: "CLSID_Leaf", Name: "Leaf", Interfaces: []string{"ILeaf", "ISharedMem"},
+		New: func() com.Object {
+			return com.ObjectFunc(func(c *com.Call) ([]idl.Value, error) {
+				switch c.Method {
+				case "Work":
+					return []idl.Value{idl.Int32(int32(len(c.Args[0].Bytes)))}, nil
+				case "Ptr":
+					return []idl.Value{}, nil
+				}
+				return nil, nil
+			})
+		},
+	})
+	return &com.App{Name: "chain", Classes: classes, Interfaces: ifaces}
+}
+
+func attach(t *testing.T, env *com.Env, opts Options) *RTE {
+	t.Helper()
+	if opts.Informer == nil {
+		opts.Informer = informer.Profiling{}
+	}
+	if opts.Table == nil {
+		opts.Table = classify.NewTable(classify.New(classify.IFCB, 0))
+	}
+	r, err := Attach(env, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAttachRequiresInformerAndTable(t *testing.T) {
+	env := com.NewEnv(chainApp())
+	if _, err := Attach(env, Options{Table: classify.NewTable(classify.New(classify.ST, 0))}); err == nil {
+		t.Error("attach without informer succeeded")
+	}
+	if _, err := Attach(env, Options{Informer: informer.Profiling{}}); err == nil {
+		t.Error("attach without table succeeded")
+	}
+}
+
+func TestProfilingRunCollectsEverything(t *testing.T) {
+	env := com.NewEnv(chainApp())
+	plog := logger.NewProfiling("ifcb", true)
+	r := attach(t, env, Options{Logger: plog})
+
+	r.BeginRun("scenario1")
+	root, err := env.CreateInstance(nil, "CLSID_Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	itf := env.MustQuery(root, "IRoot")
+	if _, err := env.Call(nil, itf, "Run"); err != nil {
+		t.Fatal(err)
+	}
+	r.EndRun()
+
+	p := plog.LastRun()
+	if p == nil {
+		t.Fatal("no profile")
+	}
+	if p.TotalInstances() != 2 {
+		t.Fatalf("instances = %d", p.TotalInstances())
+	}
+	if p.TotalCalls() != 2 {
+		t.Fatalf("calls = %d", p.TotalCalls())
+	}
+	// Root's classification context is <main>; Leaf's creator is Root.
+	var rootClassification, leafClassification string
+	for id, ci := range p.Classifications {
+		switch ci.Class {
+		case "Root":
+			rootClassification = id
+		case "Leaf":
+			leafClassification = id
+		}
+	}
+	if rootClassification == "" || leafClassification == "" {
+		t.Fatalf("classifications = %v", p.ClassificationIDs())
+	}
+	// The main->Root edge and Root->Leaf edge both exist.
+	if p.Edge(profile.MainProgram, rootClassification).Calls != 1 {
+		t.Error("main->Root edge missing")
+	}
+	e := p.Edge(rootClassification, leafClassification)
+	if e.Calls != 1 {
+		t.Error("Root->Leaf edge missing")
+	}
+	// Leaf received 100 bytes of payload plus header.
+	if e.ExactInBytes != int64(informer.DCOMHeaderBytes+4+100) {
+		t.Errorf("leaf in bytes = %d", e.ExactInBytes)
+	}
+	// Instance records carry creator classifications.
+	var leafRec *profile.InstanceRecord
+	for i := range p.Instances {
+		if p.Instances[i].Class == "Leaf" {
+			leafRec = &p.Instances[i]
+		}
+	}
+	if leafRec == nil || leafRec.CreatorClassification != rootClassification {
+		t.Fatalf("leaf record = %+v", leafRec)
+	}
+	if r.Calls() != 2 || r.WrappedInterfaces() != 2 {
+		t.Errorf("calls=%d wrapped=%d", r.Calls(), r.WrappedInterfaces())
+	}
+	if r.StackDepth() != 0 {
+		t.Errorf("stack depth after run = %d", r.StackDepth())
+	}
+}
+
+func TestClassifierSeesNestedContext(t *testing.T) {
+	// Two Leafs created from different contexts (main vs Root) must get
+	// different IFCB classifications.
+	env := com.NewEnv(chainApp())
+	r := attach(t, env, Options{})
+	r.BeginRun("s")
+	leafDirect, _ := env.CreateInstance(nil, "CLSID_Leaf")
+	root, _ := env.CreateInstance(nil, "CLSID_Root")
+	itf := env.MustQuery(root, "IRoot")
+	if _, err := env.Call(nil, itf, "Run"); err != nil {
+		t.Fatal(err)
+	}
+	r.EndRun()
+	var leafNested *com.Instance
+	for _, in := range env.Instances() {
+		if in.Class.Name == "Leaf" && in != leafDirect {
+			leafNested = in
+		}
+	}
+	if leafNested == nil {
+		t.Fatal("nested leaf not created")
+	}
+	if leafDirect.Classification == leafNested.Classification {
+		t.Error("IFCB failed to distinguish creation contexts")
+	}
+}
+
+type recordingComm struct {
+	calls int
+	req   int
+	resp  int
+}
+
+func (c *recordingComm) RemoteCall(from, to com.Machine, reqBytes, respBytes int) {
+	c.calls++
+	c.req += reqBytes
+	c.resp += respBytes
+}
+
+func TestPlacerAndRemoteCommunication(t *testing.T) {
+	env := com.NewEnv(chainApp())
+	comm := &recordingComm{}
+	// Place every Leaf on the server.
+	placer := PlacerFunc(func(_ string, cl *com.Class, creator com.Machine) com.Machine {
+		if cl.Name == "Leaf" {
+			return com.Server
+		}
+		return creator
+	})
+	r := attach(t, env, Options{Placer: placer, Comm: comm, Informer: informer.Distribution{}})
+	r.BeginRun("s")
+	root, _ := env.CreateInstance(nil, "CLSID_Root")
+	itf := env.MustQuery(root, "IRoot")
+	if _, err := env.Call(nil, itf, "Run"); err != nil {
+		t.Fatal(err)
+	}
+	r.EndRun()
+
+	// One remote instantiation (Leaf) + one crossing call (Root->Leaf).
+	if comm.calls != 2 {
+		t.Fatalf("remote events = %d", comm.calls)
+	}
+	// The crossing call's request bytes were measured by the transport
+	// even though the distribution informer measures nothing.
+	if comm.req <= informer.DCOMHeaderBytes {
+		t.Errorf("request bytes = %d", comm.req)
+	}
+	if r.Violations() != 0 {
+		t.Errorf("violations = %d", r.Violations())
+	}
+}
+
+func TestNonRemotableCrossingCountsViolation(t *testing.T) {
+	env := com.NewEnv(chainApp())
+	comm := &recordingComm{}
+	placer := PlacerFunc(func(_ string, cl *com.Class, creator com.Machine) com.Machine {
+		if cl.Name == "Leaf" {
+			return com.Server
+		}
+		return creator
+	})
+	r := attach(t, env, Options{Placer: placer, Comm: comm, Informer: informer.Distribution{}})
+	r.BeginRun("s")
+	leaf, _ := env.CreateInstance(nil, "CLSID_Leaf")
+	shm := env.MustQuery(leaf, "ISharedMem")
+	if _, err := env.Call(nil, shm, "Ptr", idl.OpaquePtr("region")); err != nil {
+		t.Fatal(err)
+	}
+	r.EndRun()
+	if r.Violations() != 1 {
+		t.Errorf("violations = %d, want 1", r.Violations())
+	}
+}
+
+func TestDetachRestoresEnvironment(t *testing.T) {
+	env := com.NewEnv(chainApp())
+	plog := logger.NewProfiling("ifcb", false)
+	r := attach(t, env, Options{Logger: plog})
+	r.BeginRun("s")
+	r.EndRun()
+	r.Detach()
+	// After detach, instantiations are not trapped.
+	leaf, err := env.CreateInstance(nil, "CLSID_Leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaf.Classification != "" {
+		t.Error("instantiation trapped after detach")
+	}
+}
+
+func TestLoadBinaryTracking(t *testing.T) {
+	env := com.NewEnv(chainApp())
+	r := attach(t, env, Options{})
+	r.LoadBinary("coign.rt")
+	r.LoadBinary("chain.exe")
+	bins := r.Binaries()
+	if len(bins) != 2 || bins[0] != "coign.rt" {
+		t.Errorf("binaries = %v", bins)
+	}
+}
+
+func TestBeginRunResetsState(t *testing.T) {
+	env := com.NewEnv(chainApp())
+	tab := classify.NewTable(classify.New(classify.Incremental, 0))
+	plog := logger.NewProfiling("incremental", false)
+	r := attach(t, env, Options{Table: tab, Logger: plog})
+	r.BeginRun("s1")
+	a, _ := env.CreateInstance(nil, "CLSID_Leaf")
+	r.EndRun()
+	r.BeginRun("s2")
+	b, _ := env.CreateInstance(nil, "CLSID_Leaf")
+	r.EndRun()
+	// The incremental classifier restarts per run, so both first
+	// instantiations share a classification.
+	if a.Classification != b.Classification {
+		t.Error("incremental classifier not reset between runs")
+	}
+	if len(plog.Runs()) != 2 {
+		t.Errorf("runs = %d", len(plog.Runs()))
+	}
+}
+
+func TestSnapshotOrdering(t *testing.T) {
+	// During a nested call the snapshot lists innermost frames first.
+	env := com.NewEnv(chainApp())
+	var r *RTE
+	var depthInsideLeaf int
+	var snap []classify.Frame
+	classes := env.App().Classes
+	classes.Register(&com.Class{
+		ID: "CLSID_Probe", Name: "Probe", Interfaces: []string{"ILeaf"},
+		New: func() com.Object {
+			return com.ObjectFunc(func(c *com.Call) ([]idl.Value, error) {
+				depthInsideLeaf = r.StackDepth()
+				snap = r.Snapshot()
+				return []idl.Value{idl.Int32(0)}, nil
+			})
+		},
+	})
+	r = attach(t, env, Options{})
+	r.BeginRun("s")
+	probe, _ := env.CreateInstance(nil, "CLSID_Probe")
+	root, _ := env.CreateInstance(nil, "CLSID_Root")
+	_ = root
+	itf := env.MustQuery(probe, "ILeaf")
+	if _, err := env.Call(nil, itf, "Work", idl.ByteBuf(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if depthInsideLeaf != 1 {
+		t.Errorf("depth inside call = %d", depthInsideLeaf)
+	}
+	if len(snap) != 1 || snap[0].Class != "Probe" || snap[0].Function != "Work" {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}

@@ -1,0 +1,112 @@
+// Package scenario catalogs the profiling-scenario suite of paper Table 1:
+// twenty-three scenarios across the three applications, ranging from
+// simple to complex, intended to represent realistic usage while fully
+// exercising the components found in each application.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/apps/benefits"
+	"repro/internal/apps/octarine"
+	"repro/internal/apps/photodraw"
+	"repro/internal/com"
+)
+
+// Info describes one profiling scenario.
+type Info struct {
+	Name        string
+	App         string
+	Description string
+	Bigone      bool // synthesis of the app's other scenarios
+}
+
+// Table1 returns all twenty-three scenarios in the paper's order.
+func Table1() []Info {
+	return []Info{
+		{octarine.ScenNewDoc, "octarine", "Create text document.", false},
+		{octarine.ScenNewMus, "octarine", "Create music document.", false},
+		{octarine.ScenNewTbl, "octarine", "Create table document.", false},
+		{octarine.ScenOldTb0, "octarine", "View 5-page table.", false},
+		{octarine.ScenOldTb3, "octarine", "View 150-page table.", false},
+		{octarine.ScenOldWp0, "octarine", "View 5-page text document.", false},
+		{octarine.ScenOldWp3, "octarine", "View 13-page text document.", false},
+		{octarine.ScenOldWp7, "octarine", "View 208-page text document.", false},
+		{octarine.ScenOldBth, "octarine", "View 5-page text doc. with tables.", false},
+		{octarine.ScenOffTb3, "octarine", "o_newdoc then o_oldtb3.", false},
+		{octarine.ScenOffWp7, "octarine", "o_newdoc then o_oldwp7.", false},
+		{octarine.ScenBigone, "octarine", "All of the above in one scenario.", true},
+		{photodraw.ScenNewDoc, "photodraw", "Create new image.", false},
+		{photodraw.ScenNewMsr, "photodraw", "Create new composition.", false},
+		{photodraw.ScenOldCur, "photodraw", "View line drawing.", false},
+		{photodraw.ScenOldMsr, "photodraw", "View composition.", false},
+		{photodraw.ScenOffCur, "photodraw", "p_newdoc then p_oldcur.", false},
+		{photodraw.ScenOffMsr, "photodraw", "p_newdoc then p_oldmsr.", false},
+		{photodraw.ScenBigone, "photodraw", "All of the above in one scenario.", true},
+		{benefits.ScenVueOne, "benefits", "View records for an employee.", false},
+		{benefits.ScenAddOne, "benefits", "Add new employee.", false},
+		{benefits.ScenDelOne, "benefits", "Delete employee.", false},
+		{benefits.ScenBigone, "benefits", "All of the above in one scenario.", true},
+	}
+}
+
+// Apps returns the application names in suite order.
+func Apps() []string { return []string{"octarine", "photodraw", "benefits"} }
+
+// NewApp constructs an application of the suite by name.
+func NewApp(name string) (*com.App, error) {
+	switch name {
+	case "octarine":
+		return octarine.New(), nil
+	case "photodraw":
+		return photodraw.New(), nil
+	case "benefits":
+		return benefits.New(), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown application %q", name)
+	}
+}
+
+// ForApp returns the scenario names belonging to one application, in
+// Table 1 order.
+func ForApp(app string) []string {
+	var out []string
+	for _, s := range Table1() {
+		if s.App == app {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// TrainingForApp returns the classifier-training scenarios (everything
+// except the bigone synthesis).
+func TrainingForApp(app string) []string {
+	var out []string
+	for _, s := range Table1() {
+		if s.App == app && !s.Bigone {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// BigoneForApp returns the app's bigone scenario name.
+func BigoneForApp(app string) (string, error) {
+	for _, s := range Table1() {
+		if s.App == app && s.Bigone {
+			return s.Name, nil
+		}
+	}
+	return "", fmt.Errorf("scenario: no bigone scenario for %q", app)
+}
+
+// Lookup returns the Info for a scenario name.
+func Lookup(name string) (Info, error) {
+	for _, s := range Table1() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Info{}, fmt.Errorf("scenario: unknown scenario %q", name)
+}

@@ -1,0 +1,64 @@
+package coign
+
+// Top-level regression gate: `go test .` asserts the headline results of
+// the reproduction without running the full benchmark harness.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestHeadlineFigure5(t *testing.T) {
+	row, err := experiments.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ServerInstances != 2 {
+		t.Errorf("Octarine text: %d server components, want 2 (paper Figure 5)", row.ServerInstances)
+	}
+	if row.Savings < 0.8 {
+		t.Errorf("Octarine text savings = %.2f", row.Savings)
+	}
+}
+
+func TestHeadlineFigure4(t *testing.T) {
+	row, err := experiments.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ServerInstances != 8 {
+		t.Errorf("PhotoDraw: %d server components, want 8 (paper Figure 4)", row.ServerInstances)
+	}
+	if row.TotalInstances < 280 || row.TotalInstances > 310 {
+		t.Errorf("PhotoDraw components = %d, want ~295", row.TotalInstances)
+	}
+}
+
+func TestHeadlineNeverWorseAndPredictionEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all 23 scenarios")
+	}
+	rows, err := experiments.Tables4And5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 23 {
+		t.Fatalf("rows = %d, want 23", len(rows))
+	}
+	for _, r := range rows {
+		if float64(r.CoignComm) > float64(r.DefaultComm)*1.02 {
+			t.Errorf("%s: Coign (%v) worse than default (%v)", r.Scenario, r.CoignComm, r.DefaultComm)
+		}
+		e := r.PredictionErr
+		if e < 0 {
+			e = -e
+		}
+		if e > 0.08 {
+			t.Errorf("%s: prediction error %.1f%% outside the paper's ±8%%", r.Scenario, e*100)
+		}
+		if r.Violations != 0 {
+			t.Errorf("%s: %d non-remotable crossings", r.Scenario, r.Violations)
+		}
+	}
+}
