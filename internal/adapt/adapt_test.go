@@ -13,6 +13,7 @@ import (
 )
 
 func TestCounterCounts(t *testing.T) {
+	t.Parallel()
 	c := NewCounter()
 	c.BeginRun("a", "s")
 	c.Instantiation(logger.InstRecord{ID: 1})
@@ -30,6 +31,7 @@ func TestCounterCounts(t *testing.T) {
 }
 
 func TestDriftMetric(t *testing.T) {
+	t.Parallel()
 	p := profile.New("a", "ifcb")
 	p.Edge("x", "y").Record(10, 10, false)
 	p.Edge("x", "y").Record(10, 10, false)
@@ -58,6 +60,7 @@ func TestDriftMetric(t *testing.T) {
 }
 
 func TestWatchdogValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := NewWatchdog(nil, 0.3, 10); err == nil {
 		t.Error("nil profile accepted")
 	}
@@ -70,6 +73,7 @@ func TestWatchdogValidation(t *testing.T) {
 }
 
 func TestWatchdogMinCalls(t *testing.T) {
+	t.Parallel()
 	p := profile.New("a", "ifcb")
 	p.Edge("x", "y").Record(1, 1, false)
 	w, err := NewWatchdog(p, 0.3, 100)
@@ -87,6 +91,7 @@ func TestWatchdogMinCalls(t *testing.T) {
 // documents — the watchdog must recommend re-profiling, while continued
 // text usage must not trigger it.
 func TestWatchdogDetectsUsageShift(t *testing.T) {
+	t.Parallel()
 	app := octarine.New()
 	adps := core.New(app)
 	if err := adps.Instrument(); err != nil {

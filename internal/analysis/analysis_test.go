@@ -60,6 +60,7 @@ func benchProfile() *profile.Profile {
 }
 
 func TestInferConstraint(t *testing.T) {
+	t.Parallel()
 	app := benchApp()
 	if m, ok := InferConstraint(app.Classes.LookupName("GUI")); !ok || m != com.Client {
 		t.Errorf("GUI constraint = %v,%v", m, ok)
@@ -88,6 +89,7 @@ func TestInferConstraint(t *testing.T) {
 }
 
 func TestAnalyzeMovesReaderToServer(t *testing.T) {
+	t.Parallel()
 	res, err := Analyze(benchProfile(), np(), benchApp(), Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -126,6 +128,7 @@ func TestAnalyzeMovesReaderToServer(t *testing.T) {
 }
 
 func TestAnalyzeNonRemotableForcesColocation(t *testing.T) {
+	t.Parallel()
 	p := benchProfile()
 	// A non-remotable edge between reader and gui drags the reader back to
 	// the client despite the heavy storage traffic... unless storage
@@ -149,6 +152,7 @@ func TestAnalyzeNonRemotableForcesColocation(t *testing.T) {
 }
 
 func TestAnalyzeExtraConstraints(t *testing.T) {
+	t.Parallel()
 	res, err := Analyze(benchProfile(), np(), benchApp(), Options{
 		ExtraPins: map[string]com.Machine{"reader@1": com.Client},
 	})
@@ -170,6 +174,7 @@ func TestAnalyzeExtraConstraints(t *testing.T) {
 }
 
 func TestAnalyzeExactPricing(t *testing.T) {
+	t.Parallel()
 	a, err := Analyze(benchProfile(), np(), benchApp(), Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -189,6 +194,7 @@ func TestAnalyzeExactPricing(t *testing.T) {
 }
 
 func TestAnalyzeArgumentErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := Analyze(nil, np(), benchApp(), Options{}); err == nil {
 		t.Error("nil profile accepted")
 	}
@@ -201,6 +207,7 @@ func TestAnalyzeArgumentErrors(t *testing.T) {
 }
 
 func TestAnalyzeUnsatisfiableConstraints(t *testing.T) {
+	t.Parallel()
 	p := benchProfile()
 	p.Edge("gui@1", "storage@1").Record(10, 10, true) // colocate GUI & storage
 	if _, err := Analyze(p, np(), benchApp(), Options{}); err == nil {
@@ -231,6 +238,7 @@ func evalProfiles(classifier string) (*profile.Profile, *profile.Profile) {
 }
 
 func TestEvaluateClassifier(t *testing.T) {
+	t.Parallel()
 	profiled, eval := evalProfiles("ifcb")
 	res, err := EvaluateClassifier(profiled, eval, np())
 	if err != nil {
@@ -253,6 +261,7 @@ func TestEvaluateClassifier(t *testing.T) {
 }
 
 func TestEvaluateClassifierErrors(t *testing.T) {
+	t.Parallel()
 	profiled, eval := evalProfiles("ifcb")
 	other := profile.New("app", "st")
 	other.Instances = eval.Instances
@@ -266,6 +275,7 @@ func TestEvaluateClassifierErrors(t *testing.T) {
 }
 
 func TestSavingsEdgeCases(t *testing.T) {
+	t.Parallel()
 	r := &Result{PredictedComm: time.Second, DefaultComm: 0}
 	if r.Savings() != 0 {
 		t.Error("zero default should give zero savings")
@@ -281,6 +291,7 @@ func TestSavingsEdgeCases(t *testing.T) {
 }
 
 func TestWriteDOT(t *testing.T) {
+	t.Parallel()
 	p := benchProfile()
 	res, err := Analyze(p, np(), benchApp(), Options{})
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 )
 
 func TestAppAssembly(t *testing.T) {
+	t.Parallel()
 	app := New()
 	// About a dozen middle-tier component classes plus the front end.
 	if n := app.Classes.Len(); n < 18 || n > 32 {
@@ -32,18 +33,21 @@ func TestAppAssembly(t *testing.T) {
 }
 
 func TestScenarioInventory(t *testing.T) {
+	t.Parallel()
 	if len(Scenarios()) != 4 {
 		t.Fatalf("scenario count = %d, want 4 (Table 1)", len(Scenarios()))
 	}
 }
 
 func TestUnknownScenarioFails(t *testing.T) {
+	t.Parallel()
 	if _, err := dist.Run(dist.Config{App: New(), Scenario: "b_nope", Mode: dist.ModeBare}); err == nil {
 		t.Fatal("unknown scenario ran")
 	}
 }
 
 func TestAllScenariosRunCleanly(t *testing.T) {
+	t.Parallel()
 	for _, scen := range Scenarios() {
 		res, err := dist.Run(dist.Config{
 			App: New(), Scenario: scen, Mode: dist.ModeDefault,
@@ -59,6 +63,7 @@ func TestAllScenariosRunCleanly(t *testing.T) {
 }
 
 func TestFigure6DistributionShape(t *testing.T) {
+	t.Parallel()
 	// Of ~196 components in the client and middle tier, the developer
 	// placed ~187 on the middle tier; Coign keeps ~135 there, moving the
 	// caching components to the client and reducing communication ~35%.
@@ -87,6 +92,7 @@ func TestFigure6DistributionShape(t *testing.T) {
 }
 
 func TestCachesMoveBusinessLogicStays(t *testing.T) {
+	t.Parallel()
 	adps := core.New(New())
 	if err := adps.Instrument(); err != nil {
 		t.Fatal(err)
@@ -124,6 +130,7 @@ func TestCachesMoveBusinessLogicStays(t *testing.T) {
 }
 
 func TestViewSavingsApproximatePaper(t *testing.T) {
+	t.Parallel()
 	adps := core.New(New())
 	rep, err := adps.ScenarioExperiment(ScenVueOne)
 	if err != nil {
@@ -139,6 +146,7 @@ func TestViewSavingsApproximatePaper(t *testing.T) {
 // three-machine cut (client / middle / database server) via the isolation
 // heuristic, treating the database as its own terminal.
 func TestMultiwayThreeTier(t *testing.T) {
+	t.Parallel()
 	app := New()
 	res, err := dist.Run(dist.Config{
 		App: app, Scenario: ScenBigone, Mode: dist.ModeProfiling,
@@ -198,6 +206,7 @@ func TestMultiwayThreeTier(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	run := func() *dist.Result {
 		res, err := dist.Run(dist.Config{
 			App: New(), Scenario: ScenBigone, Mode: dist.ModeDefault,

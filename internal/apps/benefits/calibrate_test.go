@@ -10,6 +10,7 @@ import (
 // TestCalibrationPrintout runs every scenario through the full pipeline;
 // run with -v to inspect the Table 4/5 and Figure 6 shaped numbers.
 func TestCalibrationPrintout(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("calibration printout")
 	}

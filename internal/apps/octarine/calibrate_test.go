@@ -10,6 +10,7 @@ import (
 // TestCalibrationPrintout runs every scenario through the full pipeline
 // and prints the Table 4/5 shaped numbers; run with -v to inspect.
 func TestCalibrationPrintout(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("calibration printout")
 	}

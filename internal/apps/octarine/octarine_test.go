@@ -11,6 +11,7 @@ import (
 )
 
 func TestAppAssembly(t *testing.T) {
+	t.Parallel()
 	app := New()
 	if app.Name != "octarine" {
 		t.Errorf("name = %s", app.Name)
@@ -37,6 +38,7 @@ func TestAppAssembly(t *testing.T) {
 }
 
 func TestScenarioInventory(t *testing.T) {
+	t.Parallel()
 	if len(Scenarios()) != 12 {
 		t.Fatalf("scenario count = %d, want 12 (Table 1)", len(Scenarios()))
 	}
@@ -47,6 +49,7 @@ func TestScenarioInventory(t *testing.T) {
 }
 
 func TestUnknownScenarioFails(t *testing.T) {
+	t.Parallel()
 	_, err := dist.Run(dist.Config{App: New(), Scenario: "o_nope", Mode: dist.ModeBare})
 	if err == nil {
 		t.Fatal("unknown scenario ran")
@@ -54,6 +57,7 @@ func TestUnknownScenarioFails(t *testing.T) {
 }
 
 func TestAllScenariosRunCleanly(t *testing.T) {
+	t.Parallel()
 	for _, scen := range Scenarios() {
 		res, err := dist.Run(dist.Config{
 			App: New(), Scenario: scen, Mode: dist.ModeDefault,
@@ -72,6 +76,7 @@ func TestAllScenariosRunCleanly(t *testing.T) {
 }
 
 func TestFigure5TextDocumentShape(t *testing.T) {
+	t.Parallel()
 	// Viewing a text-only document instantiates 458 components; in the
 	// Coign distribution only the reader and the text-properties
 	// component belong on the server (paper Figure 5).
@@ -101,6 +106,7 @@ func TestFigure5TextDocumentShape(t *testing.T) {
 }
 
 func TestFigure7TableDocumentShape(t *testing.T) {
+	t.Parallel()
 	adps := core.New(New())
 	rep, err := adps.ScenarioExperiment(ScenOldTb0)
 	if err != nil {
@@ -124,6 +130,7 @@ func TestFigure7TableDocumentShape(t *testing.T) {
 }
 
 func TestFigure8MixedDocumentShape(t *testing.T) {
+	t.Parallel()
 	// Embedded tables flip the optimal distribution: the page-placement
 	// negotiation cluster (hundreds of components) moves to the server.
 	adps := core.New(New())
@@ -143,6 +150,7 @@ func TestFigure8MixedDocumentShape(t *testing.T) {
 }
 
 func TestCoignNeverWorseThanDefault(t *testing.T) {
+	t.Parallel()
 	adps := core.New(New())
 	for _, scen := range []string{ScenNewDoc, ScenNewMus, ScenNewTbl, ScenOldWp0, ScenOldWp3, ScenOldTb0} {
 		rep, err := adps.ScenarioExperiment(scen)
@@ -163,6 +171,7 @@ func TestCoignNeverWorseThanDefault(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	run := func() *dist.Result {
 		res, err := dist.Run(dist.Config{
 			App: New(), Scenario: ScenOldBth, Mode: dist.ModeDefault,
@@ -186,6 +195,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestClassificationsStableAcrossRuns(t *testing.T) {
+	t.Parallel()
 	// The same scenario profiled twice yields identical classification
 	// ids — the property the lightweight runtime depends on to correlate
 	// instantiations with profiles.
@@ -215,6 +225,7 @@ func TestClassificationsStableAcrossRuns(t *testing.T) {
 }
 
 func TestClassifierGranularityOrdering(t *testing.T) {
+	t.Parallel()
 	// ST sees only classes; call-chain classifiers see context. On a GUI
 	// of hundreds of widgets, IFCB must find at least as many
 	// classifications as ST.
@@ -240,6 +251,7 @@ func TestClassifierGranularityOrdering(t *testing.T) {
 }
 
 func TestTextServicesStayWithDisplay(t *testing.T) {
+	t.Parallel()
 	// The flow's text services must not drift to the server.
 	adps := core.New(New())
 	if err := adps.Instrument(); err != nil {
@@ -263,6 +275,7 @@ func TestTextServicesStayWithDisplay(t *testing.T) {
 }
 
 func TestProfileStorageSublinearInExecutionLength(t *testing.T) {
+	t.Parallel()
 	// Paper §2: because communication is summarized online into
 	// exponential size buckets per classification pair, profile storage
 	// does not grow linearly with execution time. The 150-page table

@@ -9,6 +9,7 @@ import (
 // TestCalibrationPrintout runs every scenario through the full pipeline;
 // run with -v to inspect the Table 4/5 shaped numbers.
 func TestCalibrationPrintout(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("calibration printout")
 	}

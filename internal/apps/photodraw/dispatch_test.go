@@ -11,6 +11,7 @@ import (
 // an error rather than panic or silently succeed — the behaviour a COM
 // server exhibits for an unknown vtable slot.
 func TestEveryDispatcherRejectsUnknownMethods(t *testing.T) {
+	t.Parallel()
 	app := New()
 	env := com.NewEnv(app)
 	for _, cls := range app.Classes.Classes() {

@@ -10,6 +10,7 @@ import (
 )
 
 func TestAppAssembly(t *testing.T) {
+	t.Parallel()
 	app := New()
 	// The paper reports approximately 112 component classes.
 	if n := app.Classes.Len(); n < 100 || n > 125 {
@@ -28,12 +29,14 @@ func TestAppAssembly(t *testing.T) {
 }
 
 func TestScenarioInventory(t *testing.T) {
+	t.Parallel()
 	if len(Scenarios()) != 7 {
 		t.Fatalf("scenario count = %d, want 7 (Table 1)", len(Scenarios()))
 	}
 }
 
 func TestAllScenariosRunCleanly(t *testing.T) {
+	t.Parallel()
 	for _, scen := range Scenarios() {
 		res, err := dist.Run(dist.Config{
 			App: New(), Scenario: scen, Mode: dist.ModeDefault,
@@ -49,12 +52,14 @@ func TestAllScenariosRunCleanly(t *testing.T) {
 }
 
 func TestUnknownScenarioFails(t *testing.T) {
+	t.Parallel()
 	if _, err := dist.Run(dist.Config{App: New(), Scenario: "p_nope", Mode: dist.ModeBare}); err == nil {
 		t.Fatal("unknown scenario ran")
 	}
 }
 
 func TestFigure4CompositionShape(t *testing.T) {
+	t.Parallel()
 	// Of ~295 components viewing a composition, Coign places eight on the
 	// server: the file reader and seven property sets (paper Figure 4).
 	adps := core.New(New())
@@ -78,6 +83,7 @@ func TestFigure4CompositionShape(t *testing.T) {
 }
 
 func TestServerComponentsAreReaderAndPropertySets(t *testing.T) {
+	t.Parallel()
 	adps := core.New(New())
 	if err := adps.Instrument(); err != nil {
 		t.Fatal(err)
@@ -111,6 +117,7 @@ func TestServerComponentsAreReaderAndPropertySets(t *testing.T) {
 }
 
 func TestVectorDocumentSavesMoreThanBitmap(t *testing.T) {
+	t.Parallel()
 	// Line drawings (vector-heavy, proportionally more property data) save
 	// more than pixel-heavy compositions: 32% vs 21% in Table 4.
 	adps := core.New(New())
@@ -128,6 +135,7 @@ func TestVectorDocumentSavesMoreThanBitmap(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	run := func() *dist.Result {
 		res, err := dist.Run(dist.Config{
 			App: New(), Scenario: ScenOldMsr, Mode: dist.ModeDefault,

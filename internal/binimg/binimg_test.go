@@ -29,6 +29,7 @@ func testApp() *com.App {
 }
 
 func TestBuildImage(t *testing.T) {
+	t.Parallel()
 	im := BuildImage(testApp())
 	if im.AppName != "demo" {
 		t.Errorf("name = %s", im.AppName)
@@ -48,6 +49,7 @@ func TestBuildImage(t *testing.T) {
 }
 
 func TestBuildImageDefaultImports(t *testing.T) {
+	t.Parallel()
 	app := testApp()
 	app.Imports = nil
 	im := BuildImage(app)
@@ -57,6 +59,7 @@ func TestBuildImageDefaultImports(t *testing.T) {
 }
 
 func TestInstrumentInsertsFirstImportSlot(t *testing.T) {
+	t.Parallel()
 	im := BuildImage(testApp())
 	inst, err := Instrument(im, "ifcb", 0, map[string]string{"IFoo": "Read(in l):v"})
 	if err != nil {
@@ -91,12 +94,14 @@ func TestInstrumentInsertsFirstImportSlot(t *testing.T) {
 }
 
 func TestInstrumentRequiresClassifier(t *testing.T) {
+	t.Parallel()
 	if _, err := Instrument(BuildImage(testApp()), "", 0, nil); err == nil {
 		t.Fatal("empty classifier accepted")
 	}
 }
 
 func TestSetDistribution(t *testing.T) {
+	t.Parallel()
 	im := BuildImage(testApp())
 	inst, _ := Instrument(im, "ifcb", 0, nil)
 	dist := map[string]com.Machine{"A@1": com.Client, "B@2": com.Server}
@@ -131,6 +136,7 @@ func TestSetDistribution(t *testing.T) {
 }
 
 func TestDistributionMapNil(t *testing.T) {
+	t.Parallel()
 	var c *ConfigRecord
 	if c.DistributionMap() != nil {
 		t.Error("nil config produced a map")
@@ -141,6 +147,7 @@ func TestDistributionMapNil(t *testing.T) {
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
+	t.Parallel()
 	im := BuildImage(testApp())
 	inst, _ := Instrument(im, "ifcb", 3, map[string]string{"I": "f"})
 	var buf bytes.Buffer
@@ -166,6 +173,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestDecodeRejectsCorruption(t *testing.T) {
+	t.Parallel()
 	im := BuildImage(testApp())
 	var buf bytes.Buffer
 	if err := im.Encode(&buf); err != nil {
@@ -199,6 +207,7 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 }
 
 func TestImageFileRoundTrip(t *testing.T) {
+	t.Parallel()
 	dir := t.TempDir()
 	path := filepath.Join(dir, "demo.img")
 	im := BuildImage(testApp())
@@ -218,6 +227,7 @@ func TestImageFileRoundTrip(t *testing.T) {
 }
 
 func TestProfileAccumulationInBinary(t *testing.T) {
+	t.Parallel()
 	im := BuildImage(testApp())
 	inst, _ := Instrument(im, "ifcb", 0, nil)
 
@@ -271,6 +281,7 @@ func TestProfileAccumulationInBinary(t *testing.T) {
 }
 
 func TestGetProfileEmpty(t *testing.T) {
+	t.Parallel()
 	c := &ConfigRecord{}
 	p, err := c.GetProfile()
 	if err != nil || p != nil {

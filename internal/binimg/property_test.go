@@ -32,6 +32,7 @@ func randomImage(seed int64) *Image {
 }
 
 func TestPropertyImageRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		im := randomImage(seed)
 		var buf bytes.Buffer
@@ -65,6 +66,7 @@ func TestPropertyImageRoundTrip(t *testing.T) {
 }
 
 func TestPropertySingleBitCorruptionDetected(t *testing.T) {
+	t.Parallel()
 	// Any single-bit flip anywhere in the container is rejected (either by
 	// the checksum or by structural validation) — a decode never silently
 	// yields a different image.

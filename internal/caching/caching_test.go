@@ -7,6 +7,7 @@ import (
 )
 
 func TestLookupStoreRoundTrip(t *testing.T) {
+	t.Parallel()
 	c := New(0)
 	args := []idl.Value{idl.Int32(7)}
 	if _, hit := c.Lookup(1, "Query", args); hit {
@@ -24,6 +25,7 @@ func TestLookupStoreRoundTrip(t *testing.T) {
 }
 
 func TestKeyDiscrimination(t *testing.T) {
+	t.Parallel()
 	c := New(0)
 	c.Store(1, "Query", []idl.Value{idl.Int32(7)}, []idl.Value{idl.Int32(1)})
 	// Different argument.
@@ -41,6 +43,7 @@ func TestKeyDiscrimination(t *testing.T) {
 }
 
 func TestRichArgumentDigests(t *testing.T) {
+	t.Parallel()
 	c := New(0)
 	pt := idl.Struct("P", idl.Field("a", idl.TString), idl.Field("b", idl.TBytes))
 	argsA := []idl.Value{idl.StructVal(pt, idl.String("x"), idl.ByteBuf([]byte{1, 2}))}
@@ -63,6 +66,7 @@ func (p fakePtr) IID() string        { return p.iid }
 func (p fakePtr) InstanceID() uint64 { return p.id }
 
 func TestInterfacePointerArgs(t *testing.T) {
+	t.Parallel()
 	c := New(0)
 	a := []idl.Value{idl.IfacePtr(fakePtr{"I", 1})}
 	b := []idl.Value{idl.IfacePtr(fakePtr{"I", 2})}
@@ -76,6 +80,7 @@ func TestInterfacePointerArgs(t *testing.T) {
 }
 
 func TestOpaqueArgumentsNeverCached(t *testing.T) {
+	t.Parallel()
 	c := New(0)
 	args := []idl.Value{idl.OpaquePtr("shm")}
 	c.Store(1, "M", args, []idl.Value{idl.Int32(1)})
@@ -88,6 +93,7 @@ func TestOpaqueArgumentsNeverCached(t *testing.T) {
 }
 
 func TestOpaqueResultsNeverCached(t *testing.T) {
+	t.Parallel()
 	c := New(0)
 	c.Store(1, "M", []idl.Value{idl.Int32(1)}, []idl.Value{idl.OpaquePtr("shm")})
 	if c.Len() != 0 {
@@ -96,6 +102,7 @@ func TestOpaqueResultsNeverCached(t *testing.T) {
 }
 
 func TestCapacityBound(t *testing.T) {
+	t.Parallel()
 	c := New(2)
 	for i := 0; i < 5; i++ {
 		c.Store(1, "M", []idl.Value{idl.Int32(int32(i))}, []idl.Value{idl.Int32(1)})

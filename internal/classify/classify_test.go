@@ -26,6 +26,7 @@ func figure3Stack() []Frame {
 }
 
 func TestFigure3Descriptors(t *testing.T) {
+	t.Parallel()
 	stack := figure3Stack()
 	cases := []struct {
 		kind Kind
@@ -47,6 +48,7 @@ func TestFigure3Descriptors(t *testing.T) {
 }
 
 func TestIncrementalCountsAndResets(t *testing.T) {
+	t.Parallel()
 	c := New(Incremental, 0)
 	if got := c.Classify("D", nil); got != "[1]" {
 		t.Errorf("first = %s", got)
@@ -61,6 +63,7 @@ func TestIncrementalCountsAndResets(t *testing.T) {
 }
 
 func TestIncrementalIgnoresContext(t *testing.T) {
+	t.Parallel()
 	// Same order, different stacks: identical classifications — exactly
 	// why it fails on input-driven applications.
 	a := New(Incremental, 0)
@@ -73,6 +76,7 @@ func TestIncrementalIgnoresContext(t *testing.T) {
 }
 
 func TestSTIgnoresStack(t *testing.T) {
+	t.Parallel()
 	c := New(ST, 0)
 	if c.Classify("D", figure3Stack()) != c.Classify("D", nil) {
 		t.Error("ST depends on stack")
@@ -83,6 +87,7 @@ func TestSTIgnoresStack(t *testing.T) {
 }
 
 func TestIBUsesParentOnly(t *testing.T) {
+	t.Parallel()
 	c := New(IB, 0)
 	if got := c.Classify("D", nil); got != "[D, <main>]" {
 		t.Errorf("main-created = %s", got)
@@ -98,6 +103,7 @@ func TestIBUsesParentOnly(t *testing.T) {
 }
 
 func TestDepthLimiting(t *testing.T) {
+	t.Parallel()
 	stack := figure3Stack()
 	cases := []struct {
 		depth int
@@ -118,6 +124,7 @@ func TestDepthLimiting(t *testing.T) {
 }
 
 func TestDepthCoarsensMonotonically(t *testing.T) {
+	t.Parallel()
 	// If two stacks are distinguished at depth d, they must also be
 	// distinguished at any greater depth (more context never merges
 	// classifications).
@@ -139,6 +146,7 @@ func TestDepthCoarsensMonotonically(t *testing.T) {
 }
 
 func TestEntryPointCollapsing(t *testing.T) {
+	t.Parallel()
 	// Three contiguous frames of one instance collapse to the entry
 	// (outermost) one.
 	stack := []Frame{
@@ -159,6 +167,7 @@ func TestEntryPointCollapsing(t *testing.T) {
 }
 
 func TestNames(t *testing.T) {
+	t.Parallel()
 	if New(IFCB, 0).Name() != "ifcb" || New(IFCB, 4).Name() != "ifcb-d4" {
 		t.Error("IFCB names wrong")
 	}
@@ -180,12 +189,14 @@ func TestNames(t *testing.T) {
 }
 
 func TestKindsComplete(t *testing.T) {
+	t.Parallel()
 	if len(Kinds()) != 7 {
 		t.Fatalf("paper defines seven classifiers, got %d", len(Kinds()))
 	}
 }
 
 func TestDescriptorIDStability(t *testing.T) {
+	t.Parallel()
 	a := DescriptorID("D", "[D, c]")
 	b := DescriptorID("D", "[D, c]")
 	if a != b {
@@ -200,6 +211,7 @@ func TestDescriptorIDStability(t *testing.T) {
 }
 
 func TestTableAssignAndCounts(t *testing.T) {
+	t.Parallel()
 	tab := NewTable(New(IFCB, 0))
 	id1 := tab.Assign("D", figure3Stack())
 	id2 := tab.Assign("D", figure3Stack())
@@ -225,6 +237,7 @@ func TestTableAssignAndCounts(t *testing.T) {
 }
 
 func TestTableResetPreservesIDs(t *testing.T) {
+	t.Parallel()
 	tab := NewTable(New(Incremental, 0))
 	id1 := tab.Assign("D", nil)
 	tab.Reset()
@@ -238,6 +251,7 @@ func TestTableResetPreservesIDs(t *testing.T) {
 }
 
 func TestPropertyDeterminism(t *testing.T) {
+	t.Parallel()
 	// All non-incremental classifiers are pure functions of (class, stack).
 	f := func(classSel uint8, funcSel uint8, depth uint8) bool {
 		classes := []string{"A", "B", "C"}
@@ -262,6 +276,7 @@ func TestPropertyDeterminism(t *testing.T) {
 }
 
 func TestPropertyContextualOrdering(t *testing.T) {
+	t.Parallel()
 	// IFCB refines STCB refines ST: if IFCB says two instantiations are
 	// the same classification, so do the coarser classifiers.
 	f := func(a, b uint8) bool {

@@ -69,6 +69,7 @@ func testApp() *App {
 }
 
 func TestClassRegistry(t *testing.T) {
+	t.Parallel()
 	app := testApp()
 	if app.Classes.Len() != 2 {
 		t.Fatalf("Len = %d", app.Classes.Len())
@@ -93,6 +94,7 @@ func TestClassRegistry(t *testing.T) {
 }
 
 func TestClassRegistryPanics(t *testing.T) {
+	t.Parallel()
 	for name, reg := range map[string]func(*ClassRegistry){
 		"empty clsid": func(r *ClassRegistry) {
 			r.Register(&Class{New: func() Object { return nil }})
@@ -118,6 +120,7 @@ func TestClassRegistryPanics(t *testing.T) {
 }
 
 func TestCreateAndCall(t *testing.T) {
+	t.Parallel()
 	env := NewEnv(testApp())
 	counter, err := env.CreateInstance(nil, "CLSID_Counter")
 	if err != nil {
@@ -147,6 +150,7 @@ func TestCreateAndCall(t *testing.T) {
 }
 
 func TestNestedCallThroughComponent(t *testing.T) {
+	t.Parallel()
 	env := NewEnv(testApp())
 	counter, _ := env.CreateInstance(nil, "CLSID_Counter")
 	caller, _ := env.CreateInstance(nil, "CLSID_Caller")
@@ -165,6 +169,7 @@ func TestNestedCallThroughComponent(t *testing.T) {
 }
 
 func TestStrictValidation(t *testing.T) {
+	t.Parallel()
 	env := NewEnv(testApp())
 	counter, _ := env.CreateInstance(nil, "CLSID_Counter")
 	itf := env.MustQuery(counter, "ICounter")
@@ -184,6 +189,7 @@ func TestStrictValidation(t *testing.T) {
 }
 
 func TestQueryErrors(t *testing.T) {
+	t.Parallel()
 	env := NewEnv(testApp())
 	counter, _ := env.CreateInstance(nil, "CLSID_Counter")
 	if _, err := env.Query(counter, "IPoke"); err == nil {
@@ -199,6 +205,7 @@ func TestQueryErrors(t *testing.T) {
 }
 
 func TestReleaseSemantics(t *testing.T) {
+	t.Parallel()
 	env := NewEnv(testApp())
 	counter, _ := env.CreateInstance(nil, "CLSID_Counter")
 	itf := env.MustQuery(counter, "ICounter")
@@ -219,6 +226,7 @@ func TestReleaseSemantics(t *testing.T) {
 }
 
 func TestCreateUnknownClass(t *testing.T) {
+	t.Parallel()
 	env := NewEnv(testApp())
 	if _, err := env.CreateInstance(nil, "CLSID_None"); err == nil {
 		t.Fatal("unknown class created")
@@ -226,6 +234,7 @@ func TestCreateUnknownClass(t *testing.T) {
 }
 
 func TestHooksIntercept(t *testing.T) {
+	t.Parallel()
 	env := NewEnv(testApp())
 	var created []CLSID
 	var calls []string
@@ -267,6 +276,7 @@ func TestHooksIntercept(t *testing.T) {
 }
 
 func TestDefaultPlacementFollowsCreator(t *testing.T) {
+	t.Parallel()
 	env := NewEnv(testApp())
 	parent, _ := env.CreateInstance(nil, "CLSID_Counter")
 	parent.Machine = Server
@@ -287,6 +297,7 @@ func (c *recordingClock) Compute(m Machine, d time.Duration) {
 }
 
 func TestComputeClock(t *testing.T) {
+	t.Parallel()
 	env := NewEnv(testApp())
 	clk := &recordingClock{}
 	env.SetClock(clk)
@@ -312,6 +323,7 @@ func TestComputeClock(t *testing.T) {
 }
 
 func TestInstancesIteration(t *testing.T) {
+	t.Parallel()
 	env := NewEnv(testApp())
 	a, _ := env.CreateInstance(nil, "CLSID_Counter")
 	b, _ := env.CreateInstance(nil, "CLSID_Caller")
@@ -326,6 +338,7 @@ func TestInstancesIteration(t *testing.T) {
 }
 
 func TestMachineString(t *testing.T) {
+	t.Parallel()
 	if Client.String() != "client" || Server.String() != "server" ||
 		Middle.String() != "middle" || Machine(7).String() != "machine7" {
 		t.Fatal("Machine.String broken")
@@ -333,6 +346,7 @@ func TestMachineString(t *testing.T) {
 }
 
 func TestMustQueryPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -344,6 +358,7 @@ func TestMustQueryPanics(t *testing.T) {
 }
 
 func TestCallNilInterface(t *testing.T) {
+	t.Parallel()
 	env := NewEnv(testApp())
 	if _, err := env.Call(nil, nil, "Get"); err == nil {
 		t.Fatal("call through nil interface succeeded")

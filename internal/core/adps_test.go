@@ -12,6 +12,7 @@ import (
 )
 
 func TestPipelineStages(t *testing.T) {
+	t.Parallel()
 	app := octarine.New()
 	adps := New(app)
 
@@ -80,6 +81,7 @@ func TestPipelineStages(t *testing.T) {
 }
 
 func TestProfileScenariosMerges(t *testing.T) {
+	t.Parallel()
 	adps := New(octarine.New())
 	if err := adps.Instrument(); err != nil {
 		t.Fatal(err)
@@ -97,6 +99,7 @@ func TestProfileScenariosMerges(t *testing.T) {
 }
 
 func TestNetworkProfileOnDemand(t *testing.T) {
+	t.Parallel()
 	adps := New(octarine.New())
 	if err := adps.Instrument(); err != nil {
 		t.Fatal(err)
@@ -120,6 +123,7 @@ func TestNetworkProfileOnDemand(t *testing.T) {
 }
 
 func TestScenarioExperimentReport(t *testing.T) {
+	t.Parallel()
 	adps := New(octarine.New())
 	rep, err := adps.ScenarioExperiment(octarine.ScenOldTb3)
 	if err != nil {
@@ -145,6 +149,7 @@ func TestScenarioExperimentReport(t *testing.T) {
 }
 
 func TestClassifierAccuracyTable2Shape(t *testing.T) {
+	t.Parallel()
 	// Run the Table 2 experiment on Octarine for the key classifiers and
 	// verify the paper's qualitative ordering:
 	//   - the incremental straw man produces many new classifications on
@@ -196,6 +201,7 @@ func TestClassifierAccuracyTable2Shape(t *testing.T) {
 }
 
 func TestSTPlacementIsDebilitating(t *testing.T) {
+	t.Parallel()
 	// The ST classifier must assign all instances of a class to the same
 	// machine (paper §4.2: "a debilitating feature for all of the
 	// applications we examined"). In o_offtb3 the template reader and the
@@ -219,6 +225,7 @@ func TestSTPlacementIsDebilitating(t *testing.T) {
 }
 
 func TestClassifierAccuracyStackDepthTable3Shape(t *testing.T) {
+	t.Parallel()
 	// Accuracy and classification counts increase with stack depth and
 	// saturate (paper Table 3).
 	app := octarine.New()
@@ -243,6 +250,7 @@ func TestClassifierAccuracyStackDepthTable3Shape(t *testing.T) {
 }
 
 func TestClassifierAccuracyErrors(t *testing.T) {
+	t.Parallel()
 	app := octarine.New()
 	if _, err := ClassifierAccuracy(app, classify.IFCB, 0, nil, octarine.ScenBigone, netsim.TenBaseT, 1); err == nil {
 		t.Error("no training scenarios accepted")
@@ -256,6 +264,7 @@ func TestClassifierAccuracyErrors(t *testing.T) {
 }
 
 func TestImageRoundTripThroughDisk(t *testing.T) {
+	t.Parallel()
 	// The pipeline state survives writing the binary to disk and loading
 	// it back — the "end user without source code" workflow.
 	adps := New(octarine.New())

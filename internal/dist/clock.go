@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/com"
+	"repro/internal/logger"
 	"repro/internal/netsim"
 )
 
@@ -23,6 +24,7 @@ import (
 type Clock struct {
 	net     *netsim.Model
 	rng     *rand.Rand
+	faults  *faultSim
 	compute map[com.Machine]time.Duration
 	comm    time.Duration
 	msgs    int64
@@ -45,13 +47,68 @@ func (c *Clock) Compute(m com.Machine, d time.Duration) {
 	c.compute[m] += d
 }
 
+// SetFaults enables message-level fault simulation: every subsequent
+// cross-machine message may be dropped or corrupted per the policy, with
+// retransmissions charged to communication time. rng must be seeded by
+// the caller so fault schedules reproduce; sink (optional) receives one
+// record per injected fault.
+func (c *Clock) SetFaults(pol FaultPolicy, rng *rand.Rand, sink logger.FaultSink) {
+	c.faults = newFaultSim(pol, rng, sink)
+}
+
 // RemoteCall implements rte.CommSink: a synchronous cross-machine call
-// sends a request message and receives a reply message.
+// sends a request message and receives a reply message. Under a fault
+// policy each direction may take several attempts; retransmissions count
+// as extra messages, but payload bytes are charged once.
 func (c *Clock) RemoteCall(from, to com.Machine, reqBytes, respBytes int) {
-	c.comm += c.net.SampleMessageTime(reqBytes, c.rng)
-	c.comm += c.net.SampleMessageTime(respBytes, c.rng)
-	c.msgs += 2
+	if c.faults == nil {
+		c.comm += c.net.SampleMessageTime(reqBytes, c.rng)
+		c.comm += c.net.SampleMessageTime(respBytes, c.rng)
+		c.msgs += 2
+		c.bytes += int64(reqBytes + respBytes)
+		return
+	}
+	for _, sz := range [2]int{reqBytes, respBytes} {
+		sz := sz
+		t, xmits := c.faults.deliver(func() time.Duration {
+			return c.net.SampleMessageTime(sz, c.rng)
+		}, sz)
+		c.comm += t
+		c.msgs += xmits
+	}
 	c.bytes += int64(reqBytes + respBytes)
+}
+
+// Retries returns how many simulated retransmissions faults forced.
+func (c *Clock) Retries() int64 {
+	if c.faults == nil {
+		return 0
+	}
+	return c.faults.retries
+}
+
+// FaultDrops returns how many simulated messages were dropped.
+func (c *Clock) FaultDrops() int64 {
+	if c.faults == nil {
+		return 0
+	}
+	return c.faults.drops
+}
+
+// FaultCorruptions returns how many simulated messages arrived corrupt.
+func (c *Clock) FaultCorruptions() int64 {
+	if c.faults == nil {
+		return 0
+	}
+	return c.faults.corrupts
+}
+
+// FaultGiveUps returns how many messages exhausted their attempt budget.
+func (c *Clock) FaultGiveUps() int64 {
+	if c.faults == nil {
+		return 0
+	}
+	return c.faults.giveups
 }
 
 // CommTime returns accumulated communication time.

@@ -1,0 +1,107 @@
+package dist
+
+import "sync"
+
+// dedup implements server-side at-most-once execution. Every request
+// carries a (clientID, seq) pair; the server records the response of each
+// executed call so a retried request — the client could not know whether
+// the lost round trip died before or after execution — is answered from
+// the cache instead of being re-executed. A duplicate that arrives while
+// the original is still executing waits for it and returns the same
+// response, so concurrent re-sends cannot double-execute either.
+//
+// Memory is bounded: each client keeps a sliding window of recent
+// responses, and the least-recently-active clients are evicted once the
+// client table is full. The windows are far larger than the retry budget
+// of any one call, so eviction never breaks a live retry.
+type dedup struct {
+	mu         sync.Mutex
+	clients    map[uint64]*dedupClient
+	maxClients int
+	window     int
+	tick       uint64
+}
+
+type dedupClient struct {
+	entries map[uint64]*dedupEntry
+	order   []uint64 // seqs in arrival order, for window eviction
+	stamp   uint64   // last-activity tick, for client eviction
+}
+
+// dedupEntry is one executed (or executing) call. resp is written before
+// done is closed; waiters read it only after <-done.
+type dedupEntry struct {
+	done chan struct{}
+	resp []byte
+}
+
+func newDedup() *dedup {
+	return &dedup{
+		clients:    make(map[uint64]*dedupClient),
+		maxClients: 64,
+		window:     256,
+	}
+}
+
+// begin claims (client, seq). When first is true the caller must execute
+// the call and finish() the entry; otherwise the entry's response is ready
+// (begin waited for the original execution if it was still in flight).
+func (d *dedup) begin(client, seq uint64) (e *dedupEntry, first bool) {
+	d.mu.Lock()
+	cl := d.clients[client]
+	if cl == nil {
+		d.evictClientLocked()
+		cl = &dedupClient{entries: make(map[uint64]*dedupEntry)}
+		d.clients[client] = cl
+	}
+	d.tick++
+	cl.stamp = d.tick
+	if e := cl.entries[seq]; e != nil {
+		d.mu.Unlock()
+		<-e.done
+		return e, false
+	}
+	e = &dedupEntry{done: make(chan struct{})}
+	cl.entries[seq] = e
+	cl.order = append(cl.order, seq)
+	// Slide the window: drop the oldest completed entries beyond capacity.
+	// An entry still executing stays (the window is transiently larger).
+	for len(cl.order) > d.window && completed(cl.entries[cl.order[0]]) {
+		delete(cl.entries, cl.order[0])
+		cl.order = cl.order[1:]
+	}
+	d.mu.Unlock()
+	return e, true
+}
+
+func completed(e *dedupEntry) bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// finish publishes the response of an executed call.
+func (d *dedup) finish(e *dedupEntry, resp []byte) {
+	e.resp = resp
+	close(e.done)
+}
+
+// evictClientLocked drops the least-recently-active client when the
+// client table is full. Called with mu held.
+func (d *dedup) evictClientLocked() {
+	if len(d.clients) < d.maxClients {
+		return
+	}
+	var victim uint64
+	var oldest uint64 = ^uint64(0)
+	for id, cl := range d.clients {
+		if cl.stamp < oldest {
+			oldest = cl.stamp
+			victim = id
+		}
+	}
+	delete(d.clients, victim)
+}

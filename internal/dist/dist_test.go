@@ -125,6 +125,7 @@ func pipelineApp() *com.App {
 }
 
 func TestClockAccounting(t *testing.T) {
+	t.Parallel()
 	c := NewClock(netsim.TenBaseT, nil)
 	c.Compute(com.Client, time.Millisecond)
 	c.Compute(com.Server, 2*time.Millisecond)
@@ -155,6 +156,7 @@ func TestClockAccounting(t *testing.T) {
 }
 
 func TestClockJitterDeterministicWithSeed(t *testing.T) {
+	t.Parallel()
 	a := NewClock(netsim.TenBaseT, rand.New(rand.NewSource(1)))
 	b := NewClock(netsim.TenBaseT, rand.New(rand.NewSource(1)))
 	for i := 0; i < 10; i++ {
@@ -174,6 +176,7 @@ func TestClockJitterDeterministicWithSeed(t *testing.T) {
 }
 
 func TestRunBareMode(t *testing.T) {
+	t.Parallel()
 	res, err := Run(Config{App: pipelineApp(), Scenario: "small", Mode: ModeBare})
 	if err != nil {
 		t.Fatal(err)
@@ -190,6 +193,7 @@ func TestRunBareMode(t *testing.T) {
 }
 
 func TestRunDefaultModeChargesStorageTraffic(t *testing.T) {
+	t.Parallel()
 	res, err := Run(Config{
 		App: pipelineApp(), Scenario: "small", Mode: ModeDefault,
 		Classifier: classify.New(classify.IFCB, 0),
@@ -223,6 +227,7 @@ func TestRunDefaultModeChargesStorageTraffic(t *testing.T) {
 }
 
 func TestRunProfilingMode(t *testing.T) {
+	t.Parallel()
 	res, err := Run(Config{
 		App: pipelineApp(), Scenario: "small", Mode: ModeProfiling,
 		Classifier: classify.New(classify.IFCB, 0), InstanceDetail: true,
@@ -250,6 +255,7 @@ func TestRunProfilingMode(t *testing.T) {
 }
 
 func TestRunCoignModeMovesReaderToServer(t *testing.T) {
+	t.Parallel()
 	// Profile first to learn classifications.
 	prof, err := Run(Config{
 		App: pipelineApp(), Scenario: "big", Mode: ModeProfiling,
@@ -302,6 +308,7 @@ func TestRunCoignModeMovesReaderToServer(t *testing.T) {
 }
 
 func TestRunCoignUnknownClassificationFallback(t *testing.T) {
+	t.Parallel()
 	res, err := Run(Config{
 		App: pipelineApp(), Scenario: "small", Mode: ModeCoign,
 		Classifier:   classify.New(classify.IFCB, 0),
@@ -318,6 +325,7 @@ func TestRunCoignUnknownClassificationFallback(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := Run(Config{}); err == nil {
 		t.Error("nil app accepted")
 	}
@@ -343,6 +351,7 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestEventTraceAndReplay(t *testing.T) {
+	t.Parallel()
 	res, err := Run(Config{
 		App: pipelineApp(), Scenario: "big", Mode: ModeProfiling,
 		Classifier: classify.New(classify.IFCB, 0),
@@ -396,6 +405,7 @@ func TestEventTraceAndReplay(t *testing.T) {
 }
 
 func TestTransportRemoteCall(t *testing.T) {
+	t.Parallel()
 	app := pipelineApp()
 	env := com.NewEnv(app)
 	storage, err := env.CreateInstance(nil, "CLSID_Storage")
@@ -442,6 +452,7 @@ func TestTransportRemoteCall(t *testing.T) {
 }
 
 func TestReplayUnknownInstance(t *testing.T) {
+	t.Parallel()
 	res, err := Run(Config{
 		App: pipelineApp(), Scenario: "small", Mode: ModeProfiling,
 		Classifier: classify.New(classify.IFCB, 0),

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/com"
@@ -21,14 +22,33 @@ type ReplayResult struct {
 	Bytes      int64
 	Crossings  int64
 	Violations int64 // non-remotable calls that would have crossed machines
+	// Retries, Drops, Corruptions, and GiveUps summarize simulated faults
+	// when the replay ran under a FaultPolicy.
+	Retries     int64
+	Drops       int64
+	Corruptions int64
+	GiveUps     int64
 }
 
 // Replay walks the trace, placing each instantiated instance per
 // classification (falling back to the creator's machine), and charges
 // every call whose endpoints land on different machines.
 func Replay(events []logger.Event, dist map[string]com.Machine, net *netsim.Model) (*ReplayResult, error) {
+	return ReplayWithFaults(events, dist, net, nil, 0)
+}
+
+// ReplayWithFaults replays a trace over a degraded link: each crossing
+// message is subjected to the fault policy's drop/corruption rates (seeded
+// by seed, so the what-if is reproducible) and retransmission costs are
+// charged — answering "what would this execution have cost on a lossy
+// network" without re-running the application.
+func ReplayWithFaults(events []logger.Event, dist map[string]com.Machine, net *netsim.Model, fp *FaultPolicy, seed int64) (*ReplayResult, error) {
 	if net == nil {
 		net = netsim.TenBaseT
+	}
+	var sim *faultSim
+	if fp != nil {
+		sim = newFaultSim(*fp, rand.New(rand.NewSource(seed^0x0fa17)), nil)
 	}
 	place := make(map[uint64]com.Machine) // instance id -> machine; 0 = main on client
 	place[0] = com.Client
@@ -60,10 +80,25 @@ func Replay(events []logger.Event, dist map[string]com.Machine, net *netsim.Mode
 			if ev.Call.NonRemotable {
 				res.Violations++
 			}
-			res.CommTime += net.MessageTime(ev.Call.InBytes) + net.MessageTime(ev.Call.OutBytes)
-			res.Messages += 2
+			if sim == nil {
+				res.CommTime += net.MessageTime(ev.Call.InBytes) + net.MessageTime(ev.Call.OutBytes)
+				res.Messages += 2
+			} else {
+				for _, sz := range [2]int{ev.Call.InBytes, ev.Call.OutBytes} {
+					sz := sz
+					t, xmits := sim.deliver(func() time.Duration { return net.MessageTime(sz) }, sz)
+					res.CommTime += t
+					res.Messages += xmits
+				}
+			}
 			res.Bytes += int64(ev.Call.InBytes + ev.Call.OutBytes)
 		}
+	}
+	if sim != nil {
+		res.Retries = sim.retries
+		res.Drops = sim.drops
+		res.Corruptions = sim.corrupts
+		res.GiveUps = sim.giveups
 	}
 	return res, nil
 }

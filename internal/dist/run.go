@@ -69,6 +69,12 @@ type Config struct {
 	Jitter bool
 	// EventTrace additionally records a full event trace.
 	EventTrace bool
+	// Faults, when set, simulates a lossy network in ModeDefault and
+	// ModeCoign: cross-machine messages are dropped/corrupted per the
+	// policy (seeded from Seed, so chaos runs reproduce exactly) and
+	// retransmitted with backoff. If any message exhausts its attempt
+	// budget the run fails with an error wrapping ErrTimeout.
+	Faults *FaultPolicy
 }
 
 // Result reports one run's outcome.
@@ -96,6 +102,12 @@ type Result struct {
 	// CacheHits counts cross-machine calls answered from the
 	// per-interface cache (EnableCaching).
 	CacheHits int64
+	// Retries, FaultDrops, FaultCorruptions, and FaultGiveUps summarize
+	// simulated network faults and the runtime's recovery (Config.Faults).
+	Retries          int64
+	FaultDrops       int64
+	FaultCorruptions int64
+	FaultGiveUps     int64
 }
 
 // homePlacer realizes the developer's default distribution: every class at
@@ -207,6 +219,12 @@ func Run(cfg Config) (*Result, error) {
 		log = logger.Multi{log, ev}
 	}
 
+	if cfg.Faults != nil && (cfg.Mode == ModeDefault || cfg.Mode == ModeCoign) {
+		frng := rand.New(rand.NewSource(cfg.Seed ^ 0x0fa17))
+		sink, _ := log.(logger.FaultSink)
+		clock.SetFaults(*cfg.Faults, frng, sink)
+	}
+
 	var cache *caching.Cache
 	if cfg.EnableCaching && (cfg.Mode == ModeDefault || cfg.Mode == ModeCoign) {
 		cache = caching.New(0)
@@ -240,8 +258,16 @@ func Run(cfg Config) (*Result, error) {
 	res.Violations = r.Violations()
 	res.TrappedCalls = r.Calls()
 	res.Events = ev
+	res.Retries = clock.Retries()
+	res.FaultDrops = clock.FaultDrops()
+	res.FaultCorruptions = clock.FaultCorruptions()
+	res.FaultGiveUps = clock.FaultGiveUps()
 	if plog != nil {
 		res.Profile = plog.LastRun()
+	}
+	if res.FaultGiveUps > 0 {
+		return nil, fmt.Errorf("dist: scenario %s: %d message(s) undeliverable after %d attempt(s): %w",
+			cfg.Scenario, res.FaultGiveUps, cfg.Faults.withDefaults().MaxAttempts, ErrTimeout)
 	}
 	return res, nil
 }

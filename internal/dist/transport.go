@@ -4,9 +4,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math/rand"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/com"
@@ -17,9 +21,15 @@ import (
 // are marshaled by proxies with the NDR-like codec, framed, dispatched to
 // a stub that invokes the real component, and the results marshaled back.
 // The network profiler can also measure real message round trips through
-// it. Frames are u32-length-prefixed; a request carries an opcode (call or
-// ping), the target object reference, the method name, and the encoded
-// parameters.
+// it.
+//
+// Wire format. A frame is [len u32][crc32 u32][payload]; the checksum
+// lets the receiver distinguish in-flight corruption (ErrCorrupt, safe to
+// retry) from application errors (ErrRemote, never retried). A request
+// payload is [opcode][clientID u64][seq u64][body]: the opcode selects
+// call or ping, and the (clientID, seq) pair keys the server's
+// at-most-once dedup so retried calls are never re-executed. A response
+// payload is [status][body].
 
 const (
 	opCall = 1
@@ -29,32 +39,50 @@ const (
 	statusErr = 1
 
 	maxFrame = 16 << 20
+
+	frameHdrLen = 8  // length + checksum
+	reqHdrLen   = 17 // opcode + clientID + seq
 )
 
 func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	// One buffer, one Write: a frame is a single I/O operation, which
+	// fault injectors rely on for frame-granular, reproducible faults.
+	buf := make([]byte, frameHdrLen+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[frameHdrLen:], payload)
+	_, err := w.Write(buf)
 	return err
 }
 
 func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
+	var hdr [frameHdrLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr[0:4])
 	if n > maxFrame {
-		return nil, fmt.Errorf("dist: frame of %d bytes exceeds limit", n)
+		return nil, errors.Join(ErrCorrupt, fmt.Errorf("frame of %d bytes exceeds limit", n))
 	}
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
+	if crc32.ChecksumIEEE(buf) != sum {
+		return nil, errors.Join(ErrCorrupt, errors.New("frame checksum mismatch"))
+	}
 	return buf, nil
+}
+
+// reqFrame builds a request payload with the transport header.
+func reqFrame(op byte, clientID, seq uint64, body []byte) []byte {
+	buf := make([]byte, reqHdrLen+len(body))
+	buf[0] = op
+	binary.LittleEndian.PutUint64(buf[1:9], clientID)
+	binary.LittleEndian.PutUint64(buf[9:17], seq)
+	copy(buf[reqHdrLen:], body)
+	return buf
 }
 
 // CallHandler dispatches one unmarshaled-by-the-stub call.
@@ -64,19 +92,32 @@ type CallHandler func(iid string, instID uint64, method string, argBytes []byte)
 type Server struct {
 	ln      net.Listener
 	handler CallHandler
+	calls   *dedup
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	conns   map[net.Conn]struct{}
 	closed  bool
 }
 
+// ServeOption configures a transport server.
+type ServeOption func(*Server)
+
+// WithListenerWrapper interposes on the server's listener — the hook for
+// server-side fault injection (pass a fault.Injector's WrapListener).
+func WithListenerWrapper(wrap func(net.Listener) net.Listener) ServeOption {
+	return func(s *Server) { s.ln = wrap(s.ln) }
+}
+
 // Serve starts a server on addr (e.g. "127.0.0.1:0").
-func Serve(addr string, h CallHandler) (*Server, error) {
+func Serve(addr string, h CallHandler, opts ...ServeOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s := &Server{ln: ln, handler: h, calls: newDedup(), conns: make(map[net.Conn]struct{})}
+	for _, o := range opts {
+		o(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -150,91 +191,253 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+func fail(msg string) []byte {
+	out := []byte{statusErr}
+	return append(out, msg...)
+}
+
+// dispatch executes one request payload and returns the response payload.
+// It must never panic, whatever the bytes: the frame layer only guarantees
+// integrity (checksum), not well-formedness.
 func (s *Server) dispatch(req []byte) []byte {
-	fail := func(msg string) []byte {
-		out := []byte{statusErr}
-		return append(out, msg...)
-	}
-	if len(req) < 1 {
-		return fail("empty request")
+	if len(req) < reqHdrLen {
+		return fail("short request")
 	}
 	op := req[0]
-	body := req[1:]
+	clientID := binary.LittleEndian.Uint64(req[1:9])
+	seq := binary.LittleEndian.Uint64(req[9:17])
+	body := req[reqHdrLen:]
 	switch op {
 	case opPing:
+		// Pings are idempotent; no dedup.
 		out := []byte{statusOK}
 		return append(out, body...)
 	case opCall:
-		d := idl.NewDecoder(body, nil)
-		iidV, err := d.Decode(idl.TString)
-		if err != nil {
-			return fail(err.Error())
+		e, first := s.calls.begin(clientID, seq)
+		if !first {
+			return e.resp
 		}
-		instV, err := d.Decode(idl.TInt64)
-		if err != nil {
-			return fail(err.Error())
-		}
-		methodV, err := d.Decode(idl.TString)
-		if err != nil {
-			return fail(err.Error())
-		}
-		argsV, err := d.Decode(idl.TBytes)
-		if err != nil {
-			return fail(err.Error())
-		}
-		if s.handler == nil {
-			return fail("no handler")
-		}
-		rets, err := s.handler(iidV.Str, uint64(instV.Int), methodV.Str, argsV.Bytes)
-		if err != nil {
-			return fail(err.Error())
-		}
-		out := []byte{statusOK}
-		return append(out, rets...)
+		resp := s.execCall(body)
+		s.calls.finish(e, resp)
+		return resp
 	default:
 		return fail(fmt.Sprintf("unknown opcode %d", op))
 	}
 }
 
-// Conn is a client connection to a transport server.
+// execCall decodes and executes one call body (at most once per request:
+// dispatch consults the dedup cache first).
+func (s *Server) execCall(body []byte) []byte {
+	d := idl.NewDecoder(body, nil)
+	iidV, err := d.Decode(idl.TString)
+	if err != nil {
+		return fail(err.Error())
+	}
+	instV, err := d.Decode(idl.TInt64)
+	if err != nil {
+		return fail(err.Error())
+	}
+	methodV, err := d.Decode(idl.TString)
+	if err != nil {
+		return fail(err.Error())
+	}
+	argsV, err := d.Decode(idl.TBytes)
+	if err != nil {
+		return fail(err.Error())
+	}
+	if s.handler == nil {
+		return fail("no handler")
+	}
+	rets, err := s.handler(iidV.Str, uint64(instV.Int), methodV.Str, argsV.Bytes)
+	if err != nil {
+		return fail(err.Error())
+	}
+	out := []byte{statusOK}
+	return append(out, rets...)
+}
+
+// Conn is a client connection to a transport server. Calls run under a
+// per-attempt deadline and are retried per the connection's CallPolicy,
+// transparently reconnecting when the link breaks; request sequence
+// numbers plus the server's at-most-once dedup make retries safe.
 type Conn struct {
-	mu sync.Mutex
-	c  net.Conn
+	addr     string
+	policy   CallPolicy
+	dialFn   func(addr string) (net.Conn, error)
+	clientID uint64
+
+	// mu serializes round trips: the protocol has one call in flight per
+	// connection, like a synchronous DCOM channel.
+	mu  sync.Mutex
+	seq uint64
+	rng *rand.Rand
+
+	// connMu guards the underlying conn so Close can sever an in-flight
+	// call from another goroutine without racing reconnection.
+	connMu sync.Mutex
+	c      net.Conn
+	closed bool
+
+	retries    atomic.Int64
+	reconnects atomic.Int64
+}
+
+// clientSeq distinguishes connections of one process; mixed with the pid
+// it forms default client identities without any coordination.
+var clientSeq atomic.Uint64
+
+func splitmixID(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Dial connects to a transport server.
-func Dial(addr string) (*Conn, error) {
-	c, err := net.Dial("tcp", addr)
+func Dial(addr string, opts ...DialOption) (*Conn, error) {
+	id := splitmixID(uint64(os.Getpid())<<32 ^ clientSeq.Add(1))
+	c := &Conn{
+		addr:     addr,
+		policy:   DefaultCallPolicy(),
+		clientID: id,
+		rng:      rand.New(rand.NewSource(int64(id))),
+		dialFn: func(a string) (net.Conn, error) {
+			return net.DialTimeout("tcp", a, 2*time.Second)
+		},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	nc, err := c.dialFn(addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{c: c}, nil
+	c.c = nc
+	return c, nil
 }
 
-// Close closes the connection.
-func (c *Conn) Close() error { return c.c.Close() }
+// Close closes the connection; an in-flight call fails without retrying.
+func (c *Conn) Close() error {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	c.closed = true
+	if c.c != nil {
+		err := c.c.Close()
+		c.c = nil
+		return err
+	}
+	return nil
+}
 
-func (c *Conn) roundTrip(req []byte) ([]byte, error) {
+// Stats reports how many retries and reconnections the connection has
+// performed — the counters chaos runs surface in their output.
+func (c *Conn) Stats() (retries, reconnects int64) {
+	return c.retries.Load(), c.reconnects.Load()
+}
+
+// acquire returns the live underlying connection, redialing when the
+// previous one was discarded after a failure.
+func (c *Conn) acquire() (net.Conn, error) {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.closed {
+		return nil, net.ErrClosed
+	}
+	if c.c != nil {
+		return c.c, nil
+	}
+	nc, err := c.dialFn(c.addr)
+	if err != nil {
+		return nil, err
+	}
+	c.c = nc
+	c.reconnects.Add(1)
+	return nc, nil
+}
+
+// discard drops a broken underlying connection so the next attempt
+// redials.
+func (c *Conn) discard(nc net.Conn) {
+	c.connMu.Lock()
+	if c.c == nc {
+		c.c = nil
+	}
+	c.connMu.Unlock()
+	nc.Close()
+}
+
+// attempt performs one framed round trip under a deadline.
+func (c *Conn) attempt(req []byte, timeout time.Duration) ([]byte, error) {
+	nc, err := c.acquire()
+	if err != nil {
+		return nil, err
+	}
+	if timeout > 0 {
+		nc.SetDeadline(time.Now().Add(timeout))
+	} else {
+		nc.SetDeadline(time.Time{})
+	}
+	if err := writeFrame(nc, req); err != nil {
+		c.discard(nc)
+		return nil, classifyNetErr(err)
+	}
+	resp, err := readFrame(nc)
+	if err != nil {
+		c.discard(nc)
+		return nil, classifyNetErr(err)
+	}
+	return resp, nil
+}
+
+// roundTrip sends one request and returns the response body, retrying per
+// policy. Remote (application) errors are final; timeouts, corruption,
+// and severed connections are retried until the attempt budget runs out.
+func (c *Conn) roundTrip(op byte, method string, body []byte, opts []CallOption) ([]byte, error) {
+	pol := c.policy
+	for _, o := range opts {
+		o(&pol)
+	}
+	if pol.MaxAttempts < 1 {
+		pol.MaxAttempts = 1
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeFrame(c.c, req); err != nil {
-		return nil, err
+	seq := c.seq
+	c.seq++
+	req := reqFrame(op, c.clientID, seq, body)
+	var last error
+	attempts := 0
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.retries.Add(1)
+			time.Sleep(pol.delay(attempt-1, c.rng))
+		}
+		attempts = attempt
+		resp, err := c.attempt(req, pol.Timeout)
+		if err == nil {
+			if len(resp) < 1 {
+				last = errors.Join(ErrCorrupt, errors.New("empty response"))
+				continue
+			}
+			if resp[0] == statusErr {
+				return nil, &TransportError{
+					Addr: c.addr, Method: method, Attempts: attempt,
+					Err: errors.Join(ErrRemote, errors.New(string(resp[1:]))),
+				}
+			}
+			return resp[1:], nil
+		}
+		last = err
+		if errors.Is(err, net.ErrClosed) {
+			break // locally closed; retrying cannot help
+		}
 	}
-	resp, err := readFrame(c.c)
-	if err != nil {
-		return nil, err
-	}
-	if len(resp) < 1 {
-		return nil, errors.New("dist: empty response")
-	}
-	if resp[0] == statusErr {
-		return nil, fmt.Errorf("dist: remote error: %s", string(resp[1:]))
-	}
-	return resp[1:], nil
+	return nil, &TransportError{Addr: c.addr, Method: method, Attempts: attempts, Err: last}
 }
 
-// Call invokes a remote method with pre-encoded parameters.
-func (c *Conn) Call(iid string, instID uint64, method string, argBytes []byte) ([]byte, error) {
+// Call invokes a remote method with pre-encoded parameters. Options
+// override the connection's policy for this call only.
+func (c *Conn) Call(iid string, instID uint64, method string, argBytes []byte, opts ...CallOption) ([]byte, error) {
 	e := idl.NewEncoder()
 	if err := e.Encode(idl.String(iid)); err != nil {
 		return nil, err
@@ -248,17 +451,15 @@ func (c *Conn) Call(iid string, instID uint64, method string, argBytes []byte) (
 	if err := e.Encode(idl.ByteBuf(argBytes)); err != nil {
 		return nil, err
 	}
-	req := append([]byte{opCall}, e.Bytes()...)
-	return c.roundTrip(req)
+	return c.roundTrip(opCall, method, e.Bytes(), opts)
 }
 
 // Ping measures one round trip carrying a payload of the given size; the
 // network profiler samples it to build a profile of a real transport.
-func (c *Conn) Ping(size int) (time.Duration, error) {
+func (c *Conn) Ping(size int, opts ...CallOption) (time.Duration, error) {
 	payload := make([]byte, size)
-	req := append([]byte{opPing}, payload...)
 	start := time.Now()
-	if _, err := c.roundTrip(req); err != nil {
+	if _, err := c.roundTrip(opPing, "ping", payload, opts); err != nil {
 		return 0, err
 	}
 	return time.Since(start), nil

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -10,6 +11,7 @@ import (
 )
 
 func TestFrameRoundTrip(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	payload := []byte("hello frames")
 	if err := writeFrame(&buf, payload); err != nil {
@@ -25,16 +27,39 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestFrameRejectsOversize(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	// Hand-craft a frame header claiming more than maxFrame bytes.
-	hdr := []byte{0xFF, 0xFF, 0xFF, 0x7F}
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0}
 	buf.Write(hdr)
-	if _, err := readFrame(&buf); err == nil {
+	_, err := readFrame(&buf)
+	if err == nil {
 		t.Fatal("oversized frame accepted")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized frame error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFrameRejectsChecksumMismatch(t *testing.T) {
+	t.Parallel()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, []byte("payload under test")); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-1] ^= 0xA5 // corrupt one payload byte
+	_, err := readFrame(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("corrupt frame accepted")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt frame error = %v, want ErrCorrupt", err)
 	}
 }
 
 func TestFrameTruncation(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	if err := writeFrame(&buf, []byte("abcdef")); err != nil {
 		t.Fatal(err)
@@ -48,6 +73,7 @@ func TestFrameTruncation(t *testing.T) {
 }
 
 func TestServerDispatchErrors(t *testing.T) {
+	t.Parallel()
 	srv, err := Serve("127.0.0.1:0", nil) // nil handler
 	if err != nil {
 		t.Fatal(err)
@@ -62,21 +88,22 @@ func TestServerDispatchErrors(t *testing.T) {
 	if _, err := conn.Ping(16); err != nil {
 		t.Fatal(err)
 	}
-	// Calls fail cleanly.
-	if _, err := conn.Call("I", 1, "M", nil); err == nil {
+	// Calls fail cleanly, with the typed remote error.
+	_, err = conn.Call("I", 1, "M", nil)
+	if err == nil {
 		t.Fatal("call without handler succeeded")
 	}
-	// Unknown opcode.
-	if _, err := conn.roundTrip([]byte{99}); err == nil {
-		t.Fatal("unknown opcode accepted")
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("handlerless call error = %v, want ErrRemote", err)
 	}
-	// Empty request.
-	if _, err := conn.roundTrip(nil); err == nil {
-		t.Fatal("empty request accepted")
+	// Unknown opcode.
+	if _, err := conn.roundTrip(99, "", nil, nil); err == nil {
+		t.Fatal("unknown opcode accepted")
 	}
 }
 
 func TestConcurrentClients(t *testing.T) {
+	t.Parallel()
 	handler := func(iid string, inst uint64, method string, args []byte) ([]byte, error) {
 		return idl.EncodeParams([]*idl.TypeDesc{idl.TInt64}, []idl.Value{idl.Int64(int64(inst))})
 	}
@@ -126,6 +153,7 @@ func TestConcurrentClients(t *testing.T) {
 }
 
 func TestServerCloseUnblocksClients(t *testing.T) {
+	t.Parallel()
 	srv, err := Serve("127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -146,6 +174,7 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 }
 
 func TestProxyRejectsNonRemotableInterface(t *testing.T) {
+	t.Parallel()
 	app := pipelineApp()
 	app.Interfaces.Register(&idl.InterfaceDesc{
 		IID: "ILocalOnly", Remotable: false,

@@ -8,6 +8,7 @@ import (
 )
 
 func TestTable2Shape(t *testing.T) {
+	t.Parallel()
 	rows, err := Table2("octarine")
 	if err != nil {
 		t.Fatal(err)
@@ -42,6 +43,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
+	t.Parallel()
 	rows, err := Table3("octarine")
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +71,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestRunScenarioAndPrinters(t *testing.T) {
+	t.Parallel()
 	row, err := RunScenario("b_vueone")
 	if err != nil {
 		t.Fatal(err)
@@ -91,6 +94,7 @@ func TestRunScenarioAndPrinters(t *testing.T) {
 }
 
 func TestFigureHelpers(t *testing.T) {
+	t.Parallel()
 	f7, err := Figure7()
 	if err != nil {
 		t.Fatal(err)
@@ -108,6 +112,7 @@ func TestFigureHelpers(t *testing.T) {
 }
 
 func TestMeasureOverheadOrdering(t *testing.T) {
+	t.Parallel()
 	row, err := MeasureOverhead("o_oldwp0", 3)
 	if err != nil {
 		t.Fatal(err)
@@ -129,6 +134,7 @@ func TestMeasureOverheadOrdering(t *testing.T) {
 }
 
 func TestAdaptiveRepartitioning(t *testing.T) {
+	t.Parallel()
 	rows, err := Adaptive("o_oldwp7", []string{"ISDN", "10BaseT", "ATM"})
 	if err != nil {
 		t.Fatal(err)
@@ -157,6 +163,7 @@ func TestAdaptiveRepartitioning(t *testing.T) {
 }
 
 func TestCompareMinCut(t *testing.T) {
+	t.Parallel()
 	cmp, err := CompareMinCut("o_oldbth")
 	if err != nil {
 		t.Fatal(err)
@@ -170,6 +177,7 @@ func TestCompareMinCut(t *testing.T) {
 }
 
 func TestCompareBucketing(t *testing.T) {
+	t.Parallel()
 	cmp, err := CompareBucketing("o_oldwp7")
 	if err != nil {
 		t.Fatal(err)
@@ -185,6 +193,7 @@ func TestCompareBucketing(t *testing.T) {
 }
 
 func TestCompareNetworkProfile(t *testing.T) {
+	t.Parallel()
 	cmp, err := CompareNetworkProfile("o_oldtb3", 25)
 	if err != nil {
 		t.Fatal(err)
@@ -198,6 +207,7 @@ func TestCompareNetworkProfile(t *testing.T) {
 }
 
 func TestSyntheticCutInstance(t *testing.T) {
+	t.Parallel()
 	g := SyntheticCutInstance(500, 1)
 	if g.Len() < 500 {
 		t.Fatalf("nodes = %d", g.Len())
@@ -212,6 +222,7 @@ func TestSyntheticCutInstance(t *testing.T) {
 }
 
 func TestFiguresBundleAndPrinter(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("runs all five figures")
 	}
@@ -233,6 +244,7 @@ func TestFiguresBundleAndPrinter(t *testing.T) {
 }
 
 func TestDistributionDrillDown(t *testing.T) {
+	t.Parallel()
 	res, err := Distribution("p_oldmsr")
 	if err != nil {
 		t.Fatal(err)
@@ -246,6 +258,7 @@ func TestDistributionDrillDown(t *testing.T) {
 }
 
 func TestThreeTierEndToEnd(t *testing.T) {
+	t.Parallel()
 	res, err := ThreeTier()
 	if err != nil {
 		t.Fatal(err)
@@ -270,6 +283,7 @@ func TestThreeTierEndToEnd(t *testing.T) {
 }
 
 func TestCompareCaching(t *testing.T) {
+	t.Parallel()
 	// Text-properties queries repeat across paragraphs; with the
 	// properties component on the server, per-interface caching answers
 	// the repeats locally.
@@ -292,6 +306,7 @@ func TestCompareCaching(t *testing.T) {
 }
 
 func TestTable2OtherApplications(t *testing.T) {
+	t.Parallel()
 	// The classifier experiment generalizes beyond Octarine: PhotoDraw and
 	// Benefits keep the same qualitative orderings.
 	for _, app := range []string{"photodraw", "benefits"} {
@@ -322,6 +337,7 @@ func TestTable2OtherApplications(t *testing.T) {
 }
 
 func TestWhatIfCoignNearOptimalOnTrace(t *testing.T) {
+	t.Parallel()
 	res, err := WhatIf("o_oldwp7", 60, 3)
 	if err != nil {
 		t.Fatal(err)

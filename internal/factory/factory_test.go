@@ -11,12 +11,14 @@ func testClass() *com.Class {
 }
 
 func TestNewRejectsEmpty(t *testing.T) {
+	t.Parallel()
 	if _, err := New(nil, FollowCreator); err == nil {
 		t.Fatal("empty distribution accepted")
 	}
 }
 
 func TestPlaceKnownClassifications(t *testing.T) {
+	t.Parallel()
 	f, err := New(map[string]com.Machine{
 		"a": com.Client,
 		"b": com.Server,
@@ -39,6 +41,7 @@ func TestPlaceKnownClassifications(t *testing.T) {
 }
 
 func TestPlaceUnknownFollowsCreator(t *testing.T) {
+	t.Parallel()
 	f, _ := New(map[string]com.Machine{"a": com.Server}, FollowCreator)
 	if got := f.Place("mystery", testClass(), com.Server); got != com.Server {
 		t.Errorf("unknown placed on %v", got)
@@ -52,6 +55,7 @@ func TestPlaceUnknownFollowsCreator(t *testing.T) {
 }
 
 func TestPlaceUnknownToClient(t *testing.T) {
+	t.Parallel()
 	f, _ := New(map[string]com.Machine{"a": com.Server}, ToClient)
 	if got := f.Place("mystery", testClass(), com.Server); got != com.Client {
 		t.Errorf("unknown placed on %v", got)
@@ -62,6 +66,7 @@ func TestPlaceUnknownToClient(t *testing.T) {
 }
 
 func TestPeerAccounting(t *testing.T) {
+	t.Parallel()
 	f, _ := New(map[string]com.Machine{
 		"a": com.Client,
 		"b": com.Server,
@@ -86,6 +91,7 @@ func TestPeerAccounting(t *testing.T) {
 }
 
 func TestMachines(t *testing.T) {
+	t.Parallel()
 	f, _ := New(map[string]com.Machine{
 		"a": com.Server,
 		"b": com.Server,

@@ -1,0 +1,255 @@
+package fault
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// tcpPair returns the two ends of a loopback TCP connection.
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	a := <-ch
+	if a.err != nil {
+		t.Fatalf("accept: %v", a.err)
+	}
+	t.Cleanup(func() { client.Close(); a.c.Close() })
+	return client, a.c
+}
+
+func TestPassthrough(t *testing.T) {
+	t.Parallel()
+	c, s := tcpPair(t)
+	inj := New(Config{Seed: 1})
+	fc := inj.WrapConn(c)
+
+	msg := []byte("hello over a clean link")
+	go func() { fc.Write(msg) }()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("payload changed: %q != %q", got, msg)
+	}
+	if n := inj.Total(); n != 0 {
+		t.Fatalf("zero-rate injector recorded %d events", n)
+	}
+}
+
+func TestCorruptFlipsExactlyOneByte(t *testing.T) {
+	t.Parallel()
+	c, s := tcpPair(t)
+	inj := New(Config{Seed: 3, Send: Rates{Corrupt: 1}})
+	fc := inj.WrapConn(c)
+
+	msg := bytes.Repeat([]byte{0x11}, 64)
+	go func() { fc.Write(msg) }()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	flipped := 0
+	for i, b := range got {
+		if b != 0x11 {
+			flipped++
+			if b != 0x11^0xA5 {
+				t.Fatalf("byte %d is %#x, want %#x", i, b, 0x11^0xA5)
+			}
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("%d bytes flipped, want exactly 1", flipped)
+	}
+	if inj.Count(Corrupt) != 1 {
+		t.Fatalf("Count(Corrupt) = %d, want 1", inj.Count(Corrupt))
+	}
+}
+
+func TestSendDropBlackholesConnection(t *testing.T) {
+	t.Parallel()
+	c, s := tcpPair(t)
+	inj := New(Config{Seed: 5, Send: Rates{Drop: 1}})
+	fc := inj.WrapConn(c)
+
+	// The sender believes the write succeeded.
+	if n, err := fc.Write([]byte("vanishes")); err != nil || n != 8 {
+		t.Fatalf("dropped write returned (%d, %v), want (8, nil)", n, err)
+	}
+	// The peer never sees the data.
+	s.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := s.Read(make([]byte, 8)); err == nil {
+		t.Fatal("peer read succeeded after drop")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("peer read error = %v, want timeout", err)
+	}
+	// Subsequent writes are swallowed too.
+	if n, err := fc.Write([]byte("also gone")); err != nil || n != 9 {
+		t.Fatalf("post-drop write returned (%d, %v), want (9, nil)", n, err)
+	}
+	if inj.Count(Drop) != 1 {
+		t.Fatalf("Count(Drop) = %d, want 1 (blackholed writes are not re-counted)", inj.Count(Drop))
+	}
+}
+
+func TestRecvDropTimesOutAtDeadline(t *testing.T) {
+	t.Parallel()
+	c, s := tcpPair(t)
+	inj := New(Config{Seed: 7, Recv: Rates{Drop: 1}})
+	fc := inj.WrapConn(c)
+
+	go func() { s.Write(make([]byte, 16)) }()
+	fc.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	_, err := fc.Read(make([]byte, 16))
+	if err == nil {
+		t.Fatal("read succeeded despite recv drop")
+	}
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("read error = %v, want deadline timeout", err)
+	}
+}
+
+func TestTruncateSeversConnection(t *testing.T) {
+	t.Parallel()
+	c, s := tcpPair(t)
+	inj := New(Config{Seed: 11, Send: Rates{Truncate: 1}})
+	fc := inj.WrapConn(c)
+
+	msg := bytes.Repeat([]byte{0x22}, 128)
+	n, err := fc.Write(msg)
+	if err == nil {
+		t.Fatal("truncated write reported success")
+	}
+	if n >= len(msg) {
+		t.Fatalf("truncated write delivered %d of %d bytes", n, len(msg))
+	}
+	// The peer sees the prefix, then EOF.
+	got, rerr := io.ReadAll(s)
+	if rerr != nil {
+		t.Fatalf("peer read: %v", rerr)
+	}
+	if len(got) != n {
+		t.Fatalf("peer got %d bytes, sender reported %d", len(got), n)
+	}
+	if inj.Count(Truncate) != 1 {
+		t.Fatalf("Count(Truncate) = %d, want 1", inj.Count(Truncate))
+	}
+}
+
+func TestDelayHoldsOperation(t *testing.T) {
+	t.Parallel()
+	c, s := tcpPair(t)
+	inj := New(Config{Seed: 13, Send: Rates{Delay: 30 * time.Millisecond}})
+	fc := inj.WrapConn(c)
+
+	go io.Copy(io.Discard, s)
+	start := time.Now()
+	if _, err := fc.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delayed write took %v, want >= 30ms", d)
+	}
+	if inj.Count(Delay) != 1 {
+		t.Fatalf("Count(Delay) = %d, want 1", inj.Count(Delay))
+	}
+}
+
+func TestAcceptFailSeversNewConnection(t *testing.T) {
+	t.Parallel()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	inj := New(Config{Seed: 17, AcceptFail: 1})
+	fln := inj.WrapListener(ln)
+	defer fln.Close()
+
+	go fln.Accept()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("client read error = %v, want EOF", err)
+	}
+	if inj.Count(AcceptFail) != 1 {
+		t.Fatalf("Count(AcceptFail) = %d, want 1", inj.Count(AcceptFail))
+	}
+}
+
+// driveSequence runs a fixed operation sequence against a fresh injector and
+// returns its fault log.
+func driveSequence(t *testing.T, seed int64) []Event {
+	t.Helper()
+	c, s := tcpPair(t)
+	inj := New(Config{Seed: seed, Send: Rates{Corrupt: 0.5}})
+	fc := inj.WrapConn(c)
+	go io.Copy(io.Discard, s)
+	buf := make([]byte, 32)
+	for i := 0; i < 50; i++ {
+		if _, err := fc.Write(buf); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	return inj.Events()
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	t.Parallel()
+	a := driveSequence(t, 42)
+	b := driveSequence(t, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different fault logs:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("50 ops at 50% corruption injected nothing")
+	}
+	other := driveSequence(t, 43)
+	if reflect.DeepEqual(a, other) {
+		t.Fatal("different seeds produced identical fault logs")
+	}
+}
+
+func TestFromModel(t *testing.T) {
+	t.Parallel()
+	r := FromModel(netsim.ISDN)
+	if r.Drop != netsim.ISDN.Loss {
+		t.Fatalf("Drop = %v, want model loss %v", r.Drop, netsim.ISDN.Loss)
+	}
+	if r.Corrupt >= r.Drop || r.Truncate >= r.Corrupt {
+		t.Fatalf("want Drop > Corrupt > Truncate, got %+v", r)
+	}
+	if r.Delay != netsim.ISDN.Latency {
+		t.Fatalf("Delay = %v, want model latency %v", r.Delay, netsim.ISDN.Latency)
+	}
+	if lb := FromModel(netsim.Loopback); lb.total() != 0 {
+		t.Fatalf("loopback should be fault-free, got %+v", lb)
+	}
+}

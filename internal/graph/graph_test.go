@@ -8,6 +8,7 @@ import (
 )
 
 func TestNodeInterning(t *testing.T) {
+	t.Parallel()
 	g := New()
 	a := g.Node("a")
 	if g.Node("a") != a {
@@ -23,6 +24,7 @@ func TestNodeInterning(t *testing.T) {
 }
 
 func TestAddEdgeAccumulates(t *testing.T) {
+	t.Parallel()
 	g := New()
 	g.AddEdge("a", "b", 1.5)
 	g.AddEdge("b", "a", 2.5) // undirected: same edge
@@ -44,6 +46,7 @@ func TestAddEdgeAccumulates(t *testing.T) {
 }
 
 func TestPinAndValidate(t *testing.T) {
+	t.Parallel()
 	g := New()
 	g.Pin("gui", SourceSide)
 	g.Pin("db", SinkSide)
@@ -83,6 +86,7 @@ func simpleCut(t *testing.T, f func(*Graph) (*Cut, error)) *Cut {
 }
 
 func TestMinCutSimple(t *testing.T) {
+	t.Parallel()
 	for name, algo := range map[string]func(*Graph) (*Cut, error){
 		"lift-to-front": (*Graph).MinCut,
 		"edmonds-karp":  (*Graph).MinCutEdmondsKarp,
@@ -111,6 +115,7 @@ func TestMinCutSimple(t *testing.T) {
 }
 
 func TestMinCutRespectsCoLocation(t *testing.T) {
+	t.Parallel()
 	// Without co-location, b is cheap to strand on the server; with
 	// co-location b must follow a to the client.
 	build := func(colocate bool) *Graph {
@@ -142,6 +147,7 @@ func TestMinCutRespectsCoLocation(t *testing.T) {
 }
 
 func TestMinCutFreeComponentGoesToClient(t *testing.T) {
+	t.Parallel()
 	g := New()
 	g.Pin("client", SourceSide)
 	g.Pin("server", SinkSide)
@@ -164,6 +170,7 @@ func TestMinCutFreeComponentGoesToClient(t *testing.T) {
 }
 
 func TestMinCutUnsatisfiable(t *testing.T) {
+	t.Parallel()
 	g := New()
 	g.Pin("a", SourceSide)
 	g.Pin("b", SinkSide)
@@ -174,6 +181,7 @@ func TestMinCutUnsatisfiable(t *testing.T) {
 }
 
 func TestEvaluateAssignment(t *testing.T) {
+	t.Parallel()
 	g := New()
 	g.AddEdge("a", "b", 2)
 	g.AddEdge("b", "c", 3)
@@ -193,6 +201,7 @@ func TestEvaluateAssignment(t *testing.T) {
 }
 
 func TestAllOn(t *testing.T) {
+	t.Parallel()
 	g := New()
 	g.AddEdge("a", "b", 1)
 	g.Pin("srv", SinkSide)
@@ -203,6 +212,7 @@ func TestAllOn(t *testing.T) {
 }
 
 func TestMinCutOptimalOverBruteForce(t *testing.T) {
+	t.Parallel()
 	// Exhaustively verify optimality on random small graphs.
 	rng := rand.New(rand.NewSource(11))
 	names := []string{"n0", "n1", "n2", "n3", "n4", "n5"}
@@ -251,6 +261,7 @@ func TestMinCutOptimalOverBruteForce(t *testing.T) {
 }
 
 func TestPropertyTwoAlgorithmsAgree(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		g := New()
@@ -288,6 +299,7 @@ func TestPropertyTwoAlgorithmsAgree(t *testing.T) {
 }
 
 func TestPropertyCutNeverWorseThanDefault(t *testing.T) {
+	t.Parallel()
 	// Coign never chooses a worse distribution than the default: the
 	// minimum cut is at most the cost of the all-on-client assignment.
 	f := func(seed int64) bool {
@@ -319,6 +331,7 @@ func TestPropertyCutNeverWorseThanDefault(t *testing.T) {
 }
 
 func TestMultiwayCutThreeTerminals(t *testing.T) {
+	t.Parallel()
 	// Three clusters, each hanging off its own terminal with heavy
 	// internal edges and light cross edges.
 	g := New()
@@ -356,6 +369,7 @@ func TestMultiwayCutThreeTerminals(t *testing.T) {
 }
 
 func TestMultiwayCutErrors(t *testing.T) {
+	t.Parallel()
 	g := New()
 	g.AddEdge("a", "b", 1)
 	if _, _, err := g.MultiwayCut([]MultiwayTerminal{{Machine: "x", Pinned: []string{"a"}}}); err == nil {
@@ -364,6 +378,7 @@ func TestMultiwayCutErrors(t *testing.T) {
 }
 
 func TestMultiwayCutTwoTerminalsMatchesMinCut(t *testing.T) {
+	t.Parallel()
 	g := New()
 	g.Pin("s", SourceSide)
 	g.Pin("t", SinkSide)
@@ -390,6 +405,7 @@ func TestMultiwayCutTwoTerminalsMatchesMinCut(t *testing.T) {
 }
 
 func TestLargeGraphPerformanceSanity(t *testing.T) {
+	t.Parallel()
 	// The paper's largest graphs have a few thousand classifications; the
 	// cut must be fast at that scale.
 	rng := rand.New(rand.NewSource(5))

@@ -27,6 +27,7 @@ func randomPinnedGraph(seed int64, n int) *Graph {
 }
 
 func TestPropertyCutWeightEqualsFlow(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		g := randomPinnedGraph(seed, 12)
 		cut, err := g.MinCut()
@@ -45,6 +46,7 @@ func TestPropertyCutWeightEqualsFlow(t *testing.T) {
 }
 
 func TestPropertyMinCutMonotoneUnderEdgeAddition(t *testing.T) {
+	t.Parallel()
 	// Adding capacity can never decrease the minimum cut.
 	f := func(seed int64, wRaw uint8) bool {
 		g := randomPinnedGraph(seed, 10)
@@ -67,6 +69,7 @@ func TestPropertyMinCutMonotoneUnderEdgeAddition(t *testing.T) {
 }
 
 func TestPropertyCutPartitionsEveryNode(t *testing.T) {
+	t.Parallel()
 	// Every node lands on exactly one side and pinned nodes honor pins.
 	f := func(seed int64) bool {
 		g := randomPinnedGraph(seed, 14)
@@ -85,6 +88,7 @@ func TestPropertyCutPartitionsEveryNode(t *testing.T) {
 }
 
 func TestPropertyCoLocationAlwaysHonored(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		g := randomPinnedGraph(seed, 10)
 		// Co-locate two random free nodes.

@@ -31,6 +31,7 @@ func roundTrip(t *testing.T, v Value) Value {
 }
 
 func TestCodecScalars(t *testing.T) {
+	t.Parallel()
 	cases := []Value{
 		Bool(true), Bool(false),
 		Int32(-123456), Int32(0),
@@ -51,6 +52,7 @@ func TestCodecScalars(t *testing.T) {
 }
 
 func TestCodecAggregates(t *testing.T) {
+	t.Parallel()
 	pt := Struct("Point", Field("x", TInt32), Field("y", TFloat64))
 	v := StructVal(pt, Int32(3), Float64(4.5))
 	got := roundTrip(t, v)
@@ -66,6 +68,7 @@ func TestCodecAggregates(t *testing.T) {
 }
 
 func TestCodecInterfacePointer(t *testing.T) {
+	t.Parallel()
 	v := IfacePtr(fakePtr{"IDocReader", 42})
 	got := roundTrip(t, v)
 	if got.Iface == nil || got.Iface.IID() != "IDocReader" || got.Iface.InstanceID() != 42 {
@@ -79,6 +82,7 @@ func TestCodecInterfacePointer(t *testing.T) {
 }
 
 func TestCodecNullObjRefNeedsNoResolver(t *testing.T) {
+	t.Parallel()
 	e := NewEncoder()
 	if err := e.Encode(IfacePtr(nil)); err != nil {
 		t.Fatal(err)
@@ -90,6 +94,7 @@ func TestCodecNullObjRefNeedsNoResolver(t *testing.T) {
 }
 
 func TestCodecObjRefWithoutResolverFails(t *testing.T) {
+	t.Parallel()
 	e := NewEncoder()
 	if err := e.Encode(IfacePtr(fakePtr{"I", 1})); err != nil {
 		t.Fatal(err)
@@ -101,6 +106,7 @@ func TestCodecObjRefWithoutResolverFails(t *testing.T) {
 }
 
 func TestCodecOpaqueRejected(t *testing.T) {
+	t.Parallel()
 	e := NewEncoder()
 	if err := e.Encode(OpaquePtr("shm")); err == nil {
 		t.Fatal("opaque pointer encoded")
@@ -112,6 +118,7 @@ func TestCodecOpaqueRejected(t *testing.T) {
 }
 
 func TestCodecTruncation(t *testing.T) {
+	t.Parallel()
 	e := NewEncoder()
 	if err := e.Encode(String("hello")); err != nil {
 		t.Fatal(err)
@@ -126,6 +133,7 @@ func TestCodecTruncation(t *testing.T) {
 }
 
 func TestCodecAbsurdArrayCountRejected(t *testing.T) {
+	t.Parallel()
 	e := NewEncoder()
 	e.u32(1 << 30) // claimed count far exceeding stream
 	d := NewDecoder(e.Bytes(), nil)
@@ -135,12 +143,14 @@ func TestCodecAbsurdArrayCountRejected(t *testing.T) {
 }
 
 func TestEncodeParamsArityChecked(t *testing.T) {
+	t.Parallel()
 	if _, err := EncodeParams([]*TypeDesc{TInt32}, nil); err == nil {
 		t.Fatal("arity mismatch accepted")
 	}
 }
 
 func TestDecodeParamsTrailingBytesRejected(t *testing.T) {
+	t.Parallel()
 	buf, err := EncodeParams([]*TypeDesc{TInt32, TInt32}, []Value{Int32(1), Int32(2)})
 	if err != nil {
 		t.Fatal(err)
@@ -155,6 +165,7 @@ func TestDecodeParamsTrailingBytesRejected(t *testing.T) {
 }
 
 func TestCodecUntypedValueRejected(t *testing.T) {
+	t.Parallel()
 	e := NewEncoder()
 	if err := e.Encode(Value{}); err == nil {
 		t.Fatal("untyped value encoded")
@@ -162,6 +173,7 @@ func TestCodecUntypedValueRejected(t *testing.T) {
 }
 
 func TestCodecStructArityMismatch(t *testing.T) {
+	t.Parallel()
 	pt := Struct("P", Field("x", TInt32), Field("y", TInt32))
 	e := NewEncoder()
 	if err := e.Encode(Value{Type: pt, Elems: []Value{Int32(1)}}); err == nil {
@@ -213,6 +225,7 @@ func equalValue(a, b Value) bool {
 }
 
 func TestPropertyCodecRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		rr := rand.New(rand.NewSource(seed))
 		v := genValue(rr, 3)
@@ -233,6 +246,7 @@ func TestPropertyCodecRoundTrip(t *testing.T) {
 }
 
 func TestPropertyEncodedLenMatchesDeepSizeForPointerFreeValues(t *testing.T) {
+	t.Parallel()
 	// For values with no interface pointers, the encoded length equals the
 	// deep-copy size: the informer's measurement is exactly what the wire
 	// would carry.

@@ -6,6 +6,7 @@ import (
 )
 
 func TestKindString(t *testing.T) {
+	t.Parallel()
 	cases := map[Kind]string{
 		KindVoid:      "void",
 		KindBool:      "boolean",
@@ -30,12 +31,14 @@ func TestKindString(t *testing.T) {
 }
 
 func TestParamDirString(t *testing.T) {
+	t.Parallel()
 	if In.String() != "in" || Out.String() != "out" || InOut.String() != "in,out" {
 		t.Errorf("unexpected ParamDir strings: %v %v %v", In, Out, InOut)
 	}
 }
 
 func TestStructConstructor(t *testing.T) {
+	t.Parallel()
 	pt := Struct("Point", Field("x", TInt32), Field("y", TInt32))
 	if pt.Kind != KindStruct || pt.Name != "Point" || len(pt.Fields) != 2 {
 		t.Fatalf("bad struct descriptor: %+v", pt)
@@ -46,6 +49,7 @@ func TestStructConstructor(t *testing.T) {
 }
 
 func TestRemotable(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		t    *TypeDesc
 		want bool
@@ -68,6 +72,7 @@ func TestRemotable(t *testing.T) {
 }
 
 func TestMethodParamDirections(t *testing.T) {
+	t.Parallel()
 	m := MethodDesc{
 		Name: "Transform",
 		Params: []ParamDesc{
@@ -86,6 +91,7 @@ func TestMethodParamDirections(t *testing.T) {
 }
 
 func TestInterfaceDescMethodLookup(t *testing.T) {
+	t.Parallel()
 	d := &InterfaceDesc{
 		IID:       "ITest",
 		Remotable: true,
@@ -103,6 +109,7 @@ func TestInterfaceDescMethodLookup(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
+	t.Parallel()
 	r := NewRegistry()
 	d := &InterfaceDesc{IID: "IFoo", Remotable: true}
 	r.Register(d)
@@ -122,6 +129,7 @@ func TestRegistry(t *testing.T) {
 }
 
 func TestRegistryDuplicatePanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic on duplicate registration")
@@ -133,6 +141,7 @@ func TestRegistryDuplicatePanics(t *testing.T) {
 }
 
 func TestRegistryEmptyIIDPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic on empty IID")
@@ -142,6 +151,7 @@ func TestRegistryEmptyIIDPanics(t *testing.T) {
 }
 
 func TestFormatStrings(t *testing.T) {
+	t.Parallel()
 	pt := Struct("Point", Field("x", TInt32), Field("y", TFloat64))
 	if got := pt.FormatString(); got != "S{l,d}" {
 		t.Errorf("struct format = %q", got)

@@ -16,6 +16,7 @@ func (p fakePtr) IID() string        { return p.iid }
 func (p fakePtr) InstanceID() uint64 { return p.id }
 
 func TestScalarConstructorsAndAccessors(t *testing.T) {
+	t.Parallel()
 	if v := Bool(true); !v.AsBool() || v.Type.Kind != KindBool {
 		t.Error("Bool(true) broken")
 	}
@@ -43,6 +44,7 @@ func TestScalarConstructorsAndAccessors(t *testing.T) {
 }
 
 func TestDeepSizeScalars(t *testing.T) {
+	t.Parallel()
 	cases := []struct {
 		v    Value
 		want int
@@ -66,6 +68,7 @@ func TestDeepSizeScalars(t *testing.T) {
 }
 
 func TestDeepSizeAggregates(t *testing.T) {
+	t.Parallel()
 	pt := Struct("Point", Field("x", TInt32), Field("y", TInt32))
 	v := StructVal(pt, Int32(1), Int32(2))
 	if got := v.DeepSize(); got != 8 {
@@ -84,6 +87,7 @@ func TestDeepSizeAggregates(t *testing.T) {
 }
 
 func TestValidate(t *testing.T) {
+	t.Parallel()
 	pt := Struct("Point", Field("x", TInt32), Field("y", TInt32))
 	good := StructVal(pt, Int32(1), Int32(2))
 	if err := good.Validate(); err != nil {
@@ -115,6 +119,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestWalkVisitsEverything(t *testing.T) {
+	t.Parallel()
 	pt := Struct("P", Field("a", TInt32), Field("b", TString))
 	v := ArrayVal(Array(pt),
 		StructVal(pt, Int32(1), String("x")),
@@ -134,6 +139,7 @@ func TestWalkVisitsEverything(t *testing.T) {
 }
 
 func TestInterfacePointers(t *testing.T) {
+	t.Parallel()
 	p1 := fakePtr{"IA", 1}
 	p2 := fakePtr{"IB", 2}
 	vals := []Value{
@@ -150,6 +156,7 @@ func TestInterfacePointers(t *testing.T) {
 }
 
 func TestSizeOfAndRemotableValues(t *testing.T) {
+	t.Parallel()
 	vals := []Value{Int32(1), String("abcd")}
 	if got := SizeOf(vals); got != 4+8 {
 		t.Errorf("SizeOf = %d, want 12", got)
@@ -220,6 +227,7 @@ func genValue(r *rand.Rand, depth int) Value {
 }
 
 func TestPropertyDeepSizeNonNegative(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(42))
 	f := func(seed int64) bool {
 		rr := rand.New(rand.NewSource(seed))
@@ -232,6 +240,7 @@ func TestPropertyDeepSizeNonNegative(t *testing.T) {
 }
 
 func TestPropertyDeepSizeAdditive(t *testing.T) {
+	t.Parallel()
 	// Size of a struct equals the sum of its field sizes: deep-copy
 	// semantics have no sharing.
 	f := func(seed int64) bool {

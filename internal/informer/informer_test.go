@@ -29,6 +29,7 @@ var localIface = &idl.InterfaceDesc{
 }
 
 func TestProfilingMeasuresDeepCopySize(t *testing.T) {
+	t.Parallel()
 	var p Profiling
 	args := []idl.Value{idl.Int32(7)}
 	in := p.InspectIn(remotableIface, &readMethod, args)
@@ -46,6 +47,7 @@ func TestProfilingMeasuresDeepCopySize(t *testing.T) {
 }
 
 func TestProfilingFindsInterfacePointers(t *testing.T) {
+	t.Parallel()
 	var p Profiling
 	args := []idl.Value{idl.IfacePtr(fakePtr{3}),
 		idl.StructVal(idl.Struct("S", idl.Field("i", idl.InterfaceType("IFake"))),
@@ -57,6 +59,7 @@ func TestProfilingFindsInterfacePointers(t *testing.T) {
 }
 
 func TestProfilingDetectsNonRemotable(t *testing.T) {
+	t.Parallel()
 	var p Profiling
 	// Opaque value in parameters.
 	in := p.InspectIn(remotableIface, &readMethod, []idl.Value{idl.OpaquePtr("shm")})
@@ -76,6 +79,7 @@ func TestProfilingDetectsNonRemotable(t *testing.T) {
 }
 
 func TestDistributionOnlyScansPointers(t *testing.T) {
+	t.Parallel()
 	var d Distribution
 	args := []idl.Value{idl.ByteBuf(make([]byte, 5000)), idl.IfacePtr(fakePtr{9})}
 	in := d.InspectIn(localIface, &readMethod, args)
@@ -95,6 +99,7 @@ func TestDistributionOnlyScansPointers(t *testing.T) {
 }
 
 func TestMeasureMessage(t *testing.T) {
+	t.Parallel()
 	if got := MeasureMessage(nil); got != DCOMHeaderBytes {
 		t.Errorf("empty message = %d", got)
 	}
@@ -105,6 +110,7 @@ func TestMeasureMessage(t *testing.T) {
 }
 
 func TestNames(t *testing.T) {
+	t.Parallel()
 	if (Profiling{}).Name() != "profiling" || (Distribution{}).Name() != "distribution" {
 		t.Error("informer names wrong")
 	}

@@ -9,6 +9,7 @@ package logger
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/profile"
 )
@@ -154,6 +155,26 @@ func (l *Profiling) Combined() (*profile.Profile, error) {
 	return combined, nil
 }
 
+// FaultRecord describes one injected or simulated network fault and the
+// runtime's reaction to it, so chaos runs leave an auditable trail.
+type FaultRecord struct {
+	// Kind is "drop", "corrupt", or "giveup" (attempt budget exhausted).
+	Kind string
+	// Attempt is the 1-based delivery attempt the fault hit.
+	Attempt int
+	// Bytes is the affected message's payload size.
+	Bytes int
+	// Penalty is the time the fault cost (timeout wait, wasted transfer).
+	Penalty time.Duration
+}
+
+// FaultSink receives fault events. It is deliberately separate from
+// Logger so existing loggers stay source-compatible; sinks are discovered
+// with a type assertion.
+type FaultSink interface {
+	Fault(rec FaultRecord)
+}
+
 // EventKind enumerates trace event types.
 type EventKind int
 
@@ -164,15 +185,18 @@ const (
 	EvCall
 	EvRelease
 	EvEnd
+	// EvFault records an injected network fault (chaos runs).
+	EvFault
 )
 
 // Event is one entry of an event-logger trace.
 type Event struct {
-	Kind EventKind
-	Inst InstRecord
-	Call CallRecord
-	App  string
-	Scen string
+	Kind  EventKind
+	Inst  InstRecord
+	Call  CallRecord
+	Fault FaultRecord
+	App   string
+	Scen  string
 }
 
 // EventLogger creates detailed traces of all component-related events; a
@@ -227,6 +251,15 @@ func (l *EventLogger) EndRun() {
 	}
 }
 
+// Fault implements FaultSink: injected faults become trace entries.
+func (l *EventLogger) Fault(rec FaultRecord) {
+	l.Events = append(l.Events, Event{Kind: EvFault, Fault: rec})
+	if l.w != nil {
+		fmt.Fprintf(l.w, "fault %s attempt=%d bytes=%d penalty=%v\n",
+			rec.Kind, rec.Attempt, rec.Bytes, rec.Penalty)
+	}
+}
+
 // Multi fans events out to several loggers.
 type Multi []Logger
 
@@ -262,5 +295,14 @@ func (m Multi) Release(id uint64) {
 func (m Multi) EndRun() {
 	for _, l := range m {
 		l.EndRun()
+	}
+}
+
+// Fault implements FaultSink, forwarding to members that are sinks.
+func (m Multi) Fault(rec FaultRecord) {
+	for _, l := range m {
+		if fs, ok := l.(FaultSink); ok {
+			fs.Fault(rec)
+		}
 	}
 }

@@ -18,6 +18,7 @@ func sampleCall() CallRecord {
 }
 
 func TestNullLoggerDoesNothing(t *testing.T) {
+	t.Parallel()
 	var n Null
 	n.BeginRun("a", "s")
 	n.Instantiation(sampleInst(1))
@@ -27,6 +28,7 @@ func TestNullLoggerDoesNothing(t *testing.T) {
 }
 
 func TestProfilingLoggerSummarizes(t *testing.T) {
+	t.Parallel()
 	l := NewProfiling("ifcb", true)
 	l.BeginRun("app", "o_newdoc")
 	l.Instantiation(sampleInst(1))
@@ -55,6 +57,7 @@ func TestProfilingLoggerSummarizes(t *testing.T) {
 }
 
 func TestProfilingLoggerWithoutInstanceDetail(t *testing.T) {
+	t.Parallel()
 	l := NewProfiling("ifcb", false)
 	l.BeginRun("app", "s")
 	l.Instantiation(sampleInst(1))
@@ -66,6 +69,7 @@ func TestProfilingLoggerWithoutInstanceDetail(t *testing.T) {
 }
 
 func TestProfilingLoggerMultipleRunsAndCombined(t *testing.T) {
+	t.Parallel()
 	l := NewProfiling("ifcb", false)
 	for _, s := range []string{"s1", "s2", "s3"} {
 		l.BeginRun("app", s)
@@ -86,12 +90,14 @@ func TestProfilingLoggerMultipleRunsAndCombined(t *testing.T) {
 }
 
 func TestProfilingLoggerCombinedEmpty(t *testing.T) {
+	t.Parallel()
 	if _, err := NewProfiling("ifcb", false).Combined(); err == nil {
 		t.Fatal("empty combine succeeded")
 	}
 }
 
 func TestProfilingLoggerIgnoresEventsOutsideRun(t *testing.T) {
+	t.Parallel()
 	l := NewProfiling("ifcb", true)
 	l.Instantiation(sampleInst(1)) // before BeginRun: dropped
 	l.Call(sampleCall())
@@ -102,6 +108,7 @@ func TestProfilingLoggerIgnoresEventsOutsideRun(t *testing.T) {
 }
 
 func TestEventLoggerTracesEverything(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	l := NewEventLogger(&buf)
 	l.BeginRun("app", "s")
@@ -127,6 +134,7 @@ func TestEventLoggerTracesEverything(t *testing.T) {
 }
 
 func TestEventLoggerNilWriter(t *testing.T) {
+	t.Parallel()
 	l := NewEventLogger(nil)
 	l.BeginRun("a", "s")
 	l.Call(sampleCall())
@@ -137,6 +145,7 @@ func TestEventLoggerNilWriter(t *testing.T) {
 }
 
 func TestMultiFansOut(t *testing.T) {
+	t.Parallel()
 	p := NewProfiling("ifcb", false)
 	e := NewEventLogger(nil)
 	m := Multi{p, e}

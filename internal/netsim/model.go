@@ -32,6 +32,11 @@ type Model struct {
 	// times. Deterministic predictions use the mean; measured executions
 	// sample.
 	Jitter float64
+	// Loss is the per-message loss probability of the link. The mean-time
+	// cost model ignores it; fault-injected runs (internal/fault.FromModel,
+	// dist.FaultPolicy) map it into drop/corruption rates so degraded links
+	// can be both simulated and survived.
+	Loss float64
 }
 
 // Predefined network models. Parameters are calibrated so that the DCOM
@@ -46,6 +51,7 @@ var (
 		Bandwidth:     1.1e6,
 		PerMessageCPU: 650 * time.Microsecond,
 		Jitter:        0.05,
+		Loss:          0.0002,
 	}
 	// HundredBaseT is switched 100 Mb/s Ethernet.
 	HundredBaseT = &Model{
@@ -54,6 +60,7 @@ var (
 		Bandwidth:     11.0e6,
 		PerMessageCPU: 600 * time.Microsecond,
 		Jitter:        0.05,
+		Loss:          0.0001,
 	}
 	// ISDN is a 128 kb/s wide-area link: high latency, low bandwidth.
 	ISDN = &Model{
@@ -62,6 +69,7 @@ var (
 		Bandwidth:     15.0e3,
 		PerMessageCPU: 650 * time.Microsecond,
 		Jitter:        0.10,
+		Loss:          0.005,
 	}
 	// ATM155 is 155 Mb/s ATM: low latency, high bandwidth.
 	ATM155 = &Model{
@@ -70,6 +78,7 @@ var (
 		Bandwidth:     17.0e6,
 		PerMessageCPU: 550 * time.Microsecond,
 		Jitter:        0.04,
+		Loss:          0.00005,
 	}
 	// SAN is a system-area network with user-level messaging.
 	SAN = &Model{
@@ -78,6 +87,7 @@ var (
 		Bandwidth:     40.0e6,
 		PerMessageCPU: 80 * time.Microsecond,
 		Jitter:        0.03,
+		Loss:          0.00001,
 	}
 	// Loopback approximates same-machine cross-process DCOM (LRPC).
 	Loopback = &Model{
@@ -86,6 +96,7 @@ var (
 		Bandwidth:     120.0e6,
 		PerMessageCPU: 45 * time.Microsecond,
 		Jitter:        0.02,
+		Loss:          0,
 	}
 )
 

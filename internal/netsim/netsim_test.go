@@ -8,6 +8,7 @@ import (
 )
 
 func TestMessageTimeComposition(t *testing.T) {
+	t.Parallel()
 	m := &Model{Name: "t", Latency: time.Millisecond, Bandwidth: 1e6,
 		PerMessageCPU: 500 * time.Microsecond}
 	// 0 bytes: latency + cpu only.
@@ -25,6 +26,7 @@ func TestMessageTimeComposition(t *testing.T) {
 }
 
 func TestRoundTripTime(t *testing.T) {
+	t.Parallel()
 	m := TenBaseT
 	if got, want := m.RoundTripTime(100, 200), m.MessageTime(100)+m.MessageTime(200); got != want {
 		t.Errorf("RTT = %v, want %v", got, want)
@@ -32,6 +34,7 @@ func TestRoundTripTime(t *testing.T) {
 }
 
 func TestModelsCatalog(t *testing.T) {
+	t.Parallel()
 	all := Models()
 	if len(all) != 6 {
 		t.Fatalf("Models() has %d entries", len(all))
@@ -53,6 +56,7 @@ func TestModelsCatalog(t *testing.T) {
 }
 
 func TestNullRTTCalibration(t *testing.T) {
+	t.Parallel()
 	// DCOM null RPC on the paper's testbed is on the order of 2 ms.
 	rtt := TenBaseT.RoundTripTime(0, 0)
 	if rtt < time.Millisecond || rtt > 4*time.Millisecond {
@@ -61,6 +65,7 @@ func TestNullRTTCalibration(t *testing.T) {
 }
 
 func TestSampleMessageTime(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	m := TenBaseT
 	mean := m.MessageTime(1024)
@@ -88,6 +93,7 @@ func TestSampleMessageTime(t *testing.T) {
 }
 
 func TestSampleProfileApproximatesModel(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(7))
 	p, err := SampleModel(TenBaseT, rng, DefaultSampleSizes, 20)
 	if err != nil {
@@ -107,6 +113,7 @@ func TestSampleProfileApproximatesModel(t *testing.T) {
 }
 
 func TestSampleErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := Sample("x", nil, nil, 3); err == nil {
 		t.Error("no sizes accepted")
 	}
@@ -116,6 +123,7 @@ func TestSampleErrors(t *testing.T) {
 }
 
 func TestTrimmedMean(t *testing.T) {
+	t.Parallel()
 	obs := []time.Duration{10, 1, 100, 12, 11} // outliers 1 and 100 dropped
 	if got := trimmedMean(obs); got != 11 {
 		t.Errorf("trimmedMean = %v", got)
@@ -129,6 +137,7 @@ func TestTrimmedMean(t *testing.T) {
 }
 
 func TestExactProfileInterpolation(t *testing.T) {
+	t.Parallel()
 	p := ExactProfile(TenBaseT, DefaultSampleSizes)
 	// At sampled sizes the profile is exact.
 	for _, sz := range DefaultSampleSizes {
@@ -159,6 +168,7 @@ func TestExactProfileInterpolation(t *testing.T) {
 }
 
 func TestProfileEdgeCases(t *testing.T) {
+	t.Parallel()
 	empty := &Profile{}
 	if empty.MessageTime(100) != 0 {
 		t.Error("empty profile nonzero")
@@ -177,6 +187,7 @@ func TestProfileEdgeCases(t *testing.T) {
 }
 
 func TestPropertyMessageTimeMonotone(t *testing.T) {
+	t.Parallel()
 	// Larger messages never cost less, for models and profiles alike.
 	p := ExactProfile(TenBaseT, DefaultSampleSizes)
 	f := func(a, b uint16) bool {
@@ -193,6 +204,7 @@ func TestPropertyMessageTimeMonotone(t *testing.T) {
 }
 
 func TestStringers(t *testing.T) {
+	t.Parallel()
 	if s := TenBaseT.String(); s == "" {
 		t.Error("model String empty")
 	}

@@ -13,6 +13,7 @@ import (
 )
 
 func TestBucketIndexRanges(t *testing.T) {
+	t.Parallel()
 	cases := []struct{ size, want int }{
 		{-3, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
 		{63, 6}, {64, 7}, {1024, 11}, {1 << 20, 21},
@@ -25,6 +26,7 @@ func TestBucketIndexRanges(t *testing.T) {
 }
 
 func TestBucketRepresentativeWithinRange(t *testing.T) {
+	t.Parallel()
 	if BucketRepresentative(0) != 0 {
 		t.Error("bucket 0 rep nonzero")
 	}
@@ -37,6 +39,7 @@ func TestBucketRepresentativeWithinRange(t *testing.T) {
 }
 
 func TestPropertyBucketRoundTrip(t *testing.T) {
+	t.Parallel()
 	// Every size lands in a bucket whose range contains it, and ranges grow
 	// exponentially: rep(idx+1) is about 2x rep(idx).
 	f := func(sz uint32) bool {
@@ -55,6 +58,7 @@ func TestPropertyBucketRoundTrip(t *testing.T) {
 }
 
 func TestBucketCounts(t *testing.T) {
+	t.Parallel()
 	b := make(BucketCounts)
 	b.Add(0, 2)
 	b.Add(100, 3)
@@ -84,6 +88,7 @@ func TestBucketCounts(t *testing.T) {
 }
 
 func TestEdgeSummaryRecordAndTime(t *testing.T) {
+	t.Parallel()
 	np := netsim.ExactProfile(netsim.TenBaseT, netsim.DefaultSampleSizes)
 	e := NewEdgeSummary()
 	e.Record(100, 1000, false)
@@ -115,6 +120,7 @@ func TestEdgeSummaryRecordAndTime(t *testing.T) {
 }
 
 func TestEdgeSummaryMerge(t *testing.T) {
+	t.Parallel()
 	a := NewEdgeSummary()
 	a.Record(10, 20, false)
 	b := NewEdgeSummary()
@@ -140,6 +146,7 @@ func buildTestProfile() *Profile {
 }
 
 func TestProfileAccumulation(t *testing.T) {
+	t.Parallel()
 	p := buildTestProfile()
 	if p.TotalInstances() != 3 {
 		t.Errorf("TotalInstances = %d", p.TotalInstances())
@@ -157,6 +164,7 @@ func TestProfileAccumulation(t *testing.T) {
 }
 
 func TestProfileMerge(t *testing.T) {
+	t.Parallel()
 	a := buildTestProfile()
 	b := buildTestProfile()
 	b.Scenarios = []string{"s2"}
@@ -184,6 +192,7 @@ func TestProfileMerge(t *testing.T) {
 }
 
 func TestDropInstanceDetail(t *testing.T) {
+	t.Parallel()
 	p := buildTestProfile()
 	p.DropInstanceDetail()
 	if len(p.Instances) != 0 || len(p.InstEdges) != 0 {
@@ -195,6 +204,7 @@ func TestDropInstanceDetail(t *testing.T) {
 }
 
 func TestCorrelation(t *testing.T) {
+	t.Parallel()
 	a := Vector{"x": 1, "y": 1}
 	if got := Correlation(a, a); math.Abs(got-1) > 1e-12 {
 		t.Errorf("self correlation = %v", got)
@@ -224,6 +234,7 @@ func TestCorrelation(t *testing.T) {
 }
 
 func TestPropertyCorrelationBounds(t *testing.T) {
+	t.Parallel()
 	f := func(x1, y1, x2, y2 uint8) bool {
 		a := Vector{"x": float64(x1), "y": float64(y1)}
 		b := Vector{"x": float64(x2), "y": float64(y2)}
@@ -236,6 +247,7 @@ func TestPropertyCorrelationBounds(t *testing.T) {
 }
 
 func TestInstanceVectors(t *testing.T) {
+	t.Parallel()
 	np := netsim.ExactProfile(netsim.TenBaseT, netsim.DefaultSampleSizes)
 	p := buildTestProfile()
 	vecs := p.InstanceVectors(np)
@@ -258,6 +270,7 @@ func TestInstanceVectors(t *testing.T) {
 }
 
 func TestClassificationVectors(t *testing.T) {
+	t.Parallel()
 	np := netsim.ExactProfile(netsim.TenBaseT, netsim.DefaultSampleSizes)
 	p := buildTestProfile()
 	cv := p.ClassificationVectors(np)
@@ -272,6 +285,7 @@ func TestClassificationVectors(t *testing.T) {
 }
 
 func TestLogFileRoundTrip(t *testing.T) {
+	t.Parallel()
 	p := buildTestProfile()
 	p.Edge("c:reader", "c:view").NonRemotable = true
 	var buf bytes.Buffer
@@ -305,6 +319,7 @@ func TestLogFileRoundTrip(t *testing.T) {
 }
 
 func TestLogFileOnDisk(t *testing.T) {
+	t.Parallel()
 	dir := t.TempDir()
 	path := filepath.Join(dir, "o_newdoc.icc")
 	p := buildTestProfile()
@@ -324,12 +339,14 @@ func TestLogFileOnDisk(t *testing.T) {
 }
 
 func TestDecodeGarbage(t *testing.T) {
+	t.Parallel()
 	if _, err := Decode(bytes.NewReader([]byte("not json"))); err == nil {
 		t.Fatal("garbage decoded")
 	}
 }
 
 func TestEdgeTimeUsesBuckets(t *testing.T) {
+	t.Parallel()
 	// Two messages in the same bucket price identically even if sizes
 	// differ: network independence with bounded storage.
 	np := netsim.ExactProfile(netsim.TenBaseT, netsim.DefaultSampleSizes)
@@ -353,6 +370,7 @@ func TestEdgeTimeUsesBuckets(t *testing.T) {
 }
 
 func TestPropertyMergeCommutesOnTotals(t *testing.T) {
+	t.Parallel()
 	gen := func(seed int64) *Profile {
 		rr := rand.New(rand.NewSource(seed))
 		p := New("app", "ifcb")
@@ -399,6 +417,7 @@ func TestPropertyMergeCommutesOnTotals(t *testing.T) {
 }
 
 func TestOffsetInstanceIDs(t *testing.T) {
+	t.Parallel()
 	p := buildTestProfile()
 	maxBefore := p.MaxInstanceID()
 	if maxBefore != 3 {

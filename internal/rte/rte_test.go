@@ -90,6 +90,7 @@ func attach(t *testing.T, env *com.Env, opts Options) *RTE {
 }
 
 func TestAttachRequiresInformerAndTable(t *testing.T) {
+	t.Parallel()
 	env := com.NewEnv(chainApp())
 	if _, err := Attach(env, Options{Table: classify.NewTable(classify.New(classify.ST, 0))}); err == nil {
 		t.Error("attach without informer succeeded")
@@ -100,6 +101,7 @@ func TestAttachRequiresInformerAndTable(t *testing.T) {
 }
 
 func TestProfilingRunCollectsEverything(t *testing.T) {
+	t.Parallel()
 	env := com.NewEnv(chainApp())
 	plog := logger.NewProfiling("ifcb", true)
 	r := attach(t, env, Options{Logger: plog})
@@ -169,6 +171,7 @@ func TestProfilingRunCollectsEverything(t *testing.T) {
 }
 
 func TestClassifierSeesNestedContext(t *testing.T) {
+	t.Parallel()
 	// Two Leafs created from different contexts (main vs Root) must get
 	// different IFCB classifications.
 	env := com.NewEnv(chainApp())
@@ -208,6 +211,7 @@ func (c *recordingComm) RemoteCall(from, to com.Machine, reqBytes, respBytes int
 }
 
 func TestPlacerAndRemoteCommunication(t *testing.T) {
+	t.Parallel()
 	env := com.NewEnv(chainApp())
 	comm := &recordingComm{}
 	// Place every Leaf on the server.
@@ -241,6 +245,7 @@ func TestPlacerAndRemoteCommunication(t *testing.T) {
 }
 
 func TestNonRemotableCrossingCountsViolation(t *testing.T) {
+	t.Parallel()
 	env := com.NewEnv(chainApp())
 	comm := &recordingComm{}
 	placer := PlacerFunc(func(_ string, cl *com.Class, creator com.Machine) com.Machine {
@@ -263,6 +268,7 @@ func TestNonRemotableCrossingCountsViolation(t *testing.T) {
 }
 
 func TestDetachRestoresEnvironment(t *testing.T) {
+	t.Parallel()
 	env := com.NewEnv(chainApp())
 	plog := logger.NewProfiling("ifcb", false)
 	r := attach(t, env, Options{Logger: plog})
@@ -280,6 +286,7 @@ func TestDetachRestoresEnvironment(t *testing.T) {
 }
 
 func TestLoadBinaryTracking(t *testing.T) {
+	t.Parallel()
 	env := com.NewEnv(chainApp())
 	r := attach(t, env, Options{})
 	r.LoadBinary("coign.rt")
@@ -291,6 +298,7 @@ func TestLoadBinaryTracking(t *testing.T) {
 }
 
 func TestBeginRunResetsState(t *testing.T) {
+	t.Parallel()
 	env := com.NewEnv(chainApp())
 	tab := classify.NewTable(classify.New(classify.Incremental, 0))
 	plog := logger.NewProfiling("incremental", false)
@@ -312,6 +320,7 @@ func TestBeginRunResetsState(t *testing.T) {
 }
 
 func TestSnapshotOrdering(t *testing.T) {
+	t.Parallel()
 	// During a nested call the snapshot lists innermost frames first.
 	env := com.NewEnv(chainApp())
 	var r *RTE

@@ -9,6 +9,7 @@ import (
 )
 
 func TestTable1HasTwentyThreeScenarios(t *testing.T) {
+	t.Parallel()
 	all := Table1()
 	if len(all) != 23 {
 		t.Fatalf("Table 1 has %d scenarios, want 23", len(all))
@@ -31,6 +32,7 @@ func TestTable1HasTwentyThreeScenarios(t *testing.T) {
 }
 
 func TestPerAppPartitions(t *testing.T) {
+	t.Parallel()
 	counts := map[string]int{"octarine": 12, "photodraw": 7, "benefits": 4}
 	total := 0
 	for app, want := range counts {
@@ -54,6 +56,7 @@ func TestPerAppPartitions(t *testing.T) {
 }
 
 func TestNewApp(t *testing.T) {
+	t.Parallel()
 	for _, name := range Apps() {
 		app, err := NewApp(name)
 		if err != nil || app == nil || app.Name != name {
@@ -69,6 +72,7 @@ func TestNewApp(t *testing.T) {
 }
 
 func TestLookup(t *testing.T) {
+	t.Parallel()
 	info, err := Lookup("o_oldwp7")
 	if err != nil || info.App != "octarine" {
 		t.Errorf("Lookup = %+v, %v", info, err)
@@ -81,6 +85,7 @@ func TestLookup(t *testing.T) {
 // TestEveryScenarioExecutes drives each catalog entry end to end in
 // profiling mode — the suite's integration smoke test.
 func TestEveryScenarioExecutes(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("full suite execution")
 	}
