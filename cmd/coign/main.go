@@ -17,10 +17,12 @@
 //	coign chaos -scenario o_oldwp7 [-drop 0.05]  run under injected network faults
 //	coign adapt -scenario o_oldwp7               re-partition across network generations (§4.4)
 //	coign overhead [-scenario o_oldwp0]          instrumentation overhead (§3.2)
+//	coign check [-app all] [-json out.json]      static constraint analysis + verification
 //	coign instrument -app octarine -o app.img    rewrite a binary for profiling
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -40,6 +42,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/profile"
 	"repro/internal/scenario"
+	"repro/internal/staticanal"
 )
 
 func main() {
@@ -80,6 +83,8 @@ func main() {
 		err = cmdProfile(args)
 	case "analyze":
 		err = cmdAnalyze(args)
+	case "check":
+		err = cmdCheck(args)
 	case "instrument":
 		err = cmdInstrument(args)
 	case "help", "-h", "--help":
@@ -112,6 +117,7 @@ commands:
   overhead    instrumentation overhead measurements
   drift       watchdog: detect usage drift from the profiled scenarios
   cache       per-interface caching (semi-custom marshaling) effect
+  check       static constraint analysis: remotability, pins, co-location
   instrument  rewrite an application binary for profiling
   profile     run profiling scenarios and write .icc log files
   analyze     combine .icc log files and print the chosen distribution`)
@@ -603,6 +609,67 @@ func cmdAnalyze(args []string) error {
 		for _, cp := range res.ServerComponents(combined) {
 			fmt.Printf("  server: %-20s x%d\n", cp.Class, cp.Instances)
 		}
+	}
+	return nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	appName := fs.String("app", "all", "application to analyze, or 'all'")
+	verify := fs.Bool("verify", true, "profile the training scenarios and cross-check the static prediction")
+	jsonPath := fs.String("json", "", "write the full reports as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	apps := scenario.Apps()
+	if *appName != "all" {
+		apps = []string{*appName}
+	}
+
+	var rows []*experiments.CheckRow
+	for _, name := range apps {
+		var scenarios []string
+		if *verify {
+			scenarios = scenario.TrainingForApp(name)
+		}
+		row, err := experiments.Check(name, scenarios)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+
+	violations := 0
+	for _, row := range rows {
+		if err := row.Report.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if len(row.Scenarios) > 0 {
+			fmt.Printf("  verified against %v: %d pinned, %d statically welded, %d warnings, %d violations\n",
+				row.Scenarios, row.Pinned, row.Welded, row.Warnings, row.Violations)
+		}
+		violations += row.Violations
+		fmt.Println()
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		reports := make([]*staticanal.Report, len(rows))
+		for i, row := range rows {
+			reports[i] = row.Report
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d constraint violation(s)", violations)
 	}
 	return nil
 }

@@ -15,56 +15,18 @@ import (
 	"repro/internal/graph"
 	"repro/internal/netsim"
 	"repro/internal/profile"
-)
-
-// Constraint classes derived by static analysis of component binaries:
-// components that call known GUI APIs must stay with the user's display;
-// components that call storage APIs belong with the data.
-var (
-	guiAPIs = map[string]bool{
-		com.APIGdiPaint:   true,
-		com.APIUserWindow: true,
-		com.APIUserInput:  true,
-		com.APIClipboard:  true,
-		com.APIPrintSpool: true,
-	}
-	storageAPIs = map[string]bool{
-		com.APIFileRead:    true,
-		com.APIFileWrite:   true,
-		com.APIFileOpen:    true,
-		com.APIODBCConnect: true,
-		com.APIODBCExec:    true,
-	}
+	"repro/internal/staticanal"
 )
 
 // InferConstraint performs the per-class static analysis: it inspects the
 // APIs a component binary imports and returns a machine constraint if one
 // applies. GUI usage dominates storage usage: a component that paints must
-// stay on the client no matter what it reads.
+// stay on the client no matter what it reads. The rules themselves live in
+// the static analyzer; this wrapper keeps the engine's historical entry
+// point.
 func InferConstraint(class *com.Class) (com.Machine, bool) {
-	if class == nil {
-		return 0, false
-	}
-	if class.Infrastructure {
-		return class.Home, true
-	}
-	gui, storage := false, false
-	for _, api := range class.APIs {
-		if guiAPIs[api] {
-			gui = true
-		}
-		if storageAPIs[api] {
-			storage = true
-		}
-	}
-	switch {
-	case gui:
-		return com.Client, true
-	case storage:
-		return com.Server, true
-	default:
-		return 0, false
-	}
+	m, _, ok := staticanal.InferPin(class)
+	return m, ok
 }
 
 // Options tunes the analysis.
@@ -72,6 +34,12 @@ type Options struct {
 	// ExactPricing prices edges from exact byte totals instead of bucket
 	// representatives (the bucketing-accuracy ablation).
 	ExactPricing bool
+	// Constraints, when set, is the static analyzer's constraint set: its
+	// pins and pair-wise co-location constraints are installed into the
+	// graph before cutting, and its verifier cross-checks the profile and
+	// the chosen cut (divergences land in Result.Findings). When nil the
+	// engine falls back to per-class API inference alone.
+	Constraints *staticanal.ConstraintSet
 	// ExtraPins force named classifications to machines, modeling the
 	// paper's programmer-supplied absolute constraints.
 	ExtraPins map[string]com.Machine
@@ -107,24 +75,52 @@ type Result struct {
 	NonRemotableEdges int
 	// Constrained counts classifications pinned by static analysis.
 	Constrained int
+	// StaticCoLocations counts profile edges welded by the static
+	// constraint set (before any dynamic opaque-parameter evidence).
+	StaticCoLocations int
+	// Findings is the static/dynamic verifier's output: cross-check
+	// divergences and (never expected) cut-constraint violations.
+	Findings []staticanal.Finding
+}
+
+// BuildStats summarizes the constraints installed during graph
+// construction.
+type BuildStats struct {
+	// Constrained counts classifications pinned to a machine.
+	Constrained int
+	// NonRemotable counts edges welded by dynamic opaque-parameter
+	// evidence in the profile.
+	NonRemotable int
+	// StaticCoLocations counts edges welded by the static constraint set.
+	StaticCoLocations int
 }
 
 // BuildGraph constructs the concrete communication graph for a profile:
 // one node per classification, edges priced under the network profile,
-// pins from static API analysis, and co-location for non-remotable edges.
-func BuildGraph(p *profile.Profile, np *netsim.Profile, classes *com.ClassRegistry, opts Options) (*graph.Graph, int, int) {
+// pins and pair-wise welds from the static constraint set (falling back
+// to per-class API inference when no set is supplied), and co-location
+// for dynamically observed non-remotable edges.
+func BuildGraph(p *profile.Profile, np *netsim.Profile, classes *com.ClassRegistry, opts Options) (*graph.Graph, BuildStats) {
 	g := graph.New()
 	g.Pin(profile.MainProgram, graph.SourceSide)
 
-	constrained := 0
-	for id, ci := range p.Classifications {
+	var st BuildStats
+	for id := range p.Classifications {
 		g.Node(id)
-		if m, ok := InferConstraint(classes.LookupName(ci.Class)); ok {
-			constrained++
-			if m == com.Client {
-				g.Pin(id, graph.SourceSide)
-			} else {
-				g.Pin(id, graph.SinkSide)
+	}
+	if cs := opts.Constraints; cs != nil {
+		applied := cs.ApplyToGraph(g, p)
+		st.Constrained = applied.Pins
+		st.StaticCoLocations = applied.CoLocations
+	} else {
+		for id, ci := range p.Classifications {
+			if m, ok := InferConstraint(classes.LookupName(ci.Class)); ok {
+				st.Constrained++
+				if m == com.Client {
+					g.Pin(id, graph.SourceSide)
+				} else {
+					g.Pin(id, graph.SinkSide)
+				}
 			}
 		}
 	}
@@ -136,7 +132,6 @@ func BuildGraph(p *profile.Profile, np *netsim.Profile, classes *com.ClassRegist
 		}
 	}
 
-	nonRemotable := 0
 	for k, e := range p.Edges {
 		var t time.Duration
 		if opts.ExactPricing {
@@ -146,14 +141,14 @@ func BuildGraph(p *profile.Profile, np *netsim.Profile, classes *com.ClassRegist
 		}
 		g.AddEdge(k.Src, k.Dst, t.Seconds())
 		if e.NonRemotable {
-			nonRemotable++
+			st.NonRemotable++
 			g.CoLocate(k.Src, k.Dst)
 		}
 	}
 	for _, pair := range opts.ExtraCoLocate {
 		g.CoLocate(pair[0], pair[1])
 	}
-	return g, constrained, nonRemotable
+	return g, st
 }
 
 // Analyze runs the complete engine: graph construction, minimum cut, and
@@ -162,7 +157,7 @@ func Analyze(p *profile.Profile, np *netsim.Profile, app *com.App, opts Options)
 	if p == nil || np == nil || app == nil {
 		return nil, fmt.Errorf("analysis: profile, network profile, and application are required")
 	}
-	g, constrained, nonRemotable := BuildGraph(p, np, app.Classes, opts)
+	g, st := BuildGraph(p, np, app.Classes, opts)
 	cut, err := g.MinCut()
 	if err != nil {
 		return nil, fmt.Errorf("analysis: %s: %w", p.App, err)
@@ -173,8 +168,9 @@ func Analyze(p *profile.Profile, np *netsim.Profile, app *com.App, opts Options)
 		Cut:               cut,
 		Distribution:      make(map[string]com.Machine, len(cut.Assignment)),
 		PredictedComm:     time.Duration(cut.Weight * float64(time.Second)),
-		NonRemotableEdges: nonRemotable,
-		Constrained:       constrained,
+		NonRemotableEdges: st.NonRemotable,
+		Constrained:       st.Constrained,
+		StaticCoLocations: st.StaticCoLocations,
 	}
 	for id, side := range cut.Assignment {
 		if id == profile.MainProgram {
@@ -210,6 +206,15 @@ func Analyze(p *profile.Profile, np *netsim.Profile, app *com.App, opts Options)
 		def[id] = side
 	}
 	res.DefaultComm = time.Duration(g.EvaluateAssignment(def) * float64(time.Second))
+
+	// Verifier: cross-check the static prediction against the observed ICC
+	// and the chosen cut against every constraint. With the constraints
+	// installed as pins and infinite-weight edges, cut violations should be
+	// impossible; divergences surface as findings, never failures.
+	if cs := opts.Constraints; cs != nil {
+		res.Findings = append(res.Findings, cs.CrossCheck(p)...)
+		res.Findings = append(res.Findings, cs.CheckCut(p, res.Distribution)...)
+	}
 	return res, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/netsim"
 	"repro/internal/profile"
+	"repro/internal/staticanal"
 )
 
 // ADPS is the partitioning pipeline for one application.
@@ -37,6 +38,10 @@ type ADPS struct {
 	ClassifierDepth int
 	// AnalysisOptions tunes the analysis engine.
 	AnalysisOptions analysis.Options
+	// Static is the static analyzer's report for the application binary,
+	// derived once at pipeline construction; its constraint set feeds the
+	// analysis engine.
+	Static *staticanal.Report
 	// Samples is the number of observations per message size in network
 	// profiling.
 	Samples int
@@ -51,7 +56,7 @@ type ADPS struct {
 // classifier with complete stack walks, and the application's original
 // binary image.
 func New(app *com.App) *ADPS {
-	return &ADPS{
+	a := &ADPS{
 		App:            app,
 		Network:        netsim.TenBaseT,
 		Image:          binimg.BuildImage(app),
@@ -59,6 +64,13 @@ func New(app *com.App) *ADPS {
 		Samples:        25,
 		Seed:           1,
 	}
+	// Static constraint analysis runs over the original binary before any
+	// scenario executes; the derived constraint set steers every cut.
+	if rep, err := staticanal.Analyze(app, a.Image); err == nil {
+		a.Static = rep
+		a.AnalysisOptions.Constraints = rep.Constraints
+	}
+	return a
 }
 
 // classifier builds a fresh classifier per the pipeline configuration.

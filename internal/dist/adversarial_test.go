@@ -50,11 +50,11 @@ func TestDispatchNeverPanicsOnMalformedRequests(t *testing.T) {
 		nil,
 		{},
 		{opCall},
-		make([]byte, reqHdrLen-1),               // one byte short of a header
-		reqFrame(opCall, 1, 1, nil),             // empty call body
-		reqFrame(opCall, 1, 2, []byte("junk")),  // body is not idl
-		reqFrame(99, 1, 3, nil),                 // unknown opcode
-		reqFrame(0, 1, 4, nil),                  // zero opcode
+		make([]byte, reqHdrLen-1),              // one byte short of a header
+		reqFrame(opCall, 1, 1, nil),            // empty call body
+		reqFrame(opCall, 1, 2, []byte("junk")), // body is not idl
+		reqFrame(99, 1, 3, nil),                // unknown opcode
+		reqFrame(0, 1, 4, nil),                 // zero opcode
 		reqFrame(opCall, 1, 5, bytes.Repeat([]byte{0xFF}, 1024)),
 		append(reqFrame(opCall, 1, 6, nil), 0x00),
 	}

@@ -65,6 +65,7 @@ func chaosPipelineRun(t *testing.T, seed int64, calls int) ([]fault.Event, int64
 }
 
 func TestChaosTransportPipelineUnderFaults(t *testing.T) {
+	t.Parallel()
 	events, retries, reconnects := chaosPipelineRun(t, 1, 40)
 	if len(events) == 0 {
 		t.Fatal("5% fault rates injected nothing over 40 calls; pick another seed")
@@ -77,6 +78,7 @@ func TestChaosTransportPipelineUnderFaults(t *testing.T) {
 }
 
 func TestChaosTransportReproducibleFromSeed(t *testing.T) {
+	t.Parallel()
 	a, retriesA, reconnectsA := chaosPipelineRun(t, 2, 25)
 	b, retriesB, reconnectsB := chaosPipelineRun(t, 2, 25)
 	if !reflect.DeepEqual(a, b) {

@@ -373,6 +373,7 @@ func (c *Conn) attempt(req []byte, timeout time.Duration) ([]byte, error) {
 		return nil, err
 	}
 	if timeout > 0 {
+		//lint:allow wallclock socket deadlines are real time, not virtual time
 		nc.SetDeadline(time.Now().Add(timeout))
 	} else {
 		nc.SetDeadline(time.Time{})
@@ -458,6 +459,7 @@ func (c *Conn) Call(iid string, instID uint64, method string, argBytes []byte, o
 // network profiler samples it to build a profile of a real transport.
 func (c *Conn) Ping(size int, opts ...CallOption) (time.Duration, error) {
 	payload := make([]byte, size)
+	//lint:allow wallclock Ping measures real network round-trip time
 	start := time.Now()
 	if _, err := c.roundTrip(opPing, "ping", payload, opts); err != nil {
 		return 0, err

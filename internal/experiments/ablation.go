@@ -50,7 +50,7 @@ func CompareMinCut(scenName string) (*MinCutComparison, error) {
 	}
 	np := netsim.ExactProfile(netsim.TenBaseT, netsim.DefaultSampleSizes)
 	build := func() *graph.Graph {
-		g, _, _ := analysis.BuildGraph(p, np, app.Classes, analysis.Options{})
+		g, _ := analysis.BuildGraph(p, np, app.Classes, analysis.Options{})
 		return g
 	}
 

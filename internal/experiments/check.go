@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/staticanal"
+)
+
+// CheckRow is the result of running the static constraint analyzer over
+// one application and verifying it against the profiled scenario suite.
+type CheckRow struct {
+	App    string
+	Report *staticanal.Report
+
+	// Constraint-set summary.
+	Pins         int
+	Pairs        int
+	NonRemotable int
+	Conditional  int
+
+	// Scenarios verified against the static prediction.
+	Scenarios []string
+	// Pinned counts classifications the constraint set pinned during
+	// analysis; Welded counts statically welded profile edges.
+	Pinned int
+	Welded int
+	// Violations counts error-severity findings (constraint-breaking
+	// cuts); Warnings counts static/dynamic divergences.
+	Violations int
+	Warnings   int
+}
+
+// Check runs the static analyzer over one application, then (when
+// scenarios is non-empty) profiles the scenarios, cuts the graph under the
+// derived constraints, and cross-checks prediction against observation.
+// The verifier's findings accumulate into the returned row's report.
+func Check(appName string, scenarios []string) (*CheckRow, error) {
+	app, err := scenario.NewApp(appName)
+	if err != nil {
+		return nil, err
+	}
+	adps := core.New(app)
+	if adps.Static == nil {
+		return nil, fmt.Errorf("experiments: %s: static analysis produced no report", appName)
+	}
+	rep := adps.Static
+	row := &CheckRow{
+		App:       appName,
+		Report:    rep,
+		Pins:      len(rep.Constraints.Pins),
+		Pairs:     len(rep.Constraints.Pairs),
+		Scenarios: scenarios,
+	}
+	_, row.Conditional, row.NonRemotable = rep.CountByRemotability()
+
+	if len(scenarios) == 0 {
+		return row, nil
+	}
+	if err := adps.Instrument(); err != nil {
+		return nil, err
+	}
+	p, err := adps.ProfileScenarios(scenarios, false)
+	if err != nil {
+		return nil, err
+	}
+	res, err := adps.Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	row.Pinned = res.Constrained
+	row.Welded = res.StaticCoLocations
+	rep.AddFindings(res.Findings...)
+	row.Violations = staticanal.ErrorCount(res.Findings)
+	row.Warnings = len(res.Findings) - row.Violations
+	return row, nil
+}
+
+// CheckAll runs Check over every application with its full training
+// scenario suite.
+func CheckAll() ([]*CheckRow, error) {
+	var rows []*CheckRow
+	for _, appName := range scenario.Apps() {
+		row, err := Check(appName, scenario.TrainingForApp(appName))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

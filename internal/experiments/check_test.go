@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestCheckAllApps is the acceptance criterion for the static constraint
+// analyzer: every application yields a non-empty constraint set, every
+// chosen cut satisfies every constraint, and the profiled scenario suite
+// contains no statically unexplained non-remotable communication.
+func TestCheckAllApps(t *testing.T) {
+	t.Parallel()
+	rows, err := CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("checked %d apps, want 3", len(rows))
+	}
+	for _, row := range rows {
+		if row.Report.Constraints.Empty() {
+			t.Errorf("%s: empty constraint set", row.App)
+		}
+		if row.Pins == 0 {
+			t.Errorf("%s: no location pins derived", row.App)
+		}
+		if row.Pinned == 0 {
+			t.Errorf("%s: constraint set pinned no classifications", row.App)
+		}
+		if row.Violations != 0 {
+			t.Errorf("%s: %d constraint violations: %v", row.App, row.Violations, row.Report.Findings)
+		}
+		if row.Warnings != 0 {
+			t.Errorf("%s: %d cross-check warnings: %v", row.App, row.Warnings, row.Report.Findings)
+		}
+	}
+}
+
+// TestCheckStaticOnly exercises the no-scenario path: the report must be
+// complete without any execution at all.
+func TestCheckStaticOnly(t *testing.T) {
+	t.Parallel()
+	row, err := Check("photodraw", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.NonRemotable == 0 {
+		t.Error("photodraw: no non-remotable interfaces found statically")
+	}
+	if row.Pairs == 0 {
+		t.Error("photodraw: no pair-wise constraints derived")
+	}
+	if len(row.Report.Findings) != 0 {
+		t.Errorf("static-only check produced findings: %v", row.Report.Findings)
+	}
+}

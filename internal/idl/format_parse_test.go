@@ -1,0 +1,96 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleRegistry assembles descriptors covering every type code the format
+// grammar can emit.
+func sampleRegistry() *Registry {
+	r := NewRegistry()
+	r.Register(&InterfaceDesc{
+		IID: "IKitchen", Name: "IKitchen", Remotable: true,
+		Methods: []MethodDesc{
+			{Name: "Mix", Params: []ParamDesc{
+				{Name: "a", Dir: In, Type: TInt32},
+				{Name: "b", Dir: Out, Type: TString},
+				{Name: "c", Dir: InOut, Type: TBytes},
+			}, Result: TInt64},
+			{Name: "Bake", Params: []ParamDesc{
+				{Name: "pan", Dir: In, Type: Struct("Pan",
+					Field("w", TFloat64),
+					Field("deep", TBool),
+					Field("racks", Array(TInt32)),
+				)},
+			}, Result: TVoid},
+			{Name: "Serve", Params: []ParamDesc{
+				{Name: "plates", Dir: In, Type: Array(Struct("Plate", Field("id", TInt32)))},
+				{Name: "to", Dir: In, Type: InterfaceType("IGuest")},
+				{Name: "anyone", Dir: In, Type: InterfaceType("")},
+			}, Result: InterfaceType("IReceipt")},
+		},
+	})
+	r.Register(&InterfaceDesc{
+		IID: "ILocalOnly", Name: "ILocalOnly", Remotable: false,
+		Methods: []MethodDesc{
+			{Name: "Touch", Params: []ParamDesc{{Name: "h", Dir: In, Type: TOpaque}}, Result: TVoid},
+		},
+	})
+	return r
+}
+
+func TestParseInterfaceFormatRoundTrip(t *testing.T) {
+	t.Parallel()
+	reg := sampleRegistry()
+	for _, iid := range reg.IIDs() {
+		orig := reg.Lookup(iid)
+		parsed, err := ParseInterfaceFormat(orig.FormatString())
+		if err != nil {
+			t.Fatalf("%s: %v", iid, err)
+		}
+		if parsed.IID != orig.IID {
+			t.Errorf("%s: parsed IID %q", iid, parsed.IID)
+		}
+		if parsed.Remotable != orig.Remotable {
+			t.Errorf("%s: parsed Remotable=%v, want %v", iid, parsed.Remotable, orig.Remotable)
+		}
+		if got, want := parsed.FormatString(), orig.FormatString(); got != want {
+			t.Errorf("%s: round trip diverged\n got %q\nwant %q", iid, got, want)
+		}
+		if len(parsed.Methods) != len(orig.Methods) {
+			t.Fatalf("%s: parsed %d methods, want %d", iid, len(parsed.Methods), len(orig.Methods))
+		}
+	}
+}
+
+func TestParseInterfaceFormatErrors(t *testing.T) {
+	t.Parallel()
+	cases := []string{
+		"",
+		"two words\nMix():v",
+		"I [weird]\nMix():v",
+		"I\nMix",
+		"I\nMix(:v",
+		"I\nMix():",
+		"I\nMix(in q):v",
+		"I\nMix(in S{l):v",
+		"I\nMix(in a(l):v",
+		"I\nMix(in I<):v",
+		"I\nMix(in l):v trailing",
+	}
+	for _, src := range cases {
+		if _, err := ParseInterfaceFormat(src); err == nil {
+			t.Errorf("ParseInterfaceFormat(%q) = nil error, want failure", src)
+		}
+	}
+}
+
+func TestParseInterfaceFormatDepthLimit(t *testing.T) {
+	t.Parallel()
+	// A deeply nested array type must be rejected, not overflow the stack.
+	src := "I\nMix(in " + strings.Repeat("a(", 200) + "l" + strings.Repeat(")", 200) + "):v"
+	if _, err := ParseInterfaceFormat(src); err == nil {
+		t.Error("deeply nested format accepted, want depth-limit error")
+	}
+}

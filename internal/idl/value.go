@@ -239,12 +239,15 @@ func SizeOf(vals []Value) int {
 }
 
 // RemotableValues reports whether every value in the list can be marshaled
-// across a machine boundary.
+// across a machine boundary. Both the payload tree and the declared type
+// tree are checked: a KindOpaque nested inside an aggregate is caught even
+// when the aggregate's payload is empty (an empty conformant array of
+// opaque elements is still non-remotable — its type admits no marshaling).
 func RemotableValues(vals []Value) bool {
 	ok := true
 	for i := range vals {
 		vals[i].Walk(func(v *Value) bool {
-			if v.Type != nil && v.Type.Kind == KindOpaque {
+			if v.Type != nil && !v.Type.Remotable() {
 				ok = false
 				return false
 			}

@@ -170,6 +170,30 @@ func TestSizeOfAndRemotableValues(t *testing.T) {
 	}
 }
 
+func TestRemotableValuesNestedOpaqueTypes(t *testing.T) {
+	t.Parallel()
+	// The opaque pointer may hide in the type tree without appearing in the
+	// payload tree: an empty conformant array of opaque elements, or an
+	// opaque-field struct whose payload was left empty. Both are still
+	// unmarshalable.
+	emptyOpaqueArray := []Value{ArrayVal(Array(TOpaque))}
+	if RemotableValues(emptyOpaqueArray) {
+		t.Error("empty array of opaque elements reported remotable")
+	}
+	emptyOpaqueStruct := []Value{StructVal(Struct("S", Field("p", TOpaque)))}
+	if RemotableValues(emptyOpaqueStruct) {
+		t.Error("empty struct with an opaque field reported remotable")
+	}
+	deep := []Value{ArrayVal(Array(Struct("Inner", Field("hs", Array(TOpaque)))))}
+	if RemotableValues(deep) {
+		t.Error("opaque nested two aggregates deep reported remotable")
+	}
+	clean := []Value{ArrayVal(Array(Struct("Inner", Field("n", TInt32))))}
+	if !RemotableValues(clean) {
+		t.Error("clean nested aggregate reported non-remotable")
+	}
+}
+
 // genValue builds a random remotable value of bounded depth for
 // property-based tests.
 func genValue(r *rand.Rand, depth int) Value {

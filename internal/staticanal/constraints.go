@@ -1,0 +1,324 @@
+package staticanal
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/com"
+	"repro/internal/graph"
+	"repro/internal/profile"
+)
+
+// The paper's static location rules: a component whose binary imports
+// known GUI APIs must execute beside the user's display; a component that
+// reaches storage or database services belongs with the data. GUI usage
+// dominates storage usage — a component that paints stays on the client no
+// matter what it reads.
+var (
+	// GUIAPIs pin their importers to the client.
+	GUIAPIs = map[string]bool{
+		com.APIGdiPaint:   true,
+		com.APIUserWindow: true,
+		com.APIUserInput:  true,
+		com.APIClipboard:  true,
+		com.APIPrintSpool: true,
+	}
+	// StorageAPIs pin their importers to the server.
+	StorageAPIs = map[string]bool{
+		com.APIFileRead:    true,
+		com.APIFileWrite:   true,
+		com.APIFileOpen:    true,
+		com.APIODBCConnect: true,
+		com.APIODBCExec:    true,
+	}
+)
+
+// InferPin applies the per-class location rules and reports the machine
+// the class is pinned to, with the rule that fired. It is the single
+// source of truth consumed by both the static analyzer and the profile
+// analysis engine.
+func InferPin(class *com.Class) (com.Machine, string, bool) {
+	if class == nil {
+		return 0, "", false
+	}
+	if class.Infrastructure {
+		return class.Home, "infrastructure component fixed at its home machine", true
+	}
+	gui, storage := false, false
+	var guiAPI, storageAPI string
+	for _, api := range class.APIs {
+		if GUIAPIs[api] && !gui {
+			gui, guiAPI = true, api
+		}
+		if StorageAPIs[api] && !storage {
+			storage, storageAPI = true, api
+		}
+	}
+	switch {
+	case gui:
+		return com.Client, "imports GUI system service " + guiAPI, true
+	case storage:
+		return com.Server, "imports storage system service " + storageAPI, true
+	default:
+		return 0, "", false
+	}
+}
+
+// Pin is an absolute location constraint on a component class.
+type Pin struct {
+	Class   string      `json:"class"`
+	Machine com.Machine `json:"machine"`
+	Reason  string      `json:"reason"`
+}
+
+// Pair is a pair-wise co-location constraint between two component
+// classes: whenever instances of the two communicate, they must share a
+// machine.
+type Pair struct {
+	A      string `json:"a"`
+	B      string `json:"b"`
+	IID    string `json:"iid"`
+	Reason string `json:"reason"`
+}
+
+// ConstraintSet is the static analyzer's output: everything the
+// graph-cutting algorithms must honor, as first-class inspectable
+// metadata.
+type ConstraintSet struct {
+	App string `json:"app"`
+	// Pins maps class names to absolute location constraints.
+	Pins map[string]Pin `json:"pins"`
+	// Pairs lists class-level pair-wise co-location constraints.
+	Pairs []Pair `json:"pairs"`
+	// Interfaces holds the remotability classification of every
+	// interface, keyed by IID.
+	Interfaces map[string]*InterfaceReport `json:"interfaces"`
+
+	model *Model
+	// fullyNonRemotable marks classes whose entire interface surface is
+	// non-remotable: any call into such a class welds caller to callee.
+	fullyNonRemotable map[string]bool
+	// pairIndex indexes Pairs for O(1) lookups.
+	pairIndex map[[2]string]string
+}
+
+// Derive runs the constraint-derivation pass over the scanned model and
+// the interface classification.
+func Derive(m *Model, reports map[string]*InterfaceReport) *ConstraintSet {
+	cs := &ConstraintSet{
+		App:               m.App,
+		Pins:              make(map[string]Pin),
+		Interfaces:        reports,
+		model:             m,
+		fullyNonRemotable: make(map[string]bool),
+		pairIndex:         make(map[[2]string]string),
+	}
+
+	nonRemotable := func(iid string) bool {
+		r := reports[iid]
+		return r != nil && r.Remotability == NonRemotable
+	}
+
+	// Location pins from the API-import rules.
+	for _, cm := range m.Components {
+		class := &com.Class{
+			Name:           cm.Name,
+			APIs:           cm.APIs,
+			Home:           cm.Home,
+			Infrastructure: cm.Infrastructure,
+		}
+		if machine, reason, ok := InferPin(class); ok {
+			cs.Pins[cm.Name] = Pin{Class: cm.Name, Machine: machine, Reason: reason}
+		}
+		// A class every one of whose interfaces is non-remotable cannot be
+		// called across a machine boundary at all.
+		if len(cm.Interfaces) > 0 {
+			all := true
+			for _, iid := range cm.Interfaces {
+				if !nonRemotable(iid) {
+					all = false
+					break
+				}
+			}
+			cs.fullyNonRemotable[cm.Name] = all
+		}
+	}
+
+	// Pair-wise constraints: implementors of a common non-remotable
+	// interface exchange its opaque payloads among themselves (the sprite
+	// meshes and widget trees of the paper's figures); each pair must
+	// co-locate whenever it communicates.
+	implementors := make(map[string][]string) // non-remotable IID -> class names
+	for _, cm := range m.Components {
+		for _, iid := range cm.Interfaces {
+			if nonRemotable(iid) {
+				implementors[iid] = append(implementors[iid], cm.Name)
+			}
+		}
+	}
+	iids := make([]string, 0, len(implementors))
+	for iid := range implementors {
+		iids = append(iids, iid)
+	}
+	sort.Strings(iids)
+	// A pair is redundant when both classes are already pinned to the same
+	// machine: the location constraints subsume the co-location.
+	coPinned := func(a, b string) bool {
+		pa, oka := cs.Pins[a]
+		pb, okb := cs.Pins[b]
+		return oka && okb && pa.Machine == pb.Machine
+	}
+	for _, iid := range iids {
+		classes := implementors[iid]
+		sort.Strings(classes)
+		for i := 0; i < len(classes); i++ {
+			for j := i + 1; j < len(classes); j++ {
+				if coPinned(classes[i], classes[j]) {
+					continue
+				}
+				cs.addPair(classes[i], classes[j], iid,
+					fmt.Sprintf("both implement non-remotable interface %s", iid))
+			}
+		}
+	}
+	return cs
+}
+
+func (cs *ConstraintSet) addPair(a, b, iid, reason string) {
+	key := [2]string{a, b}
+	if a > b {
+		key = [2]string{b, a}
+	}
+	if _, dup := cs.pairIndex[key]; dup {
+		return
+	}
+	cs.pairIndex[key] = iid
+	cs.Pairs = append(cs.Pairs, Pair{A: key[0], B: key[1], IID: iid, Reason: reason})
+}
+
+// Empty reports whether the set constrains nothing.
+func (cs *ConstraintSet) Empty() bool {
+	return cs == nil || (len(cs.Pins) == 0 && len(cs.Pairs) == 0)
+}
+
+// NonRemotableInterfaces returns the sorted IIDs classified non-remotable.
+func (cs *ConstraintSet) NonRemotableInterfaces() []string {
+	var out []string
+	for iid, r := range cs.Interfaces {
+		if r.Remotability == NonRemotable {
+			out = append(out, iid)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PinFor returns the location constraint for a class name, if any.
+func (cs *ConstraintSet) PinFor(class string) (Pin, bool) {
+	p, ok := cs.Pins[class]
+	return p, ok
+}
+
+// MustCoLocate reports whether instances of the two classes are forbidden
+// from communicating across machines, with the reason. It fires when the
+// callee's entire interface surface is non-remotable (every call into it
+// is unmarshalable) or when the pair shares a non-remotable interface.
+func (cs *ConstraintSet) MustCoLocate(src, dst string) (string, bool) {
+	// Only the callee's surface matters: remotability is a property of the
+	// interface a call goes through, and src -> dst edges go through dst's
+	// interfaces. (A welded component may still hold proxies and call out.)
+	if cs.fullyNonRemotable[dst] {
+		return fmt.Sprintf("every interface of %s is non-remotable", dst), true
+	}
+	key := [2]string{src, dst}
+	if src > dst {
+		key = [2]string{dst, src}
+	}
+	if iid, ok := cs.pairIndex[key]; ok {
+		return fmt.Sprintf("pair-wise constraint over non-remotable interface %s", iid), true
+	}
+	return "", false
+}
+
+// ClassImplementsNonRemotable reports whether the named class implements
+// at least one non-remotable interface.
+func (cs *ConstraintSet) ClassImplementsNonRemotable(class string) bool {
+	cm := cs.model.Component(class)
+	if cm == nil {
+		return false
+	}
+	for _, iid := range cm.Interfaces {
+		if r := cs.Interfaces[iid]; r != nil && r.Remotability == NonRemotable {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassMayPassOpaque reports whether the named class implements an
+// interface that can carry unmarshalable calls: non-remotable outright, or
+// conditionally remotable with at least one opaque method. Dynamic
+// non-remotable evidence at such a class is statically anticipated.
+func (cs *ConstraintSet) ClassMayPassOpaque(class string) bool {
+	cm := cs.model.Component(class)
+	if cm == nil {
+		return false
+	}
+	for _, iid := range cm.Interfaces {
+		if r := cs.Interfaces[iid]; r != nil && (r.Remotability == NonRemotable || r.Opaque) {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyStats summarizes what applying a constraint set did to a graph.
+type ApplyStats struct {
+	Pins        int // classifications pinned to a terminal
+	CoLocations int // profile edges welded by static constraints
+}
+
+// ApplyToGraph installs the constraint set into a communication graph
+// built from a profile: classification-level pins become terminal pins
+// and statically welded communicating pairs become infinite-weight edges,
+// before mincut/multiway runs. The main program's permanent client pin is
+// the graph builder's responsibility, not this set's.
+func (cs *ConstraintSet) ApplyToGraph(g *graph.Graph, p *profile.Profile) ApplyStats {
+	var st ApplyStats
+	if cs == nil || g == nil || p == nil {
+		return st
+	}
+	for id, ci := range p.Classifications {
+		pin, ok := cs.Pins[ci.Class]
+		if !ok {
+			continue
+		}
+		st.Pins++
+		if pin.Machine == com.Client {
+			g.Pin(id, graph.SourceSide)
+		} else {
+			g.Pin(id, graph.SinkSide)
+		}
+	}
+	for k := range p.Edges {
+		srcClass := cs.classOf(p, k.Src)
+		dstClass := cs.classOf(p, k.Dst)
+		if srcClass == "" || dstClass == "" {
+			continue
+		}
+		if _, weld := cs.MustCoLocate(srcClass, dstClass); weld {
+			g.CoLocate(k.Src, k.Dst)
+			st.CoLocations++
+		}
+	}
+	return st
+}
+
+// classOf maps a classification id to its class name ("" when unknown;
+// the main program has no class).
+func (cs *ConstraintSet) classOf(p *profile.Profile, id string) string {
+	if ci := p.Classifications[id]; ci != nil {
+		return ci.Class
+	}
+	return ""
+}

@@ -1,0 +1,371 @@
+package staticanal_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/benefits"
+	"repro/internal/apps/octarine"
+	"repro/internal/apps/photodraw"
+	"repro/internal/binimg"
+	"repro/internal/com"
+	"repro/internal/core"
+	"repro/internal/idl"
+	"repro/internal/scenario"
+	"repro/internal/staticanal"
+)
+
+func TestScanImagePhotodraw(t *testing.T) {
+	t.Parallel()
+	app := photodraw.New()
+	m, err := staticanal.ScanImage(binimg.BuildImage(app), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Components) == 0 {
+		t.Fatal("no components scanned")
+	}
+	if len(m.OrphanSections) != 0 || len(m.MissingFromImage) != 0 {
+		t.Errorf("orphans %v, missing %v; want none on a clean build",
+			m.OrphanSections, m.MissingFromImage)
+	}
+	for _, cm := range m.Components {
+		if !cm.InImage {
+			t.Errorf("component %s not matched to a code section", cm.Name)
+		}
+		if cm.SectionBytes <= 0 {
+			t.Errorf("component %s has no code bytes", cm.Name)
+		}
+	}
+	if sc := m.Component("SpriteCache"); sc == nil {
+		t.Error("SpriteCache missing from model")
+	} else if len(sc.Interfaces) == 0 {
+		t.Error("SpriteCache has no interfaces in model")
+	}
+}
+
+func TestScanImageNilImage(t *testing.T) {
+	t.Parallel()
+	if _, err := staticanal.ScanImage(nil, nil); err == nil {
+		t.Fatal("want error for nil image")
+	}
+}
+
+func TestClassifyDeclaredLocalInterfaces(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		app *com.App
+		iid string
+	}{
+		{photodraw.New(), "ISpriteCache"},
+		{photodraw.New(), "IUIElement"},
+		{octarine.New(), "IWidget"},
+	} {
+		reports := staticanal.ClassifyInterfaces(tc.app.Interfaces)
+		r := reports[tc.iid]
+		if r == nil {
+			t.Fatalf("%s: no report for %s", tc.app.Name, tc.iid)
+		}
+		if r.Remotability != staticanal.NonRemotable {
+			t.Errorf("%s: %s classified %s, want non-remotable", tc.app.Name, tc.iid, r.Remotability)
+		}
+	}
+}
+
+func TestClassifyMixedOpaqueIsConditional(t *testing.T) {
+	t.Parallel()
+	// benefits' IGraphView pairs a clean PlotRow with an opaque-DC Paint:
+	// calls through it may or may not marshal, so the interface is
+	// conditionally remotable and marked opaque for the verifier.
+	app := benefits.New()
+	reports := staticanal.ClassifyInterfaces(app.Interfaces)
+	r := reports["IGraphView"]
+	if r == nil {
+		t.Fatal("no report for IGraphView")
+	}
+	if r.Remotability != staticanal.ConditionallyRemotable {
+		t.Errorf("IGraphView classified %s, want conditional", r.Remotability)
+	}
+	if !r.Opaque {
+		t.Error("IGraphView not marked opaque")
+	}
+}
+
+func TestClassifyFullyOpaqueInterface(t *testing.T) {
+	t.Parallel()
+	reg := idl.NewRegistry()
+	reg.Register(&idl.InterfaceDesc{
+		IID: "IShm", Name: "IShm", Remotable: true,
+		Methods: []idl.MethodDesc{
+			{Name: "Map", Params: []idl.ParamDesc{{Name: "p", Dir: idl.In, Type: idl.TOpaque}}, Result: idl.TVoid},
+			{Name: "Flush", Params: []idl.ParamDesc{{Name: "p", Dir: idl.In, Type: idl.TOpaque}}, Result: idl.TInt32},
+		},
+	})
+	r := staticanal.ClassifyInterfaces(reg)["IShm"]
+	if r.Remotability != staticanal.NonRemotable {
+		t.Errorf("all-opaque interface classified %s, want non-remotable", r.Remotability)
+	}
+}
+
+func TestClassifyNestedOpaqueInStruct(t *testing.T) {
+	t.Parallel()
+	reg := idl.NewRegistry()
+	reg.Register(&idl.InterfaceDesc{
+		IID: "INested", Name: "INested", Remotable: true,
+		Methods: []idl.MethodDesc{
+			{Name: "Send", Params: []idl.ParamDesc{{Name: "req", Dir: idl.In, Type: idl.Struct("Req",
+				idl.Field("n", idl.TInt32),
+				idl.Field("handles", idl.Array(idl.TOpaque)),
+			)}}, Result: idl.TVoid},
+		},
+	})
+	r := staticanal.ClassifyInterfaces(reg)["INested"]
+	if !r.Opaque {
+		t.Error("opaque pointer nested in struct/array not detected")
+	}
+	if r.Remotability != staticanal.NonRemotable {
+		t.Errorf("single-method all-opaque interface classified %s, want non-remotable", r.Remotability)
+	}
+}
+
+func TestClassifyUnregisteredAndUntypedReferences(t *testing.T) {
+	t.Parallel()
+	reg := idl.NewRegistry()
+	reg.Register(&idl.InterfaceDesc{
+		IID: "IDangling", Name: "IDangling", Remotable: true,
+		Methods: []idl.MethodDesc{
+			{Name: "Bind", Params: []idl.ParamDesc{{Name: "x", Dir: idl.In, Type: idl.InterfaceType("INowhere")}}, Result: idl.TVoid},
+		},
+	})
+	reg.Register(&idl.InterfaceDesc{
+		IID: "IAny", Name: "IAny", Remotable: true,
+		Methods: []idl.MethodDesc{
+			{Name: "Accept", Params: []idl.ParamDesc{{Name: "x", Dir: idl.In, Type: idl.InterfaceType("")}}, Result: idl.TVoid},
+		},
+	})
+	reports := staticanal.ClassifyInterfaces(reg)
+	if r := reports["IDangling"]; r.Remotability != staticanal.ConditionallyRemotable {
+		t.Errorf("unregistered IID reference classified %s, want conditional", r.Remotability)
+	}
+	if r := reports["IAny"]; r.Remotability != staticanal.ConditionallyRemotable {
+		t.Errorf("untyped interface pointer classified %s, want conditional", r.Remotability)
+	}
+}
+
+func TestClassifyCallbackCycle(t *testing.T) {
+	t.Parallel()
+	reg := idl.NewRegistry()
+	reg.Register(&idl.InterfaceDesc{
+		IID: "ISource", Name: "ISource", Remotable: true,
+		Methods: []idl.MethodDesc{
+			{Name: "Subscribe", Params: []idl.ParamDesc{{Name: "s", Dir: idl.In, Type: idl.InterfaceType("ISink")}}, Result: idl.TVoid},
+		},
+	})
+	reg.Register(&idl.InterfaceDesc{
+		IID: "ISink", Name: "ISink", Remotable: true,
+		Methods: []idl.MethodDesc{
+			{Name: "Resubscribe", Params: []idl.ParamDesc{{Name: "s", Dir: idl.In, Type: idl.InterfaceType("ISource")}}, Result: idl.TVoid},
+		},
+	})
+	reports := staticanal.ClassifyInterfaces(reg)
+	for _, iid := range []string{"ISource", "ISink"} {
+		r := reports[iid]
+		if r.Remotability != staticanal.ConditionallyRemotable {
+			t.Errorf("%s in callback cycle classified %s, want conditional", iid, r.Remotability)
+		}
+		found := false
+		for _, reason := range r.Reasons {
+			if strings.Contains(reason, "callback cycle") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no callback-cycle reason in %v", iid, r.Reasons)
+		}
+	}
+}
+
+func TestDerivePins(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		app     *com.App
+		class   string
+		machine com.Machine
+	}{
+		{photodraw.New(), "StudioFrame", com.Client},
+		{photodraw.New(), "ImageStore", com.Server},
+		{benefits.New(), "BenefitsForm", com.Client},
+		{benefits.New(), "Database", com.Server},
+		{octarine.New(), "AppFrame", com.Client},
+	} {
+		rep, err := staticanal.Analyze(tc.app, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pin, ok := rep.Constraints.PinFor(tc.class)
+		if !ok {
+			t.Errorf("%s: no pin for %s", tc.app.Name, tc.class)
+			continue
+		}
+		if pin.Machine != tc.machine {
+			t.Errorf("%s: %s pinned to %s, want %s", tc.app.Name, tc.class, pin.Machine, tc.machine)
+		}
+		if pin.Reason == "" {
+			t.Errorf("%s: pin for %s has no reason", tc.app.Name, tc.class)
+		}
+	}
+}
+
+func TestConstraintSetsNonEmptyForAllApps(t *testing.T) {
+	t.Parallel()
+	for _, name := range scenario.Apps() {
+		app, err := scenario.NewApp(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := staticanal.Analyze(app, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Constraints.Empty() {
+			t.Errorf("%s: empty constraint set", name)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteText(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s: empty text report", name)
+		}
+		buf.Reset()
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDerivePairConstraints(t *testing.T) {
+	t.Parallel()
+	app := photodraw.New()
+	rep, err := staticanal.Analyze(app, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := rep.Constraints
+	// SpriteCache and SpriteIndex share the non-remotable ISpriteBuf.
+	if reason, weld := cs.MustCoLocate("SpriteCache", "SpriteIndex"); !weld {
+		t.Error("SpriteCache/SpriteIndex not pair-constrained")
+	} else if reason == "" {
+		t.Error("pair constraint has no reason")
+	}
+	// A class whose whole surface is non-remotable welds any caller.
+	if _, weld := cs.MustCoLocate("Reader", "SpriteIndex"); !weld {
+		t.Error("call into fully non-remotable SpriteIndex not welded")
+	}
+	// Two remotable classes stay free.
+	if _, weld := cs.MustCoLocate("Reader", "Transform"); weld {
+		t.Error("Reader/Transform wrongly welded")
+	}
+}
+
+func TestReconstructedRegistryMatchesOriginal(t *testing.T) {
+	t.Parallel()
+	// Instrument the binary, then analyze the image alone: interface
+	// metadata must be recovered from embedded format strings and the
+	// classification must agree with the source registry.
+	app := photodraw.New()
+	adps := core.New(app)
+	if err := adps.Instrument(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := staticanal.AnalyzeImage(adps.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Model().ReconstructedInterfaces {
+		t.Fatal("interface registry not marked reconstructed")
+	}
+	want := staticanal.ClassifyInterfaces(app.Interfaces)
+	got := staticanal.ClassifyInterfaces(rep.Model().Interfaces)
+	if len(got) != len(want) {
+		t.Fatalf("reconstructed %d interfaces, want %d", len(got), len(want))
+	}
+	for iid, w := range want {
+		g := got[iid]
+		if g == nil {
+			t.Errorf("%s missing from reconstructed registry", iid)
+			continue
+		}
+		if g.Remotability != w.Remotability {
+			t.Errorf("%s: reconstructed %s, original %s", iid, g.Remotability, w.Remotability)
+		}
+	}
+}
+
+func TestVerifierOnSeedScenarios(t *testing.T) {
+	t.Parallel()
+	for _, name := range scenario.Apps() {
+		app, err := scenario.NewApp(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adps := core.New(app)
+		if adps.Static == nil {
+			t.Fatalf("%s: pipeline has no static report", name)
+		}
+		if err := adps.Instrument(); err != nil {
+			t.Fatal(err)
+		}
+		p, err := adps.ProfileScenarios(scenario.TrainingForApp(name), false)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := adps.Analyze(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// The cut must satisfy every static constraint, and the observed
+		// ICC must contain no statically unexplained non-remotable calls.
+		if n := staticanal.ErrorCount(res.Findings); n != 0 {
+			t.Errorf("%s: %d constraint violations: %v", name, n, res.Findings)
+		}
+		for _, f := range res.Findings {
+			t.Errorf("%s: unexpected finding %s", name, f)
+		}
+		if res.Constrained == 0 {
+			t.Errorf("%s: no classifications pinned", name)
+		}
+	}
+}
+
+func TestCheckCutFlagsViolations(t *testing.T) {
+	t.Parallel()
+	app := photodraw.New()
+	adps := core.New(app)
+	if err := adps.Instrument(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := adps.ProfileScenarios(scenario.TrainingForApp("photodraw"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := adps.Static.Constraints
+
+	// Everything on the server violates every client pin.
+	allServer := make(map[string]com.Machine)
+	for id := range p.Classifications {
+		allServer[id] = com.Server
+	}
+	findings := cs.CheckCut(p, allServer)
+	if staticanal.ErrorCount(findings) == 0 {
+		t.Fatal("all-server placement produced no violations")
+	}
+	kinds := map[string]bool{}
+	for _, f := range findings {
+		kinds[f.Kind] = true
+	}
+	if !kinds[staticanal.KindPinViolation] {
+		t.Error("no pin violation reported for all-server placement")
+	}
+}

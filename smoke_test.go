@@ -10,6 +10,7 @@ import (
 )
 
 func TestHeadlineFigure5(t *testing.T) {
+	t.Parallel()
 	row, err := experiments.Figure5()
 	if err != nil {
 		t.Fatal(err)
@@ -23,6 +24,7 @@ func TestHeadlineFigure5(t *testing.T) {
 }
 
 func TestHeadlineFigure4(t *testing.T) {
+	t.Parallel()
 	row, err := experiments.Figure4()
 	if err != nil {
 		t.Fatal(err)
@@ -36,6 +38,7 @@ func TestHeadlineFigure4(t *testing.T) {
 }
 
 func TestHeadlineNeverWorseAndPredictionEnvelope(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("runs all 23 scenarios")
 	}

@@ -1,0 +1,35 @@
+// Command repolint runs the repository's custom vet pass (see package
+// repolint) over one or more directory trees and exits nonzero if any
+// finding survives its waivers.
+//
+// Usage: go run ./tools/analyzers/cmd/repolint [dir ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/tools/analyzers/repolint"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	failed := false
+	for _, root := range roots {
+		ds, err := repolint.CheckDir(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repolint:", err)
+			os.Exit(2)
+		}
+		for _, d := range ds {
+			fmt.Println(d)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,319 @@
+// Package repolint implements this repository's custom vet pass as a set
+// of small go/analysis-style analyzers built on the standard library
+// alone (go/parser + go/ast), so the gate runs in CI and offline without
+// external tooling.
+//
+// Rules:
+//
+//	errwrap      errors passed to fmt.Errorf must be wrapped with %w
+//	wallclock    no time.Now() in internal/dist (deterministic replay
+//	             paths run on the virtual clock)
+//	paralleltest test functions must call t.Parallel()
+//
+// A finding is waived by a comment on the same or the preceding line:
+//
+//	//lint:allow <rule> <reason>
+package repolint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// File is one parsed source file presented to the analyzers.
+type File struct {
+	Path string // slash-separated, relative to the walk root
+	Fset *token.FileSet
+	AST  *ast.File
+}
+
+// Analyzer is one lint rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(f *File) []Diagnostic
+}
+
+// Analyzers is the repository rule set.
+var Analyzers = []*Analyzer{ErrWrap, WallClock, ParallelTest}
+
+// ErrWrap reports fmt.Errorf calls that pass an error value without
+// wrapping it via %w, which breaks errors.Is/errors.As up the call chain.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "errors passed to fmt.Errorf must be wrapped with %w",
+	Run: func(f *File) []Diagnostic {
+		var out []Diagnostic
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgFunc(call.Fun, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := stringLit(call.Args[0])
+			if !ok || strings.Contains(format, "%w") {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				if name, isErr := errIdent(arg); isErr {
+					out = append(out, Diagnostic{
+						Pos:  f.Fset.Position(call.Pos()),
+						Rule: "errwrap",
+						Message: fmt.Sprintf(
+							"fmt.Errorf passes error %q without %%w; wrap it or discard it explicitly", name),
+					})
+					break
+				}
+			}
+			return true
+		})
+		return out
+	},
+}
+
+// WallClock reports time.Now() calls in the distributed runtime: dist runs
+// on a deterministic virtual clock, and wall time silently breaks replay.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "no time.Now() in internal/dist deterministic-replay paths",
+	Run: func(f *File) []Diagnostic {
+		if !strings.Contains(f.Path, "internal/dist/") || strings.HasSuffix(f.Path, "_test.go") {
+			return nil
+		}
+		var out []Diagnostic
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgFunc(call.Fun, "time", "Now") {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Pos:     f.Fset.Position(call.Pos()),
+				Rule:    "wallclock",
+				Message: "time.Now() in internal/dist; use the virtual clock for anything replayed",
+			})
+			return true
+		})
+		return out
+	},
+}
+
+// ParallelTest reports Test functions that never call t.Parallel: the
+// suite is large and serial tests stretch CI wall-clock for no reason.
+var ParallelTest = &Analyzer{
+	Name: "paralleltest",
+	Doc:  "test functions must call t.Parallel()",
+	Run: func(f *File) []Diagnostic {
+		if !strings.HasSuffix(f.Path, "_test.go") {
+			return nil
+		}
+		var out []Diagnostic
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil || fn.Body == nil {
+				continue
+			}
+			param, ok := testingTParam(fn)
+			if !ok || !strings.HasPrefix(fn.Name.Name, "Test") || fn.Name.Name == "TestMain" {
+				continue
+			}
+			if !callsMethod(fn.Body, param, "Parallel") {
+				out = append(out, Diagnostic{
+					Pos:     f.Fset.Position(fn.Pos()),
+					Rule:    "paralleltest",
+					Message: fmt.Sprintf("%s does not call %s.Parallel()", fn.Name.Name, param),
+				})
+			}
+		}
+		return out
+	},
+}
+
+// isPkgFunc reports whether e is a selector pkg.Fun on a plain package
+// identifier.
+func isPkgFunc(e ast.Expr, pkg, fun string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fun {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg && id.Obj == nil
+}
+
+// stringLit extracts a constant string from a literal or a concatenation
+// of literals.
+func stringLit(e ast.Expr) (string, bool) {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		if v.Kind != token.STRING {
+			return "", false
+		}
+		return v.Value, true
+	case *ast.BinaryExpr:
+		if v.Op != token.ADD {
+			return "", false
+		}
+		l, lok := stringLit(v.X)
+		r, rok := stringLit(v.Y)
+		return l + r, lok && rok
+	}
+	return "", false
+}
+
+// errIdent reports whether the expression is an identifier that by naming
+// convention holds an error.
+func errIdent(e ast.Expr) (string, bool) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	n := id.Name
+	if n == "err" || strings.HasSuffix(n, "Err") || strings.HasSuffix(n, "err") {
+		return n, true
+	}
+	return "", false
+}
+
+// testingTParam returns the name of the *testing.T parameter of a test
+// function signature func(x *testing.T).
+func testingTParam(fn *ast.FuncDecl) (string, bool) {
+	params := fn.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) != 1 {
+		return "", false
+	}
+	star, ok := params.List[0].Type.(*ast.StarExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "T" {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != "testing" {
+		return "", false
+	}
+	return params.List[0].Names[0].Name, true
+}
+
+// callsMethod reports whether the body contains a call recv.method(...).
+func callsMethod(body *ast.BlockStmt, recv, method string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// waivers collects the rules waived per line from //lint:allow comments.
+// A waiver on line N covers findings on lines N and N+1.
+func waivers(f *File) map[int]map[string]bool {
+	out := make(map[int]map[string]bool)
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, "lint:allow ")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				continue // a waiver requires a reason
+			}
+			line := f.Fset.Position(c.Pos()).Line
+			for _, l := range []int{line, line + 1} {
+				if out[l] == nil {
+					out[l] = make(map[string]bool)
+				}
+				out[l][fields[0]] = true
+			}
+		}
+	}
+	return out
+}
+
+// CheckFile parses one file and runs every analyzer, dropping waived
+// findings.
+func CheckFile(fset *token.FileSet, path string, src any) ([]Diagnostic, error) {
+	astf, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{Path: filepath.ToSlash(path), Fset: fset, AST: astf}
+	w := waivers(f)
+	var out []Diagnostic
+	for _, a := range Analyzers {
+		for _, d := range a.Run(f) {
+			if w[d.Pos.Line][d.Rule] {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// CheckDir walks a directory tree and checks every non-generated Go file.
+func CheckDir(root string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	var out []Diagnostic
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		ds, err := CheckFile(fset, path, nil)
+		if err != nil {
+			return err
+		}
+		out = append(out, ds...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package repolint
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, path, src string) []Diagnostic {
+	t.Helper()
+	ds, err := CheckFile(token.NewFileSet(), path, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func rules(ds []Diagnostic) []string {
+	var out []string
+	for _, d := range ds {
+		out = append(out, d.Rule)
+	}
+	return out
+}
+
+func TestErrWrap(t *testing.T) {
+	t.Parallel()
+	src := `package p
+import "fmt"
+func f(err error) error {
+	if err != nil {
+		return fmt.Errorf("doing thing: %v", err)
+	}
+	return nil
+}
+`
+	ds := check(t, "p/f.go", src)
+	if len(ds) != 1 || ds[0].Rule != "errwrap" {
+		t.Fatalf("diagnostics = %v, want one errwrap", ds)
+	}
+
+	good := strings.Replace(src, "%v", "%w", 1)
+	if ds := check(t, "p/f.go", good); len(ds) != 0 {
+		t.Fatalf("%%w version still flagged: %v", ds)
+	}
+
+	// Non-error arguments are not flagged.
+	other := `package p
+import "fmt"
+func f(name string) error { return fmt.Errorf("bad name %q", name) }
+`
+	if ds := check(t, "p/f.go", other); len(ds) != 0 {
+		t.Fatalf("non-error args flagged: %v", ds)
+	}
+
+	// Concatenated format strings are still parsed.
+	concat := `package p
+import "fmt"
+func f(err error) error { return fmt.Errorf("a: " + "%v", err) }
+`
+	if ds := check(t, "p/f.go", concat); len(ds) != 1 {
+		t.Fatalf("concatenated format not flagged: %v", ds)
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	t.Parallel()
+	src := `package dist
+import "time"
+func now() time.Time { return time.Now() }
+`
+	ds := check(t, "internal/dist/clock.go", src)
+	if len(ds) != 1 || ds[0].Rule != "wallclock" {
+		t.Fatalf("diagnostics = %v, want one wallclock", ds)
+	}
+	// Outside internal/dist the rule does not apply.
+	if ds := check(t, "internal/netsim/clock.go", src); len(ds) != 0 {
+		t.Fatalf("wallclock fired outside internal/dist: %v", ds)
+	}
+	// Test files are exempt.
+	if ds := check(t, "internal/dist/clock_test.go", src); len(ds) != 0 {
+		t.Fatalf("wallclock fired in a test file: %v", ds)
+	}
+}
+
+func TestParallelTest(t *testing.T) {
+	t.Parallel()
+	src := `package p
+import "testing"
+func TestSerial(t *testing.T) { _ = t }
+func TestParallelOK(t *testing.T) { t.Parallel() }
+func TestMain(m *testing.M) {}
+func helper(t *testing.T) {}
+func BenchmarkX(b *testing.B) {}
+`
+	ds := check(t, "p/p_test.go", src)
+	if len(ds) != 1 || ds[0].Rule != "paralleltest" || !strings.Contains(ds[0].Message, "TestSerial") {
+		t.Fatalf("diagnostics = %v, want one paralleltest for TestSerial", ds)
+	}
+	// The rule only applies to _test.go files.
+	if ds := check(t, "p/p.go", src); len(ds) != 0 {
+		t.Fatalf("paralleltest fired outside a test file: %v", ds)
+	}
+}
+
+func TestWaivers(t *testing.T) {
+	t.Parallel()
+	sameLine := `package dist
+import "time"
+func now() time.Time { return time.Now() } //lint:allow wallclock real time wanted
+`
+	if ds := check(t, "internal/dist/clock.go", sameLine); len(ds) != 0 {
+		t.Fatalf("same-line waiver ignored: %v", ds)
+	}
+	precedingLine := `package dist
+import "time"
+func now() time.Time {
+	//lint:allow wallclock real time wanted
+	return time.Now()
+}
+`
+	if ds := check(t, "internal/dist/clock.go", precedingLine); len(ds) != 0 {
+		t.Fatalf("preceding-line waiver ignored: %v", ds)
+	}
+	// A waiver for a different rule does not apply.
+	wrongRule := `package dist
+import "time"
+func now() time.Time {
+	//lint:allow errwrap not the right rule
+	return time.Now()
+}
+`
+	if ds := check(t, "internal/dist/clock.go", wrongRule); len(ds) != 1 {
+		t.Fatalf("wrong-rule waiver suppressed the finding: %v", ds)
+	}
+	// A waiver without a reason is invalid and does not apply.
+	noReason := `package dist
+import "time"
+func now() time.Time {
+	//lint:allow wallclock
+	return time.Now()
+}
+`
+	if ds := check(t, "internal/dist/clock.go", noReason); len(ds) != 1 {
+		t.Fatalf("reasonless waiver suppressed the finding: %v", ds)
+	}
+}
+
+func TestCheckDirOnThisPackage(t *testing.T) {
+	t.Parallel()
+	// The lint tool must hold itself to its own rules.
+	ds, err := CheckDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Fatalf("repolint has findings on itself: %v", ds)
+	}
+}
