@@ -18,6 +18,7 @@
 //	coign adapt -scenario o_oldwp7               re-partition across network generations (§4.4)
 //	coign overhead [-scenario o_oldwp0]          instrumentation overhead (§3.2)
 //	coign check [-app all] [-json out.json]      static constraint analysis + verification
+//	coign coverage [-app all] [-fail-under 70]   activation-reachability scenario coverage
 //	coign instrument -app octarine -o app.img    rewrite a binary for profiling
 package main
 
@@ -41,6 +42,7 @@ import (
 	"repro/internal/logger"
 	"repro/internal/netsim"
 	"repro/internal/profile"
+	"repro/internal/reach"
 	"repro/internal/scenario"
 	"repro/internal/staticanal"
 )
@@ -85,6 +87,8 @@ func main() {
 		err = cmdAnalyze(args)
 	case "check":
 		err = cmdCheck(args)
+	case "coverage":
+		err = cmdCoverage(args)
 	case "instrument":
 		err = cmdInstrument(args)
 	case "help", "-h", "--help":
@@ -118,6 +122,7 @@ commands:
   drift       watchdog: detect usage drift from the profiled scenarios
   cache       per-interface caching (semi-custom marshaling) effect
   check       static constraint analysis: remotability, pins, co-location
+  coverage    diff static activation reachability against profiled scenarios
   instrument  rewrite an application binary for profiling
   profile     run profiling scenarios and write .icc log files
   analyze     combine .icc log files and print the chosen distribution`)
@@ -476,6 +481,73 @@ func cmdCache(args []string) error {
 	fmt.Printf("  plain:  %.3fs\n", cmp.Plain.Seconds())
 	fmt.Printf("  cached: %.3fs (%d hits, %.0f%% further savings)\n",
 		cmp.Cached.Seconds(), cmp.CacheHits, cmp.Savings*100)
+	return nil
+}
+
+// cmdCoverage diffs the static activation-reachability graph of one or
+// all applications against their profiled training scenarios: which
+// statically possible activation sites and ICC edges the scenarios never
+// exercised, and which observations the static metadata failed to
+// predict.
+func cmdCoverage(args []string) error {
+	fs := flag.NewFlagSet("coverage", flag.ExitOnError)
+	appName := fs.String("app", "all", "application to measure, 'quickstart', or 'all'")
+	scens := fs.String("scenarios", "", "comma-separated scenario override (default: the app's training suite)")
+	jsonOut := fs.Bool("json", false, "emit the coverage reports as JSON on stdout")
+	failUnder := fs.Float64("fail-under", 0, "fail (exit nonzero) when combined coverage is below this percentage")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	apps := scenario.Apps()
+	if *appName != "all" {
+		apps = []string{*appName}
+	}
+	var scenarios []string
+	if *scens != "" {
+		if len(apps) != 1 {
+			return fmt.Errorf("-scenarios requires a single -app")
+		}
+		scenarios = strings.Split(*scens, ",")
+	}
+
+	var rows []*experiments.CoverageRow
+	for _, name := range apps {
+		row, err := experiments.Coverage(name, scenarios)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+
+	if *jsonOut {
+		reports := make([]*reach.Coverage, len(rows))
+		for i, row := range rows {
+			reports[i] = row.Coverage
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	} else {
+		for _, row := range rows {
+			if err := row.Coverage.WriteText(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Printf("  (profiled %v; %d reachable classes; %d uncovered edges installable as co-location constraints)\n\n",
+				row.Scenarios, row.Reachable, row.Installed)
+		}
+	}
+
+	var failed []string
+	for _, row := range rows {
+		if row.Percent < *failUnder {
+			failed = append(failed, fmt.Sprintf("%s %.1f%%", row.App, row.Percent))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("coverage below %.1f%%: %s", *failUnder, strings.Join(failed, ", "))
+	}
 	return nil
 }
 

@@ -4,126 +4,23 @@
 // — all without the application knowing.
 //
 //	go run ./examples/quickstart
+//
+// The application itself (a GUI viewer, a cruncher, and a server-side
+// data store) lives in internal/apps/quickstart so the coverage gate and
+// tests can drive the same binary.
 package main
 
 import (
 	"fmt"
 	"log"
-	"time"
 
+	"repro/internal/apps/quickstart"
 	"repro/internal/com"
 	"repro/internal/core"
-	"repro/internal/idl"
 )
 
-// buildApp assembles a three-component application: a GUI viewer, a
-// cruncher, and a server-side data store. The cruncher reads a lot and
-// reports a little — exactly the component Coign should move to the
-// server.
-func buildApp() *com.App {
-	ifaces := idl.NewRegistry()
-	ifaces.Register(&idl.InterfaceDesc{
-		IID: "IStore", Remotable: true,
-		Methods: []idl.MethodDesc{
-			{Name: "Read", Params: []idl.ParamDesc{{Name: "n", Dir: idl.In, Type: idl.TInt32}}, Result: idl.TBytes},
-		},
-	})
-	ifaces.Register(&idl.InterfaceDesc{
-		IID: "ICrunch", Remotable: true,
-		Methods: []idl.MethodDesc{
-			{Name: "Summarize", Params: []idl.ParamDesc{{Name: "blocks", Dir: idl.In, Type: idl.TInt32}}, Result: idl.TString},
-		},
-	})
-	ifaces.Register(&idl.InterfaceDesc{
-		IID: "IView", Remotable: false, // paints through an opaque device context
-		Methods: []idl.MethodDesc{
-			{Name: "Show", Params: []idl.ParamDesc{
-				{Name: "text", Dir: idl.In, Type: idl.TString},
-				{Name: "dc", Dir: idl.In, Type: idl.TOpaque},
-			}, Result: idl.TVoid},
-		},
-	})
-
-	classes := com.NewClassRegistry()
-	store := &com.Class{
-		ID: "CLSID_Store", Name: "Store", Interfaces: []string{"IStore"},
-		APIs: []string{com.APIFileRead}, Home: com.Server, Infrastructure: true,
-		New: func() com.Object {
-			return com.ObjectFunc(func(c *com.Call) ([]idl.Value, error) {
-				c.Compute(time.Millisecond)
-				return []idl.Value{idl.ByteBuf(make([]byte, c.Args[0].AsInt()))}, nil
-			})
-		},
-	}
-	classes.Register(store)
-	classes.Register(&com.Class{
-		ID: "CLSID_Crunch", Name: "Crunch", Interfaces: []string{"ICrunch"},
-		New: func() com.Object {
-			var st *com.Interface
-			return com.ObjectFunc(func(c *com.Call) ([]idl.Value, error) {
-				if st == nil {
-					inst, err := c.Create("CLSID_Store")
-					if err != nil {
-						return nil, err
-					}
-					if st, err = c.Env.Query(inst, "IStore"); err != nil {
-						return nil, err
-					}
-				}
-				total := 0
-				for i := int64(0); i < c.Args[0].AsInt(); i++ {
-					out, err := c.Invoke(st, "Read", idl.Int32(64<<10))
-					if err != nil {
-						return nil, err
-					}
-					total += len(out[0].Bytes)
-					c.Compute(5 * time.Millisecond)
-				}
-				return []idl.Value{idl.String(fmt.Sprintf("crunched %d bytes", total))}, nil
-			})
-		},
-	})
-	classes.Register(&com.Class{
-		ID: "CLSID_View", Name: "View", Interfaces: []string{"IView"},
-		APIs: []string{com.APIGdiPaint, com.APIUserWindow},
-		New: func() com.Object {
-			return com.ObjectFunc(func(c *com.Call) ([]idl.Value, error) {
-				c.Compute(time.Millisecond)
-				return []idl.Value{}, nil
-			})
-		},
-	})
-
-	app := &com.App{Name: "quickstart", Classes: classes, Interfaces: ifaces}
-	app.Main = func(env *com.Env, scenario string, seed int64) error {
-		crunch, err := env.CreateInstance(nil, "CLSID_Crunch")
-		if err != nil {
-			return err
-		}
-		view, err := env.CreateInstance(nil, "CLSID_View")
-		if err != nil {
-			return err
-		}
-		citf, err := env.Query(crunch, "ICrunch")
-		if err != nil {
-			return err
-		}
-		out, err := env.Call(nil, citf, "Summarize", idl.Int32(40))
-		if err != nil {
-			return err
-		}
-		vitf, err := env.Query(view, "IView")
-		if err != nil {
-			return err
-		}
-		_, err = env.Call(nil, vitf, "Show", out[0], idl.OpaquePtr("hdc"))
-		return err
-	}
-	return app
-}
-
 func main() {
-	app := buildApp()
+	app := quickstart.New()
 	adps := core.New(app)
 
 	// 1. The binary rewriter inserts the Coign runtime and a profiling
@@ -140,6 +37,15 @@ func main() {
 	}
 	fmt.Printf("profiled %d calls across %d classifications\n",
 		p.TotalCalls(), len(p.Classifications))
+
+	// 2b. The reachability coverage diff shows what the scenario missed
+	//     (run `go run ./cmd/coign coverage -app quickstart` for the full
+	//     report).
+	if adps.Reach != nil {
+		cov := adps.Reach.Coverage(p)
+		fmt.Printf("activation coverage: %.0f%% (%d uncovered edges)\n",
+			cov.Percent(), len(cov.UncoveredEdges()))
+	}
 
 	// 3. The analysis engine cuts the concrete graph.
 	res, err := adps.Analyze(p)

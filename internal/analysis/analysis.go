@@ -78,6 +78,10 @@ type Result struct {
 	// StaticCoLocations counts profile edges welded by the static
 	// constraint set (before any dynamic opaque-parameter evidence).
 	StaticCoLocations int
+	// CoverageCoLocations counts classification pairs welded because a
+	// statically reachable ICC edge was never exercised by the training
+	// scenarios (see reach.Coverage.InstallConstraints).
+	CoverageCoLocations int
 	// Findings is the static/dynamic verifier's output: cross-check
 	// divergences and (never expected) cut-constraint violations.
 	Findings []staticanal.Finding
@@ -93,6 +97,9 @@ type BuildStats struct {
 	NonRemotable int
 	// StaticCoLocations counts edges welded by the static constraint set.
 	StaticCoLocations int
+	// CoverageCoLocations counts pairs welded by scenario-coverage
+	// constraints.
+	CoverageCoLocations int
 }
 
 // BuildGraph constructs the concrete communication graph for a profile:
@@ -112,6 +119,7 @@ func BuildGraph(p *profile.Profile, np *netsim.Profile, classes *com.ClassRegist
 		applied := cs.ApplyToGraph(g, p)
 		st.Constrained = applied.Pins
 		st.StaticCoLocations = applied.CoLocations
+		st.CoverageCoLocations = applied.CoverageCoLocations
 	} else {
 		for id, ci := range p.Classifications {
 			if m, ok := InferConstraint(classes.LookupName(ci.Class)); ok {
@@ -164,13 +172,14 @@ func Analyze(p *profile.Profile, np *netsim.Profile, app *com.App, opts Options)
 	}
 
 	res := &Result{
-		Graph:             g,
-		Cut:               cut,
-		Distribution:      make(map[string]com.Machine, len(cut.Assignment)),
-		PredictedComm:     time.Duration(cut.Weight * float64(time.Second)),
-		NonRemotableEdges: st.NonRemotable,
-		Constrained:       st.Constrained,
-		StaticCoLocations: st.StaticCoLocations,
+		Graph:               g,
+		Cut:                 cut,
+		Distribution:        make(map[string]com.Machine, len(cut.Assignment)),
+		PredictedComm:       time.Duration(cut.Weight * float64(time.Second)),
+		NonRemotableEdges:   st.NonRemotable,
+		Constrained:         st.Constrained,
+		StaticCoLocations:   st.StaticCoLocations,
+		CoverageCoLocations: st.CoverageCoLocations,
 	}
 	for id, side := range cut.Assignment {
 		if id == profile.MainProgram {

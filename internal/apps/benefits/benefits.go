@@ -95,11 +95,19 @@ func New() *com.App {
 	ifaces := idl.NewRegistry()
 	registerInterfaces(ifaces)
 	registerClasses(classes)
+	annotateActivations(classes)
 	app := &com.App{
 		Name:       "benefits",
 		Classes:    classes,
 		Interfaces: ifaces,
 		Imports:    []string{"benefits.exe", "benefits_mt.dll", "msgraph.ocx", "odbc32.dll"},
+		// The front end creates the form, the middle-tier managers, and the
+		// per-operation logic workers it drives directly.
+		MainActivations: []com.CLSID{
+			"CLSID_BenefitsForm", "CLSID_EmployeeManager", "CLSID_SessionMgr",
+			"CLSID_Validator", "CLSID_ReportBuilder", "CLSID_AuditLog",
+			"CLSID_BenefitsList", "CLSID_QueryEngine",
+		},
 	}
 	app.Main = runScenario
 	return app
@@ -116,6 +124,7 @@ func registerInterfaces(r *idl.Registry) {
 		IID: iForm, Name: iForm, Remotable: true,
 		Methods: []idl.MethodDesc{
 			{Name: "Init", Result: idl.TInt32},
+			{Name: "GetGraph", Result: idl.InterfaceType(iGraph)},
 			{Name: "ShowStatus", Params: []idl.ParamDesc{{Name: "msg", Dir: idl.In, Type: idl.TString}}, Result: idl.TVoid},
 		},
 	})
@@ -206,6 +215,31 @@ func registerClasses(reg *com.ClassRegistry) {
 	add("HistoryCache", []string{iCache}, nil, com.Server, false, newCache)
 }
 
+// annotateActivations attaches the static activation-site metadata the
+// binary rewriter embeds as relocation records. Every business-logic
+// worker lazily opens its own database connection, so they all list the
+// database as an activation target.
+func annotateActivations(reg *com.ClassRegistry) {
+	set := func(name string, targets ...com.CLSID) {
+		reg.LookupName(name).Activations = targets
+	}
+	form := make([]com.CLSID, 0, len(frontEndPanes)+1)
+	for _, fe := range frontEndPanes {
+		form = append(form, com.CLSID("CLSID_"+fe))
+	}
+	set("BenefitsForm", append(form, "CLSID_GraphView")...)
+	set("EmployeeManager", append([]com.CLSID{
+		"CLSID_Database", "CLSID_QueryWorker", "CLSID_RowFetcher", "CLSID_JoinWorker",
+	}, cacheClasses...)...)
+	set("ReportBuilder", "CLSID_Database", "CLSID_RowAggregator")
+	for _, logic := range []string{
+		"SessionMgr", "Validator", "AuditLog", "BenefitsList", "QueryEngine",
+		"QueryWorker", "RowFetcher", "JoinWorker", "RowAggregator",
+	} {
+		set(logic, "CLSID_Database")
+	}
+}
+
 func newDatabase() com.Object {
 	return com.ObjectFunc(func(c *com.Call) ([]idl.Value, error) {
 		if c.Method != "Exec" {
@@ -217,6 +251,7 @@ func newDatabase() com.Object {
 }
 
 func newForm() com.Object {
+	var graph *com.Interface
 	return com.ObjectFunc(func(c *com.Call) ([]idl.Value, error) {
 		switch c.Method {
 		case "Init":
@@ -244,7 +279,13 @@ func newForm() com.Object {
 			if _, err := c.Invoke(g, "Paint", idl.OpaquePtr("hdc")); err != nil {
 				return nil, err
 			}
+			graph = g
 			return []idl.Value{idl.Int32(int32(len(frontEndPanes) + 1))}, nil
+		case "GetGraph":
+			if graph == nil {
+				return nil, fmt.Errorf("BenefitsForm: GetGraph before Init")
+			}
+			return []idl.Value{idl.IfacePtr(graph)}, nil
 		case "ShowStatus":
 			c.Compute(costUI / 2)
 			return []idl.Value{}, nil
@@ -515,14 +556,13 @@ func (s *session) login() error {
 	if _, err := s.env.Call(nil, s.form, "Init"); err != nil {
 		return err
 	}
-	for _, in := range s.env.Instances() {
-		if in.Class.Name == "GraphView" {
-			s.graph, err = s.env.Query(in, iGraph)
-			if err != nil {
-				return err
-			}
-		}
+	// The form hands out its graph control through a typed accessor so the
+	// static reachability analysis can follow the reference flow.
+	gout, err := s.env.Call(nil, s.form, "GetGraph")
+	if err != nil {
+		return err
 	}
+	s.graph = gout[0].Iface.(*com.Interface)
 	mgr, err := s.env.CreateInstance(nil, "CLSID_EmployeeManager")
 	if err != nil {
 		return err

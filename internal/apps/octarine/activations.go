@@ -1,0 +1,86 @@
+package octarine
+
+import (
+	"fmt"
+
+	"repro/internal/com"
+)
+
+// annotateActivations attaches the static activation-site metadata the
+// binary rewriter embeds as relocation records (and the reachability
+// analysis recovers). Each class lists every CLSID its code can mention in
+// an instantiation request, including requests it routes through the
+// generic widget factory: the factory computes its targets from data, so
+// the mention belongs to the requesting class, and the factory itself is
+// marked DynamicActivation so observed activations are attributed to the
+// innermost non-factory frame of the call path.
+//
+// Classes absent from the table activate nothing. Registered classes no
+// annotated class mentions (the latent text filters, ChordSymbol, the
+// dormant print/macro services) are statically unreachable, mirroring
+// binaries that ship code no scenario can reach.
+func annotateActivations(r *com.ClassRegistry) {
+	set := func(name string, targets ...com.CLSID) {
+		r.LookupName(name).Activations = targets
+	}
+
+	// Generic construction services: targets are data, not code.
+	r.LookupName("WidgetFactory").DynamicActivation = true
+	r.LookupName("ControlKit").DynamicActivation = true
+
+	// GUI swarm. AppFrame.Init builds the construction services, the menu
+	// bar, the fixtures, the singleton widgets, and the chrome.
+	frame := []com.CLSID{
+		"CLSID_WidgetFactory", "CLSID_ControlKit", "CLSID_MenuBar",
+		"CLSID_Toolbar", "CLSID_Palette", "CLSID_DialogPane",
+	}
+	for _, leaf := range guiLeafSingles {
+		frame = append(frame, com.CLSID("CLSID_"+leaf))
+	}
+	for _, c := range chromeCLSIDs() {
+		frame = append(frame, c)
+	}
+	set("AppFrame", frame...)
+	set("MenuBar", "CLSID_Menu")
+	set("Menu", "CLSID_MenuItem")        // via the widget factory
+	set("Toolbar", "CLSID_ToolButton")   // via the widget factory
+	set("Palette", "CLSID_Swatch")       // via the widget factory
+	set("DialogPane", "CLSID_DialogCtl") // via control kit and factory
+
+	// Text engine.
+	set("DocManager", "CLSID_DocReader")
+	set("DocReader", "CLSID_FileStore", "CLSID_TextProps")
+	set("TextFlow",
+		"CLSID_LineBreaker", "CLSID_FontMetrics", "CLSID_SpellScan",
+		"CLSID_UndoLog", "CLSID_ClipFormat", "CLSID_PageFrame",
+		// Mixed documents embed tables and negotiate page placement.
+		"CLSID_TableModel", "CLSID_PagePlanner")
+	set("PageFrame", "CLSID_Paragraph", "CLSID_PageFrame")
+
+	// Table engine.
+	set("TableModel", "CLSID_TableCell", "CLSID_ColumnSizer", "CLSID_RowBalancer")
+	set("PagePlanner", "CLSID_TextNegotiator", "CLSID_TableNegotiator")
+
+	// Music engine.
+	set("MusicModel", "CLSID_MusicLayout", "CLSID_Clef", "CLSID_Dynamics", "CLSID_Staff")
+	set("Staff", "CLSID_Measure", "CLSID_NoteRun", "CLSID_BeamGroup", "CLSID_Lyric")
+}
+
+// mainActivations lists the CLSIDs the main program itself instantiates:
+// the frame during GUI construction and the per-document-type models of
+// the scenario drivers.
+func mainActivations() []com.CLSID {
+	return []com.CLSID{
+		"CLSID_AppFrame", "CLSID_DocManager", "CLSID_TextFlow",
+		"CLSID_TableModel", "CLSID_MusicModel",
+	}
+}
+
+// chromeCLSIDs enumerates the decorative chrome classes.
+func chromeCLSIDs() []com.CLSID {
+	out := make([]com.CLSID, 0, chromeClassCount)
+	for i := 0; i < chromeClassCount; i++ {
+		out = append(out, com.CLSID(fmt.Sprintf("CLSID_Chrome%02d", i)))
+	}
+	return out
+}

@@ -85,12 +85,14 @@ func New() *com.App {
 	registerTable(b)
 	registerMusic(b)
 	registerChrome(b)
+	annotateActivations(b.classes)
 
 	app := &com.App{
-		Name:       "octarine",
-		Classes:    b.classes,
-		Interfaces: b.ifaces,
-		Imports:    []string{"octarine.exe", "octui.dll", "octtext.dll", "octtbl.dll", "octmus.dll"},
+		Name:            "octarine",
+		Classes:         b.classes,
+		Interfaces:      b.ifaces,
+		Imports:         []string{"octarine.exe", "octui.dll", "octtext.dll", "octtbl.dll", "octmus.dll"},
+		MainActivations: mainActivations(),
 	}
 	app.Main = runScenario
 	return app

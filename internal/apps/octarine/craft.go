@@ -185,7 +185,11 @@ func newMenuBar() com.Object {
 				if _, err := c.Invoke(w, "Render", idl.OpaquePtr("hdc")); err != nil {
 					return nil, err
 				}
-				out, err := c.Invoke(w, "PopulateVia", idl.IfacePtr(factory))
+				mc, err := c.Env.Query(menu, iContain)
+				if err != nil {
+					return nil, err
+				}
+				out, err := c.Invoke(mc, "PopulateVia", idl.IfacePtr(factory))
 				if err != nil {
 					return nil, err
 				}

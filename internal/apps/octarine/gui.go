@@ -43,6 +43,8 @@ func (b *builder) class(name string, ifaces, apis []string, code int, mk func() 
 const (
 	iStore   = "IStore"
 	iWidget  = "IWidget"
+	iContain = "IContainer"
+	iCanvas  = "ICanvas"
 	iFrame   = "IFrame"
 	iReader  = "IReader"
 	iProps   = "ITextProps"
@@ -123,7 +125,11 @@ func registerStorage(b *builder) {
 // GUI interfaces. IWidget.Render passes an opaque device-context handle,
 // which makes every interface on which it travels non-remotable — the
 // black lines of the paper's distribution figures. Populate asks a widget
-// to create its children and returns the number of descendants created.
+// to create its children and returns the number of descendants created;
+// only container widgets implement IContainer, whose PopulateVia routes
+// child creation through a construction service (keeping the factory
+// callback off the leaf widgets keeps the static interface-flow analysis
+// from predicting factory edges for every leaf).
 func registerGUIInterfaces(b *builder) {
 	b.iface(&idl.InterfaceDesc{
 		IID: iWidget, Name: iWidget, Remotable: false,
@@ -131,9 +137,22 @@ func registerGUIInterfaces(b *builder) {
 			{Name: "Render", Params: []idl.ParamDesc{{Name: "dc", Dir: idl.In, Type: idl.TOpaque}}, Result: idl.TVoid},
 			{Name: "Ping", Params: []idl.ParamDesc{{Name: "code", Dir: idl.In, Type: idl.TInt32}}, Result: idl.TInt32},
 			{Name: "Populate", Result: idl.TInt32},
+		},
+	})
+	b.iface(&idl.InterfaceDesc{
+		IID: iContain, Name: iContain, Remotable: false,
+		Methods: []idl.MethodDesc{
 			{Name: "PopulateVia", Params: []idl.ParamDesc{
 				{Name: "factory", Dir: idl.In, Type: idl.InterfaceType(iFactory)},
 			}, Result: idl.TInt32},
+		},
+	})
+	// The canvas is the shared rendering surface the document engines draw
+	// on; the frame hands it out through a dedicated interface.
+	b.iface(&idl.InterfaceDesc{
+		IID: iCanvas, Name: iCanvas, Remotable: false,
+		Methods: []idl.MethodDesc{
+			{Name: "AcquireDC", Result: idl.TOpaque},
 		},
 	})
 	// The widget factory is the shared construction service every fixture
@@ -156,6 +175,7 @@ func registerGUIInterfaces(b *builder) {
 		IID: iFrame, Name: iFrame, Remotable: true,
 		Methods: []idl.MethodDesc{
 			{Name: "Init", Result: idl.TInt32},
+			{Name: "GetCanvas", Result: idl.InterfaceType(iCanvas)},
 			{Name: "AddChild", Params: []idl.ParamDesc{{Name: "w", Dir: idl.In, Type: idl.InterfaceType(iWidget)}}, Result: idl.TInt32},
 			{Name: "Status", Params: []idl.ParamDesc{{Name: "msg", Dir: idl.In, Type: idl.TString}}, Result: idl.TVoid},
 		},
@@ -173,8 +193,10 @@ func widgetObject() com.Object {
 		case "Ping":
 			c.Compute(costWidget / 4)
 			return []idl.Value{idl.Int32(int32(c.Args[0].AsInt()))}, nil
-		case "Populate", "PopulateVia":
+		case "Populate":
 			return []idl.Value{idl.Int32(0)}, nil
+		case "AcquireDC":
+			return []idl.Value{idl.OpaquePtr("hdc")}, nil
 		}
 		return nil, fmt.Errorf("widget: bad method %s", c.Method)
 	})
@@ -270,26 +292,30 @@ func registerGUI(b *builder) {
 	// Containers and their broods. The menu system builds through
 	// per-menu and per-entry handlers (see craft.go) so classifiers see
 	// distinct call chains.
-	b.class("MenuBar", []string{iWidget, iMenuCraft}, guiAPIs, 24<<10, newMenuBar)
-	b.class("Menu", []string{iWidget, iMenuAdd}, guiAPIs, 12<<10, newMenu)
+	b.class("MenuBar", []string{iWidget, iContain, iMenuCraft}, guiAPIs, 24<<10, newMenuBar)
+	b.class("Menu", []string{iWidget, iContain, iMenuAdd}, guiAPIs, 12<<10, newMenu)
 	b.class("MenuItem", []string{iWidget}, guiAPIs, 3<<10, widgetObject)
-	b.class("Toolbar", []string{iWidget}, guiAPIs, 24<<10, containerObject("CLSID_ToolButton", 18))
+	b.class("Toolbar", []string{iWidget, iContain}, guiAPIs, 24<<10, containerObject("CLSID_ToolButton", 18))
 	b.class("ToolButton", []string{iWidget}, guiAPIs, 4<<10, widgetObject)
-	b.class("Palette", []string{iWidget}, guiAPIs, 16<<10, containerObject("CLSID_Swatch", 10))
+	b.class("Palette", []string{iWidget, iContain}, guiAPIs, 16<<10, containerObject("CLSID_Swatch", 10))
 	b.class("Swatch", []string{iWidget}, guiAPIs, 2<<10, widgetObject)
-	b.class("DialogPane", []string{iWidget}, guiAPIs, 20<<10, containerObject("CLSID_DialogCtl", 8))
+	b.class("DialogPane", []string{iWidget, iContain}, guiAPIs, 20<<10, containerObject("CLSID_DialogCtl", 8))
 	b.class("DialogCtl", []string{iWidget}, guiAPIs, 5<<10, widgetObject)
 	b.class("WidgetFactory", []string{iFactory}, guiAPIs, 18<<10, newWidgetFactory)
 	b.class("ControlKit", []string{iFactory}, guiAPIs, 12<<10, newControlKit)
 	for _, leaf := range guiLeafSingles {
-		b.class(leaf, []string{iWidget}, guiAPIs, 8<<10, widgetObject)
+		ifaces := []string{iWidget}
+		if leaf == "Canvas" {
+			ifaces = []string{iWidget, iCanvas}
+		}
+		b.class(leaf, ifaces, guiAPIs, 8<<10, widgetObject)
 	}
 
 	// AppFrame builds the whole display swarm in its Init method, routing
 	// each fixture through its own construction handler.
 	b.class("AppFrame", []string{iFrame, iWidget, iFrameCraft}, guiAPIs, 96<<10, func() com.Object {
 		children := 0
-		var factory, kit *com.Interface
+		var factory, kit, canvas *com.Interface
 		return com.ObjectFunc(func(c *com.Call) ([]idl.Value, error) {
 			switch c.Method {
 			case "Init":
@@ -313,12 +339,18 @@ func registerGUI(b *builder) {
 				if _, err := c.Invoke(kit, "Bind", idl.IfacePtr(factory)); err != nil {
 					return nil, err
 				}
-				n, err := buildFrameContents(c, factory)
+				n, cv, err := buildFrameContents(c, factory)
 				if err != nil {
 					return nil, err
 				}
+				canvas = cv
 				children = n + 2
 				return []idl.Value{idl.Int32(int32(n))}, nil
+			case "GetCanvas":
+				if canvas == nil {
+					return nil, fmt.Errorf("AppFrame: GetCanvas before Init")
+				}
+				return []idl.Value{idl.IfacePtr(canvas)}, nil
 			case "AddChild":
 				children++
 				c.Compute(costWidget / 8)
@@ -363,9 +395,11 @@ func registerChrome(b *builder) {
 
 // buildFrameContents is AppFrame.Init: create the menu system, toolbars,
 // palettes, dialogs, singleton widgets, and chrome. Returns the number of
-// widgets created (excluding the frame itself and construction services).
-func buildFrameContents(c *com.Call, factory *com.Interface) (int, error) {
+// widgets created (excluding the frame itself and construction services)
+// and the canvas handle the frame hands out through GetCanvas.
+func buildFrameContents(c *com.Call, factory *com.Interface) (int, *com.Interface, error) {
 	total := 0
+	var canvas *com.Interface
 	mk := func(clsid com.CLSID) error {
 		inst, err := c.Create(clsid)
 		if err != nil {
@@ -375,6 +409,11 @@ func buildFrameContents(c *com.Call, factory *com.Interface) (int, error) {
 		w, err := c.Env.Query(inst, iWidget)
 		if err != nil {
 			return err
+		}
+		if clsid == "CLSID_Canvas" {
+			if canvas, err = c.Env.Query(inst, iCanvas); err != nil {
+				return err
+			}
 		}
 		if _, err := c.Invoke(w, "Render", idl.OpaquePtr("hdc")); err != nil {
 			return err
@@ -391,31 +430,35 @@ func buildFrameContents(c *com.Call, factory *com.Interface) (int, error) {
 	// create their items through the shared factory.
 	bar, err := c.Create("CLSID_MenuBar")
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	total++
 	barW, err := c.Env.Query(bar, iWidget)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if _, err := c.Invoke(barW, "Render", idl.OpaquePtr("hdc")); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	out, err := c.Invoke(barW, "PopulateVia", idl.IfacePtr(factory))
+	barC, err := c.Env.Query(bar, iContain)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
+	}
+	out, err := c.Invoke(barC, "PopulateVia", idl.IfacePtr(factory))
+	if err != nil {
+		return 0, nil, err
 	}
 	total += int(out[0].AsInt()) // 9 + 126
 	// Toolbars, palettes, and dialogs each come from their own
 	// construction handler on the frame (4*(1+18) + 2*(1+10) + 6*(1+8)).
 	self, err := c.Env.Query(c.Self, iFrameCraft)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	for _, m := range frameCraftMethods {
 		out, err := c.Invoke(self, m)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		total += int(out[0].AsInt())
 	}
@@ -429,22 +472,22 @@ func buildFrameContents(c *com.Call, factory *com.Interface) (int, error) {
 		}
 		for i := 0; i < n; i++ {
 			if err := mk(com.CLSID("CLSID_" + leaf)); err != nil {
-				return 0, err
+				return 0, nil, err
 			}
 		}
 	}
 	for i := 0; i < chromeClassCount; i++ {
 		if err := mk(com.CLSID(fmt.Sprintf("CLSID_Chrome%02d", i))); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 	}
 	// One chrome class gets a second instance to fill out the swarm.
 	for i := 0; i < 1; i++ {
 		if err := mk(com.CLSID(fmt.Sprintf("CLSID_Chrome%02d", i))); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 	}
-	return total, nil
+	return total, canvas, nil
 }
 
 // craftFixture builds one frame fixture: create, render, populate its
@@ -461,7 +504,11 @@ func craftFixture(c *com.Call, clsid com.CLSID, via *com.Interface) (int, error)
 	if _, err := c.Invoke(w, "Render", idl.OpaquePtr("hdc")); err != nil {
 		return 0, err
 	}
-	out, err := c.Invoke(w, "PopulateVia", idl.IfacePtr(via))
+	cn, err := c.Env.Query(inst, iContain)
+	if err != nil {
+		return 0, err
+	}
+	out, err := c.Invoke(cn, "PopulateVia", idl.IfacePtr(via))
 	if err != nil {
 		return 0, err
 	}
@@ -482,16 +529,20 @@ func (s *session) buildGUI() error {
 	if _, err := s.call(s.frameCtl, "Init"); err != nil {
 		return err
 	}
-	// Locate the canvas and status bar for document rendering.
+	// The frame hands out the shared rendering canvas; the status bar is
+	// located by instance enumeration (it is never called from here).
+	out, err := s.call(s.frameCtl, "GetCanvas")
+	if err != nil {
+		return err
+	}
+	cv := out[0].Iface.(*com.Interface)
+	s.canvasRaw = cv.Instance()
+	s.canvas, err = s.env.Query(s.canvasRaw, iWidget)
+	if err != nil {
+		return err
+	}
 	for _, in := range s.env.Instances() {
-		switch in.Class.Name {
-		case "Canvas":
-			s.canvasRaw = in
-			s.canvas, err = s.env.Query(in, iWidget)
-			if err != nil {
-				return err
-			}
-		case "StatusBar":
+		if in.Class.Name == "StatusBar" {
 			s.statusbar, err = s.env.Query(in, iWidget)
 			if err != nil {
 				return err

@@ -113,12 +113,19 @@ func New() *com.App {
 
 	registerInterfaces(ifaces)
 	registerClasses(classes)
+	annotateActivations(classes)
 
 	app := &com.App{
 		Name:       "photodraw",
 		Classes:    classes,
 		Interfaces: ifaces,
 		Imports:    []string{"photodraw.exe", "pdui.dll", "pdcore.dll", "pdfx.dll"},
+		// The main program builds the studio, the root sprite cache, the
+		// composition reader, and the two selection transforms.
+		MainActivations: []com.CLSID{
+			"CLSID_StudioFrame", "CLSID_SpriteCache", "CLSID_CompositionReader",
+			"CLSID_Transform00", "CLSID_Transform01",
+		},
 	}
 	app.Main = runScenario
 	return app
@@ -246,6 +253,38 @@ func registerClasses(reg *com.ClassRegistry) {
 	for i := 0; i < 19; i++ {
 		add(fmt.Sprintf("Codec%02d", i), []string{iXform}, nil, 5<<10, newTransform)
 	}
+}
+
+// annotateActivations attaches the static activation-site metadata the
+// binary rewriter embeds as relocation records. The latent codec and
+// pixel-pipeline classes activate nothing and are mentioned by no one:
+// they are statically unreachable, like shipped code no scenario reaches.
+func annotateActivations(reg *com.ClassRegistry) {
+	set := func(name string, targets ...com.CLSID) {
+		reg.LookupName(name).Activations = targets
+	}
+	frame := []com.CLSID{
+		"CLSID_Toolbox", "CLSID_EffectGallery", "CLSID_ColorPicker", "CLSID_LayerPanel",
+		"CLSID_ZoomBar", "CLSID_HistogramView", "CLSID_StatusLine",
+		"CLSID_RulerH", "CLSID_RulerV", "CLSID_WorkCanvas",
+	}
+	for i := 0; i < 45; i++ {
+		frame = append(frame, com.CLSID(fmt.Sprintf("CLSID_Deco%02d", i)))
+	}
+	set("StudioFrame", frame...)
+	set("Toolbox", "CLSID_ToolIcon")
+	set("EffectGallery", "CLSID_EffectTile")
+	set("ColorPicker", "CLSID_ColorSwatch")
+	set("LayerPanel", "CLSID_LayerRow")
+
+	reader := []com.CLSID{"CLSID_ImageStore"}
+	for _, ps := range propSetClasses {
+		reader = append(reader, com.CLSID("CLSID_"+ps))
+	}
+	set("CompositionReader", reader...)
+
+	// The sprite tree grows recursively and wires per-level helpers.
+	set("SpriteCache", "CLSID_SpriteCache", "CLSID_SpriteIndex", "CLSID_TileMap", "CLSID_DirtyRegion")
 }
 
 func newImageStore() com.Object {

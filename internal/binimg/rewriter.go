@@ -27,6 +27,20 @@ func BuildImage(app *com.App) *Image {
 			data[i] = byte(len(c.Name) + i)
 		}
 		im.Sections = append(im.Sections, Section{Name: ".text$" + string(c.ID), Data: data})
+		// Activation sites become relocation records the reachability
+		// analysis scans back out of the image.
+		if len(c.Activations) > 0 || c.DynamicActivation {
+			im.Sections = append(im.Sections, Section{
+				Name: RelocPrefix + string(c.ID),
+				Data: EncodeReloc(c.DynamicActivation, c.Activations),
+			})
+		}
+	}
+	if len(app.MainActivations) > 0 {
+		im.Sections = append(im.Sections, Section{
+			Name: RelocPrefix + MainRelocName,
+			Data: EncodeReloc(false, app.MainActivations),
+		})
 	}
 	return im
 }

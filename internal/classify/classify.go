@@ -244,8 +244,9 @@ func DescriptorID(class, descriptor string) string {
 // inspection. One Table serves one classifier over one or more runs.
 type Table struct {
 	classifier  Classifier
-	descriptors map[string]string // id -> descriptor
-	counts      map[string]int64  // id -> instances assigned
+	descriptors map[string]string   // id -> descriptor
+	counts      map[string]int64    // id -> instances assigned
+	paths       map[string][]string // id -> activation call path (creator classes)
 }
 
 // NewTable returns a table over the given classifier.
@@ -254,6 +255,7 @@ func NewTable(c Classifier) *Table {
 		classifier:  c,
 		descriptors: make(map[string]string),
 		counts:      make(map[string]int64),
+		paths:       make(map[string][]string),
 	}
 }
 
@@ -271,8 +273,33 @@ func (t *Table) Assign(class string, stack []Frame) string {
 	}
 	t.descriptors[id] = desc
 	t.counts[id]++
+	if _, ok := t.paths[id]; !ok {
+		t.paths[id] = ActivationPath(stack)
+	}
 	return id
 }
+
+// ActivationPath reduces a call stack (innermost frame first) to the chain
+// of creator classes, one entry per component instance on the stack. This
+// is the full activation call path — not just the top frame — that lets
+// the reachability analysis join static activation sites to dynamic
+// observations even when the immediate creator is a generic factory.
+func ActivationPath(stack []Frame) []string {
+	frames := entryPoints(stack)
+	path := make([]string, len(frames))
+	for i, f := range frames {
+		path[i] = f.Class
+	}
+	return path
+}
+
+// Path returns the activation call path recorded at the classification's
+// first assignment (creator classes, innermost first; empty for
+// activations performed directly by the main program). Under the
+// called-by classifiers the id determines the path; under weaker
+// classifiers that merge distinct call sites, the first observed path
+// stands for the classification.
+func (t *Table) Path(id string) []string { return t.paths[id] }
 
 // Descriptor returns the descriptor recorded for a classification id.
 func (t *Table) Descriptor(id string) string { return t.descriptors[id] }

@@ -210,6 +210,49 @@ func TestDescriptorIDStability(t *testing.T) {
 	}
 }
 
+func TestActivationPathDistinguishesDeepFrames(t *testing.T) {
+	t.Parallel()
+	// Two activation sites share the same innermost frame (the factory)
+	// but differ one frame deeper (the requesting component). The recorded
+	// paths — and the classifications that key on them — must stay
+	// distinct, or the reachability join would attribute both activations
+	// to the same effective creator.
+	viaAlpha := []Frame{
+		{Instance: 9, Class: "Factory", InstClassification: "f", Function: "Make"},
+		{Instance: 2, Class: "Alpha", InstClassification: "a", Function: "Build"},
+	}
+	viaBeta := []Frame{
+		{Instance: 9, Class: "Factory", InstClassification: "f", Function: "Make"},
+		{Instance: 3, Class: "Beta", InstClassification: "b", Function: "Build"},
+	}
+
+	pa, pb := ActivationPath(viaAlpha), ActivationPath(viaBeta)
+	if len(pa) != 2 || pa[0] != "Factory" || pa[1] != "Alpha" {
+		t.Fatalf("path via Alpha = %v", pa)
+	}
+	if len(pb) != 2 || pb[0] != "Factory" || pb[1] != "Beta" {
+		t.Fatalf("path via Beta = %v", pb)
+	}
+
+	tab := NewTable(New(IFCB, 0))
+	ida := tab.Assign("Widget", viaAlpha)
+	idb := tab.Assign("Widget", viaBeta)
+	if ida == idb {
+		t.Fatal("deep-frame difference collapsed into one classification")
+	}
+	if got := tab.Path(ida); len(got) != 2 || got[1] != "Alpha" {
+		t.Errorf("recorded path for Alpha site = %v", got)
+	}
+	if got := tab.Path(idb); len(got) != 2 || got[1] != "Beta" {
+		t.Errorf("recorded path for Beta site = %v", got)
+	}
+	// A main-program activation records an empty path.
+	idm := tab.Assign("Widget", nil)
+	if got := tab.Path(idm); len(got) != 0 {
+		t.Errorf("main-program path = %v, want empty", got)
+	}
+}
+
 func TestTableAssignAndCounts(t *testing.T) {
 	t.Parallel()
 	tab := NewTable(New(IFCB, 0))

@@ -73,6 +73,22 @@ type Class struct {
 	// run at Home and their classifications are pinned there during
 	// analysis.
 	Infrastructure bool
+
+	// Activations lists every CLSID this class's code can pass to an
+	// instantiation request — the static activation-site metadata the
+	// binary rewriter embeds as relocation records and the reachability
+	// analysis recovers by scanning the image. The list is
+	// over-approximate: a listed CLSID may never be activated at run time,
+	// but an unlisted one must never be (the reachability verifier reports
+	// such an observation as a static miss).
+	Activations []CLSID
+	// DynamicActivation marks classes that compute CLSIDs at run time
+	// (generic factories whose activation targets are data, not code).
+	// The reachability analysis attributes an activation performed by such
+	// a class to the innermost non-factory frame of the activation call
+	// path, and grants the factory the interface types its own method
+	// signatures can return.
+	DynamicActivation bool
 }
 
 // Implements reports whether the class implements the interface.
@@ -157,6 +173,10 @@ type App struct {
 	Classes    *ClassRegistry
 	Interfaces *idl.Registry
 	Imports    []string // DLL import table of the application binary
+	// MainActivations lists the CLSIDs the main program itself can pass to
+	// an instantiation request — the activation roots of the reachability
+	// analysis.
+	MainActivations []CLSID
 	// Main drives the application through the named scenario. seed makes
 	// input-driven behaviour reproducible.
 	Main func(env *Env, scenario string, seed int64) error

@@ -54,7 +54,10 @@ func testApp() *App {
 		New: func() Object {
 			return ObjectFunc(func(c *Call) ([]idl.Value, error) {
 				c.Compute(time.Millisecond)
-				target := c.Args[0].Iface.(*Interface)
+				target, ok := c.Args[0].Iface.(*Interface)
+				if !ok {
+					return nil, errors.New("Caller: arg 0 is not an interface")
+				}
 				return c.Invoke(target, "Add", idl.Int32(5))
 			})
 		},

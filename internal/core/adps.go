@@ -20,6 +20,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/netsim"
 	"repro/internal/profile"
+	"repro/internal/reach"
 	"repro/internal/staticanal"
 )
 
@@ -42,6 +43,11 @@ type ADPS struct {
 	// derived once at pipeline construction; its constraint set feeds the
 	// analysis engine.
 	Static *staticanal.Report
+	// Reach is the static activation-reachability graph recovered from the
+	// original binary's relocation records, derived once at pipeline
+	// construction. Diffed against profiles it yields scenario-coverage
+	// reports (see CoverageReport).
+	Reach *reach.Graph
 	// Samples is the number of observations per message size in network
 	// profiling.
 	Samples int
@@ -70,7 +76,36 @@ func New(app *com.App) *ADPS {
 		a.Static = rep
 		a.AnalysisOptions.Constraints = rep.Constraints
 	}
+	if rg, err := reach.Scan(a.Image, app); err == nil {
+		a.Reach = rg
+	}
 	return a
+}
+
+// CoverageReport instruments the binary if needed, profiles the given
+// scenarios, and diffs the combined profile against the static
+// reachability graph. When install is true, every uncovered
+// class-to-class ICC edge is additionally installed into the analysis
+// constraint set as a conservative co-location pair, so subsequent
+// Analyze calls keep the endpoints of unpriced edges together.
+func (a *ADPS) CoverageReport(scenarios []string, install bool) (*reach.Coverage, *profile.Profile, error) {
+	if a.Reach == nil {
+		return nil, nil, fmt.Errorf("core: no reachability graph for %s (image lacks activation relocation records)", a.App.Name)
+	}
+	if !a.Image.Instrumented() {
+		if err := a.Instrument(); err != nil {
+			return nil, nil, err
+		}
+	}
+	p, err := a.ProfileScenarios(scenarios, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	cov := a.Reach.Coverage(p)
+	if install && a.AnalysisOptions.Constraints != nil {
+		cov.InstallConstraints(a.AnalysisOptions.Constraints)
+	}
+	return cov, p, nil
 }
 
 // classifier builds a fresh classifier per the pipeline configuration.

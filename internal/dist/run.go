@@ -129,6 +129,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Jitter {
 		rng = rand.New(rand.NewSource(cfg.Seed + 0x5eed))
 	}
+	//lint:allow ctxthread Run is the root of a simulation; the clock it builds here is the one threaded everywhere else.
 	clock := NewClock(net, rng)
 	env := com.NewEnv(cfg.App)
 	env.SetClock(clock)

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/reach"
+	"repro/internal/scenario"
+)
+
+// CoverageRow is the result of diffing one application's static
+// reachability graph against its profiled training-scenario suite.
+type CoverageRow struct {
+	App      string
+	Coverage *reach.Coverage
+
+	// Scenario suite the profile combined.
+	Scenarios []string
+
+	// Static graph summary.
+	Sites     int
+	Edges     int
+	Reachable int
+
+	// Coverage summary.
+	SitesCovered int
+	EdgesCovered int
+	Percent      float64
+	// Misses counts observations the static analysis failed to predict
+	// (stale activation metadata — the reverse diff direction).
+	Misses int
+	// Installed counts the uncovered edges installed as conservative
+	// co-location pairs into the app's constraint set.
+	Installed int
+}
+
+// TrainingScenarios returns the profiling-scenario suite used to measure
+// an application's coverage: Table 1 training scenarios for suite apps,
+// and the single default scenario for the quickstart demonstration app.
+func TrainingScenarios(appName string) []string {
+	if appName == "quickstart" {
+		return []string{"default"}
+	}
+	return scenario.TrainingForApp(appName)
+}
+
+// Coverage builds the application, recovers the static reachability graph
+// from its binary, profiles the given scenarios, and diffs the two.
+// Uncovered class-to-class edges are installed into the pipeline's
+// constraint set so the row reflects what a coverage-constrained analysis
+// would honor.
+func Coverage(appName string, scenarios []string) (*CoverageRow, error) {
+	app, err := scenario.NewApp(appName)
+	if err != nil {
+		return nil, err
+	}
+	adps := core.New(app)
+	if adps.Reach == nil {
+		return nil, fmt.Errorf("experiments: %s: no reachability graph (missing activation relocation records)", appName)
+	}
+	if len(scenarios) == 0 {
+		scenarios = TrainingScenarios(appName)
+	}
+	cov, _, err := adps.CoverageReport(scenarios, false)
+	if err != nil {
+		return nil, err
+	}
+	installed := 0
+	if adps.AnalysisOptions.Constraints != nil {
+		installed = cov.InstallConstraints(adps.AnalysisOptions.Constraints)
+	}
+	row := &CoverageRow{
+		App:       appName,
+		Coverage:  cov,
+		Scenarios: scenarios,
+		Reachable: len(adps.Reach.Reachable),
+		Percent:   cov.Percent(),
+		Misses:    len(cov.Misses),
+		Installed: installed,
+	}
+	row.SitesCovered, row.Sites = cov.SitesCovered()
+	row.EdgesCovered, row.Edges = cov.EdgesCovered()
+	return row, nil
+}
+
+// CoverageAll measures scenario coverage for every suite application with
+// its full training suite.
+func CoverageAll() ([]*CoverageRow, error) {
+	var rows []*CoverageRow
+	for _, appName := range scenario.Apps() {
+		row, err := Coverage(appName, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

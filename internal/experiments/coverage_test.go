@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestCoverageAllApps is the acceptance gate for the scenario-coverage
+// analysis: every suite application's static metadata must fully explain
+// its profiled training suite (zero misses), and the over-approximate
+// static graph must be non-trivial.
+func TestCoverageAllApps(t *testing.T) {
+	t.Parallel()
+	rows, err := CoverageAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("measured %d apps, want 3", len(rows))
+	}
+	for _, row := range rows {
+		if row.Misses != 0 {
+			t.Errorf("%s: %d static misses (stale activation metadata): %v",
+				row.App, row.Misses, row.Coverage.Misses)
+		}
+		if row.Sites == 0 || row.Edges == 0 {
+			t.Errorf("%s: trivial static graph (%d sites, %d edges)", row.App, row.Sites, row.Edges)
+		}
+		if row.SitesCovered != row.Sites {
+			t.Errorf("%s: training suite leaves activation sites unexercised (%d/%d)",
+				row.App, row.SitesCovered, row.Sites)
+		}
+		if row.Percent < 50 {
+			t.Errorf("%s: coverage %.1f%% below sanity floor", row.App, row.Percent)
+		}
+	}
+}
+
+// TestCoverageQuickstartRow pins the demonstration app's numbers: the
+// deliberately unprofiled print-preview path keeps it below 100%.
+func TestCoverageQuickstartRow(t *testing.T) {
+	t.Parallel()
+	row, err := Coverage("quickstart", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Percent >= 100 {
+		t.Errorf("quickstart fully covered (%.1f%%); the gate example lost its uncovered edge", row.Percent)
+	}
+	if row.Installed == 0 {
+		t.Error("quickstart installed no coverage constraints")
+	}
+	if row.Misses != 0 {
+		t.Errorf("quickstart misses: %v", row.Coverage.Misses)
+	}
+}

@@ -21,6 +21,9 @@ type InstRecord struct {
 	Classification        string
 	CreatorClassification string
 	Order                 int
+	// Path is the activation call path: the classes of the component
+	// instances on the stack at the instantiation, innermost first.
+	Path []string
 }
 
 // CallRecord describes one inter-component interface call.
@@ -101,6 +104,7 @@ func (l *Profiling) Instantiation(rec InstRecord) {
 		Classification:        rec.Classification,
 		CreatorClassification: rec.CreatorClassification,
 		Order:                 rec.Order,
+		Path:                  rec.Path,
 	})
 }
 

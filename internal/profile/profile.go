@@ -108,6 +108,11 @@ type InstanceRecord struct {
 	Classification        string
 	CreatorClassification string
 	Order                 int
+	// Path is the activation call path: the classes of the component
+	// instances on the stack at the instantiation, innermost first (empty
+	// when the main program activated directly). The reachability coverage
+	// analysis joins it against static activation sites.
+	Path []string
 }
 
 // ClassificationInfo aggregates the instances grouped under one
@@ -116,6 +121,9 @@ type ClassificationInfo struct {
 	ID        string
 	Class     string
 	Instances int64
+	// Path is the activation call path observed at the classification's
+	// first instantiation (see InstanceRecord.Path).
+	Path []string
 }
 
 // Profile is a complete ICC profile: the output of one or more profiling
@@ -177,6 +185,9 @@ func (p *Profile) AddInstance(rec InstanceRecord) {
 		ci = &ClassificationInfo{ID: rec.Classification, Class: rec.Class}
 		p.Classifications[rec.Classification] = ci
 	}
+	if ci.Path == nil && len(rec.Path) > 0 {
+		ci.Path = append([]string(nil), rec.Path...)
+	}
 	ci.Instances++
 }
 
@@ -199,9 +210,15 @@ func (p *Profile) Merge(other *Profile) error {
 	for id, ci := range other.Classifications {
 		mine := p.Classifications[id]
 		if mine == nil {
-			p.Classifications[id] = &ClassificationInfo{ID: id, Class: ci.Class, Instances: ci.Instances}
+			p.Classifications[id] = &ClassificationInfo{
+				ID: id, Class: ci.Class, Instances: ci.Instances,
+				Path: append([]string(nil), ci.Path...),
+			}
 		} else {
 			mine.Instances += ci.Instances
+			if mine.Path == nil && len(ci.Path) > 0 {
+				mine.Path = append([]string(nil), ci.Path...)
+			}
 		}
 	}
 	p.Instances = append(p.Instances, other.Instances...)

@@ -1,0 +1,49 @@
+package reach_test
+
+import (
+	"testing"
+
+	"repro/internal/apps/quickstart"
+	"repro/internal/binimg"
+	"repro/internal/reach"
+)
+
+// FuzzReachScan feeds arbitrary bytes into an activation relocation
+// section. The scanner must either parse them or return an error — a
+// corrupted image must never panic the analysis.
+func FuzzReachScan(f *testing.F) {
+	f.Add("<main>", []byte("coign-reloc v1\nactivate CLSID_Crunch\n"))
+	f.Add("CLSID_Crunch", []byte("coign-reloc v1\ndynamic\nactivate CLSID_View\n"))
+	f.Add("", []byte("coign-reloc v1\n"))
+	f.Add("CLSID_Crunch", []byte("not a record"))
+	f.Add("CLSID_Crunch", []byte("coign-reloc v1\nactivate \n"))
+	f.Add("CLSID_Crunch", []byte("coign-reloc v1\r\nactivate CLSID_Store\n"))
+	f.Add("<main>", []byte{0x00, 0xff, 0xfe})
+
+	f.Fuzz(func(t *testing.T, owner string, payload []byte) {
+		app := quickstart.New()
+		img := binimg.BuildImage(app)
+		img.Sections = append(img.Sections, binimg.Section{
+			Name: binimg.RelocPrefix + owner,
+			Data: payload,
+		})
+		g, err := reach.Scan(img, app)
+		if err != nil {
+			return
+		}
+		if g == nil {
+			t.Fatal("nil graph without error")
+		}
+		// A successful scan must still be internally consistent.
+		for _, s := range g.Sites {
+			if !g.HasSite(s.Creator, s.Target) {
+				t.Fatalf("site list and index disagree on %v", s)
+			}
+		}
+		for _, e := range g.Edges {
+			if !g.HasEdge(e.Src, e.Dst) {
+				t.Fatalf("edge list and index disagree on %v", e)
+			}
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/apps/benefits"
 	"repro/internal/apps/octarine"
 	"repro/internal/apps/photodraw"
+	"repro/internal/apps/quickstart"
 	"repro/internal/com"
 )
 
@@ -62,6 +63,10 @@ func NewApp(name string) (*com.App, error) {
 		return photodraw.New(), nil
 	case "benefits":
 		return benefits.New(), nil
+	case "quickstart":
+		// The demonstration application of the quick-start example; not
+		// part of the Table 1 suite, but buildable for the coverage gate.
+		return quickstart.New(), nil
 	default:
 		return nil, fmt.Errorf("scenario: unknown application %q", name)
 	}

@@ -93,6 +93,12 @@ type ConstraintSet struct {
 	// Interfaces holds the remotability classification of every
 	// interface, keyed by IID.
 	Interfaces map[string]*InterfaceReport `json:"interfaces"`
+	// CoveragePairs lists conservative co-location pairs derived from the
+	// reachability coverage diff: statically possible ICC edges the
+	// training scenarios never exercised. Unlike Pairs they do not reflect
+	// remotability — crossing them is legal, just unpriced — so they weld
+	// graph edges but are not enforced by CheckCut.
+	CoveragePairs []Pair `json:"coveragePairs,omitempty"`
 
 	model *Model
 	// fullyNonRemotable marks classes whose entire interface surface is
@@ -100,6 +106,8 @@ type ConstraintSet struct {
 	fullyNonRemotable map[string]bool
 	// pairIndex indexes Pairs for O(1) lookups.
 	pairIndex map[[2]string]string
+	// coverageIndex indexes CoveragePairs (unordered class pairs).
+	coverageIndex map[[2]string]bool
 }
 
 // Derive runs the constraint-derivation pass over the scanned model and
@@ -196,9 +204,36 @@ func (cs *ConstraintSet) addPair(a, b, iid, reason string) {
 	cs.Pairs = append(cs.Pairs, Pair{A: key[0], B: key[1], IID: iid, Reason: reason})
 }
 
+// AddCoveragePair records a conservative co-location pair between two
+// classes, typically from the reachability coverage diff (see package
+// reach). Pairs already covered by a remotability constraint or a
+// previous coverage pair are not duplicated. Reports whether the pair was
+// added.
+func (cs *ConstraintSet) AddCoveragePair(a, b, iid, reason string) bool {
+	if a == b || a == "" || b == "" {
+		return false
+	}
+	key := [2]string{a, b}
+	if a > b {
+		key = [2]string{b, a}
+	}
+	if _, dup := cs.pairIndex[key]; dup {
+		return false
+	}
+	if cs.coverageIndex == nil {
+		cs.coverageIndex = make(map[[2]string]bool)
+	}
+	if cs.coverageIndex[key] {
+		return false
+	}
+	cs.coverageIndex[key] = true
+	cs.CoveragePairs = append(cs.CoveragePairs, Pair{A: key[0], B: key[1], IID: iid, Reason: reason})
+	return true
+}
+
 // Empty reports whether the set constrains nothing.
 func (cs *ConstraintSet) Empty() bool {
-	return cs == nil || (len(cs.Pins) == 0 && len(cs.Pairs) == 0)
+	return cs == nil || (len(cs.Pins) == 0 && len(cs.Pairs) == 0 && len(cs.CoveragePairs) == 0)
 }
 
 // NonRemotableInterfaces returns the sorted IIDs classified non-remotable.
@@ -274,8 +309,10 @@ func (cs *ConstraintSet) ClassMayPassOpaque(class string) bool {
 
 // ApplyStats summarizes what applying a constraint set did to a graph.
 type ApplyStats struct {
-	Pins        int // classifications pinned to a terminal
-	CoLocations int // profile edges welded by static constraints
+	Pins                int // classifications pinned to a terminal
+	CoLocations         int // profile edges welded by static constraints
+	CoverageCoLocations int // classification pairs welded by coverage pairs
+	CoverageUnsatisfied int // coverage pairs skipped: endpoints pinned apart
 }
 
 // ApplyToGraph installs the constraint set into a communication graph
@@ -309,6 +346,36 @@ func (cs *ConstraintSet) ApplyToGraph(g *graph.Graph, p *profile.Profile) ApplyS
 		if _, weld := cs.MustCoLocate(srcClass, dstClass); weld {
 			g.CoLocate(k.Src, k.Dst)
 			st.CoLocations++
+		}
+	}
+
+	// Coverage pairs weld classes the scenarios produced no traffic
+	// evidence for, so there need not be a profile edge between them: weld
+	// the cross-product of the two classes' classifications. A pair whose
+	// endpoints the location rules pin to different machines cannot be
+	// honored without making the graph infeasible; it is counted and
+	// skipped (the cut then relies on the pins, as before).
+	if len(cs.CoveragePairs) > 0 {
+		byClass := make(map[string][]string)
+		for id, ci := range p.Classifications {
+			byClass[ci.Class] = append(byClass[ci.Class], id)
+		}
+		for _, cls := range byClass {
+			sort.Strings(cls)
+		}
+		for _, pair := range cs.CoveragePairs {
+			pa, oka := cs.Pins[pair.A]
+			pb, okb := cs.Pins[pair.B]
+			if oka && okb && pa.Machine != pb.Machine {
+				st.CoverageUnsatisfied++
+				continue
+			}
+			for _, a := range byClass[pair.A] {
+				for _, b := range byClass[pair.B] {
+					g.CoLocate(a, b)
+					st.CoverageCoLocations++
+				}
+			}
 		}
 	}
 	return st

@@ -85,9 +85,14 @@ func ScanImage(img *binimg.Image, app *com.App) (*Model, error) {
 		m.Mode = string(img.Config.Mode)
 	}
 
-	// Index the image's component code sections by CLSID.
+	// Index the image's component code sections by CLSID. Activation
+	// relocation records belong to the reachability analysis (package
+	// reach), not this model; they are recognized, not orphaned.
 	sectionSize := make(map[string]int)
 	for _, s := range img.Sections {
+		if strings.HasPrefix(s.Name, binimg.RelocPrefix) {
+			continue
+		}
 		clsid, ok := strings.CutPrefix(s.Name, sectionPrefix)
 		if !ok || clsid == "" {
 			m.OrphanSections = append(m.OrphanSections, s.Name)

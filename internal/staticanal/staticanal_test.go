@@ -339,6 +339,61 @@ func TestVerifierOnSeedScenarios(t *testing.T) {
 	}
 }
 
+// TestVerifierOctarineWithCoverageConstraints pins the verifier's
+// behaviour on the largest suite application after the scenario-coverage
+// gate installs its conservative constraints: the static model must
+// explain every observed activation (no misses), the uncovered-edge welds
+// must hold in the chosen cut, and the cross-join must stay silent — no
+// warnings, no errors.
+func TestVerifierOctarineWithCoverageConstraints(t *testing.T) {
+	t.Parallel()
+	adps := core.New(octarine.New())
+	cov, prof, err := adps.CoverageReport(scenario.TrainingForApp("octarine"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cov.Misses) != 0 {
+		t.Fatalf("octarine static misses: %v", cov.Misses)
+	}
+	if len(cov.UncoveredEdges()) == 0 {
+		t.Fatal("octarine training scenarios unexpectedly cover the whole static graph")
+	}
+	// One concrete uncovered edge the gate must weld: the toolbar holds
+	// its buttons but never calls them on the training scenarios.
+	if _, ok := adps.AnalysisOptions.Constraints.MustCoLocate("Toolbar", "ToolButton"); !ok {
+		t.Error("Toolbar/ToolButton coverage weld missing")
+	}
+
+	res, err := adps.Analyze(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 {
+		t.Errorf("verifier findings with coverage constraints: %v", res.Findings)
+	}
+	if res.CoverageCoLocations == 0 {
+		t.Error("no coverage welds took effect in the graph")
+	}
+	machine := func(class string) map[com.Machine]bool {
+		out := make(map[com.Machine]bool)
+		for id, m := range res.Distribution {
+			if ci := prof.Classifications[id]; ci != nil && ci.Class == class {
+				out[m] = true
+			}
+		}
+		return out
+	}
+	tb, btn := machine("Toolbar"), machine("ToolButton")
+	if len(tb) != 1 || len(btn) != 1 {
+		t.Fatalf("split placements: Toolbar=%v ToolButton=%v", tb, btn)
+	}
+	for m := range tb {
+		if !btn[m] {
+			t.Errorf("coverage weld violated: Toolbar=%v ToolButton=%v", tb, btn)
+		}
+	}
+}
+
 func TestCheckCutFlagsViolations(t *testing.T) {
 	t.Parallel()
 	app := photodraw.New()

@@ -9,6 +9,11 @@
 //	wallclock    no time.Now() in internal/dist (deterministic replay
 //	             paths run on the virtual clock)
 //	paralleltest test functions must call t.Parallel()
+//	typeassert   no unchecked type assertions in internal/com and
+//	             internal/rte (the runtime must degrade to errors, not
+//	             panics, on malformed values)
+//	ctxthread    internal/dist code must thread the ambient context and
+//	             virtual clock, not re-create them mid-path
 //
 // A finding is waived by a comment on the same or the preceding line:
 //
@@ -52,7 +57,7 @@ type Analyzer struct {
 }
 
 // Analyzers is the repository rule set.
-var Analyzers = []*Analyzer{ErrWrap, WallClock, ParallelTest}
+var Analyzers = []*Analyzer{ErrWrap, WallClock, ParallelTest, TypeAssert, CtxThread}
 
 // ErrWrap reports fmt.Errorf calls that pass an error value without
 // wrapping it via %w, which breaks errors.Is/errors.As up the call chain.
@@ -142,6 +147,112 @@ var ParallelTest = &Analyzer{
 		}
 		return out
 	},
+}
+
+// TypeAssert reports unchecked type assertions x.(T) in the COM runtime
+// packages. A wrong dynamic type there must surface as an error the
+// caller can handle — an interception layer that panics on a malformed
+// value takes the whole process with it. The comma-ok form and type
+// switches are fine.
+var TypeAssert = &Analyzer{
+	Name: "typeassert",
+	Doc:  "no unchecked type assertions in internal/com and internal/rte",
+	Run: func(f *File) []Diagnostic {
+		if !strings.Contains(f.Path, "internal/com/") && !strings.Contains(f.Path, "internal/rte/") {
+			return nil
+		}
+		checked := checkedAsserts(f.AST)
+		var out []Diagnostic
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			ta, ok := n.(*ast.TypeAssertExpr)
+			if !ok || ta.Type == nil || checked[ta] {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Pos:     f.Fset.Position(ta.Pos()),
+				Rule:    "typeassert",
+				Message: "unchecked type assertion; use the comma-ok form and return an error",
+			})
+			return true
+		})
+		return out
+	},
+}
+
+// checkedAsserts collects the type assertions that appear as the sole RHS
+// of a two-value assignment (v, ok := x.(T)), i.e. the comma-ok form.
+func checkedAsserts(root ast.Node) map[*ast.TypeAssertExpr]bool {
+	out := make(map[*ast.TypeAssertExpr]bool)
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == 2 && len(st.Rhs) == 1 {
+				if ta, ok := st.Rhs[0].(*ast.TypeAssertExpr); ok {
+					out[ta] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == 2 && len(st.Values) == 1 {
+				if ta, ok := st.Values[0].(*ast.TypeAssertExpr); ok {
+					out[ta] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// CtxThread reports fresh context or virtual-clock construction inside the
+// distributed runtime. Both carry the deterministic-replay state for an
+// entire run: re-creating either mid-path silently forks that state, so
+// they must be threaded from the caller. clock.go (the clock's own
+// definition) and tests are exempt.
+var CtxThread = &Analyzer{
+	Name: "ctxthread",
+	Doc:  "thread context and the virtual clock through internal/dist, do not re-create them",
+	Run: func(f *File) []Diagnostic {
+		if !strings.Contains(f.Path, "internal/dist/") ||
+			strings.HasSuffix(f.Path, "_test.go") ||
+			strings.HasSuffix(f.Path, "/clock.go") {
+			return nil
+		}
+		var out []Diagnostic
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			var msg string
+			switch {
+			case isPkgFunc(call.Fun, "context", "Background"), isPkgFunc(call.Fun, "context", "TODO"):
+				msg = "fresh context in internal/dist; thread the caller's context instead"
+			case isFuncNamed(call.Fun, "NewClock"):
+				msg = "virtual clock constructed mid-path; thread the run's clock instead"
+			default:
+				return true
+			}
+			out = append(out, Diagnostic{
+				Pos:     f.Fset.Position(call.Pos()),
+				Rule:    "ctxthread",
+				Message: msg,
+			})
+			return true
+		})
+		return out
+	},
+}
+
+// isFuncNamed reports whether e names the function fun, either bare or
+// through a package selector.
+func isFuncNamed(e ast.Expr, fun string) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name == fun
+	case *ast.SelectorExpr:
+		return v.Sel.Name == fun
+	}
+	return false
 }
 
 // isPkgFunc reports whether e is a selector pkg.Fun on a plain package

@@ -103,6 +103,75 @@ func BenchmarkX(b *testing.B) {}
 	}
 }
 
+func TestTypeAssert(t *testing.T) {
+	t.Parallel()
+	src := `package com
+func f(v any) *int {
+	return v.(*int)
+}
+`
+	ds := check(t, "internal/com/env.go", src)
+	if len(ds) != 1 || ds[0].Rule != "typeassert" {
+		t.Fatalf("diagnostics = %v, want one typeassert", ds)
+	}
+	// internal/rte is in scope too, including its tests.
+	if ds := check(t, "internal/rte/rte_test.go", src); len(ds) != 1 {
+		t.Fatalf("typeassert did not fire in internal/rte test: %v", ds)
+	}
+	// Outside the runtime packages the rule does not apply.
+	if ds := check(t, "internal/apps/octarine/gui.go", src); len(ds) != 0 {
+		t.Fatalf("typeassert fired outside internal/com and internal/rte: %v", ds)
+	}
+	// The comma-ok forms and type switches are fine.
+	good := `package com
+var global, globalOK = any(1).(int)
+func f(v any) (*int, bool) {
+	p, ok := v.(*int)
+	switch v.(type) {
+	case string:
+	}
+	switch w := v.(type) {
+	case int:
+		_ = w
+	}
+	return p, ok
+}
+`
+	if ds := check(t, "internal/com/env.go", good); len(ds) != 0 {
+		t.Fatalf("checked assertions flagged: %v", ds)
+	}
+}
+
+func TestCtxThread(t *testing.T) {
+	t.Parallel()
+	src := `package dist
+import "context"
+func f() {
+	ctx := context.Background()
+	_ = ctx
+	_ = context.TODO()
+	clock := NewClock(nil, nil)
+	_ = clock
+}
+`
+	ds := check(t, "internal/dist/run.go", src)
+	if got := rules(ds); len(got) != 3 || got[0] != "ctxthread" {
+		t.Fatalf("diagnostics = %v, want three ctxthread", ds)
+	}
+	// clock.go itself constructs the clock; it is exempt.
+	if ds := check(t, "internal/dist/clock.go", src); len(ds) != 0 {
+		t.Fatalf("ctxthread fired in clock.go: %v", ds)
+	}
+	// Tests are exempt.
+	if ds := check(t, "internal/dist/run_test.go", src); len(ds) != 0 {
+		t.Fatalf("ctxthread fired in a test file: %v", ds)
+	}
+	// Outside internal/dist the rule does not apply.
+	if ds := check(t, "internal/core/adps.go", src); len(ds) != 0 {
+		t.Fatalf("ctxthread fired outside internal/dist: %v", ds)
+	}
+}
+
 func TestWaivers(t *testing.T) {
 	t.Parallel()
 	sameLine := `package dist
