@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// cmdBenchCut sweeps the cut engine over synthetic ICC graphs, printing a
+// table and optionally writing the machine-readable report that CI
+// archives. The run fails when any algorithm disagrees with the oracle,
+// so the benchmark doubles as a correctness gate.
+func cmdBenchCut(args []string) error {
+	fs := flag.NewFlagSet("bench-cut", flag.ExitOnError)
+	sizes := fs.String("sizes", "1000,3000,10000,30000,100000", "comma-separated node counts")
+	seed := fs.Int64("seed", 1, "workload seed (same seed, same graphs)")
+	degree := fs.Int("degree", 0, "average attachment degree (0 = generator default)")
+	oracleMax := fs.Int("oracle-max", 30000, "largest size the Edmonds-Karp oracle runs at (0 = default cap)")
+	oldMax := fs.Int("old-max", 0, "largest size the legacy relabel-to-front path runs at (0 = unlimited)")
+	repeat := fs.Int("repeat", 3, "timed repetitions per algorithm (best-of)")
+	jsonPath := fs.String("json", "", "write the report as JSON to this file")
+	quiet := fs.Bool("q", false, "suppress per-size progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.CutBenchConfig{
+		Seed:      *seed,
+		AvgDegree: *degree,
+		OracleMax: *oracleMax,
+		OldMax:    *oldMax,
+		Repeat:    *repeat,
+	}
+	for _, s := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 2 {
+			return fmt.Errorf("bad -sizes entry %q", s)
+		}
+		cfg.Sizes = append(cfg.Sizes, n)
+	}
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	rep, err := experiments.RunCutBench(cfg, progress)
+	if err != nil {
+		return err
+	}
+	experiments.PrintCutBench(os.Stdout, rep)
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
+}

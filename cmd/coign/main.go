@@ -17,6 +17,7 @@
 //	coign chaos -scenario o_oldwp7 [-drop 0.05]  run under injected network faults
 //	coign adapt -scenario o_oldwp7               re-partition across network generations (§4.4)
 //	coign overhead [-scenario o_oldwp0]          instrumentation overhead (§3.2)
+//	coign bench-cut [-sizes 1000,...,100000]     cut-engine benchmark on synthetic ICC graphs
 //	coign check [-app all] [-json out.json]      static constraint analysis + verification
 //	coign coverage [-app all] [-fail-under 70]   activation-reachability scenario coverage
 //	coign instrument -app octarine -o app.img    rewrite a binary for profiling
@@ -85,6 +86,8 @@ func main() {
 		err = cmdProfile(args)
 	case "analyze":
 		err = cmdAnalyze(args)
+	case "bench-cut":
+		err = cmdBenchCut(args)
 	case "check":
 		err = cmdCheck(args)
 	case "coverage":
@@ -121,6 +124,7 @@ commands:
   overhead    instrumentation overhead measurements
   drift       watchdog: detect usage drift from the profiled scenarios
   cache       per-interface caching (semi-custom marshaling) effect
+  bench-cut   cut-engine benchmark sweep over synthetic ICC graphs
   check       static constraint analysis: remotability, pins, co-location
   coverage    diff static activation reachability against profiled scenarios
   instrument  rewrite an application binary for profiling

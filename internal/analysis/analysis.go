@@ -2,8 +2,8 @@
 // it combines component communication profiles and component location
 // constraints into an abstract inter-component communication graph,
 // concretizes it with a network profile into communication times, cuts it
-// with the lift-to-front minimum-cut algorithm, and emits the distribution
-// the component factory will enforce.
+// with the highest-label push-relabel minimum-cut algorithm, and emits the
+// distribution the component factory will enforce.
 package analysis
 
 import (
@@ -52,7 +52,7 @@ type Options struct {
 type Result struct {
 	// Graph is the concrete (network-priced) ICC graph.
 	Graph *graph.Graph
-	// Cut is the minimum cut chosen by the lift-to-front algorithm.
+	// Cut is the minimum cut chosen by the push-relabel core.
 	Cut *graph.Cut
 	// Distribution maps every classification to a machine.
 	Distribution map[string]com.Machine
@@ -60,8 +60,15 @@ type Result struct {
 	// under the network profile.
 	PredictedComm time.Duration
 	// DefaultComm is the predicted communication time of the developer's
-	// default distribution (classes at their Home machines).
+	// default distribution (classes at their Home machines), priced with
+	// true edge weights even when that distribution violates constraints.
 	DefaultComm time.Duration
+	// DefaultViolations counts co-location constraints the default
+	// distribution splits. A non-zero value means the default placement is
+	// not actually realizable (a non-remotable interface would cross the
+	// network); DefaultComm still reports the finite communication time so
+	// savings stay meaningful.
+	DefaultViolations int
 	// ServerClassifications and ClientClassifications count cut sides.
 	ServerClassifications int
 	ClientClassifications int
@@ -214,7 +221,12 @@ func Analyze(p *profile.Profile, np *netsim.Profile, app *com.App, opts Options)
 		}
 		def[id] = side
 	}
-	res.DefaultComm = time.Duration(g.EvaluateAssignment(def) * float64(time.Second))
+	// Price the default with true weights: collapsing to +Inf here used to
+	// overflow the duration conversion into garbage whenever the default
+	// split a co-located pair. The violation count is reported alongside.
+	defW, defViol := g.EvaluateAssignmentDetail(def)
+	res.DefaultComm = time.Duration(defW * float64(time.Second))
+	res.DefaultViolations = defViol
 
 	// Verifier: cross-check the static prediction against the observed ICC
 	// and the chosen cut against every constraint. With the constraints

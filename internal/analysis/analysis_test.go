@@ -151,6 +151,69 @@ func TestAnalyzeNonRemotableForcesColocation(t *testing.T) {
 	}
 }
 
+// Regression: when the developer's default distribution split a
+// co-located pair, EvaluateAssignment returned +Inf and the duration
+// conversion overflowed DefaultComm into garbage (minimum int64), which
+// zeroed Savings. The default is now priced with true edge weights and the
+// infeasibility is surfaced as DefaultViolations.
+func TestAnalyzeDefaultCommSurvivesSplitCoLocation(t *testing.T) {
+	t.Parallel()
+	// Worker lives on the server by default but carries no pinning
+	// evidence (not infrastructure, no APIs), so the instance stays
+	// satisfiable: the cut is free to pull it to the client.
+	classes := com.NewClassRegistry()
+	classes.Register(&com.Class{ID: "C_GUI", Name: "GUI",
+		APIs: []string{com.APIUserWindow}, New: nopObject})
+	classes.Register(&com.Class{ID: "C_Worker", Name: "Worker",
+		Home: com.Server, New: nopObject})
+	app := &com.App{Name: "bench", Classes: classes}
+
+	p := profile.New("bench", "ifcb")
+	p.Scenarios = []string{"s"}
+	p.AddInstance(profile.InstanceRecord{ID: 1, Class: "GUI", Classification: "gui@1"})
+	p.AddInstance(profile.InstanceRecord{ID: 2, Class: "Worker", Classification: "worker@1"})
+	for i := 0; i < 20; i++ {
+		p.Edge(profile.MainProgram, "gui@1").Record(64, 16, false)
+	}
+	for i := 0; i < 50; i++ {
+		p.Edge("gui@1", "worker@1").Record(256, 1024, false)
+	}
+	// The opaque interface welds the pair; the default (gui on client,
+	// worker at its server home) splits it.
+	p.Edge("gui@1", "worker@1").NonRemotable = true
+
+	res, err := Analyze(p, np(), app, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DefaultComm <= 0 {
+		t.Errorf("DefaultComm = %v, want a positive finite duration", res.DefaultComm)
+	}
+	if res.DefaultViolations != 1 {
+		t.Errorf("DefaultViolations = %d, want 1", res.DefaultViolations)
+	}
+	// The chosen distribution honors the weld.
+	if res.Distribution["worker@1"] != res.Distribution["gui@1"] {
+		t.Error("cut split the co-located pair")
+	}
+	// With the pair welded on the client, all profiled traffic stays
+	// local and the default's crossing weight becomes pure savings.
+	if res.PredictedComm >= res.DefaultComm {
+		t.Errorf("predicted %v not better than default %v", res.PredictedComm, res.DefaultComm)
+	}
+	if s := res.Savings(); s <= 0 {
+		t.Errorf("Savings = %v, want > 0", s)
+	}
+	// A feasible default reports zero violations.
+	res2, err := Analyze(benchProfile(), np(), benchApp(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.DefaultViolations != 0 {
+		t.Errorf("feasible default reports %d violations", res2.DefaultViolations)
+	}
+}
+
 func TestAnalyzeExtraConstraints(t *testing.T) {
 	t.Parallel()
 	res, err := Analyze(benchProfile(), np(), benchApp(), Options{

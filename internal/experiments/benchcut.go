@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// The cut-engine benchmark harness: synthetic ICC graphs from
+// graph.Synthesize, the production CSR highest-label core timed against
+// the legacy relabel-to-front path and (up to a size cap) the
+// Edmonds–Karp oracle, with every weight cross-checked. `coign bench-cut`
+// drives it and writes BENCH_graphcut.json; CI runs a small-size smoke of
+// the same harness and fails on any oracle divergence.
+
+// CutBenchConfig parameterizes a benchmark run.
+type CutBenchConfig struct {
+	// Sizes are the node counts to sweep (default 1k..100k).
+	Sizes []int
+	// Seed drives the workload generator; equal seeds give equal graphs.
+	Seed int64
+	// AvgDegree, PinFraction, CoLocateFraction, FreeFraction forward to
+	// graph.SynthConfig (zero means that config's default).
+	AvgDegree        int
+	PinFraction      float64
+	CoLocateFraction float64
+	FreeFraction     float64
+	// OracleMax caps the sizes the Edmonds–Karp oracle runs at: EK is
+	// O(V·E²) and already needs minutes at 30k nodes. 0 means 30000.
+	OracleMax int
+	// OldMax caps the sizes the legacy relabel-to-front path runs at.
+	// 0 means unlimited.
+	OldMax int
+	// Repeat is how many times each timed algorithm runs per size; the
+	// fastest run is reported (default 3).
+	Repeat int
+}
+
+func (c CutBenchConfig) withDefaults() CutBenchConfig {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{1000, 3000, 10000, 30000, 100000}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.OracleMax == 0 {
+		c.OracleMax = 30000
+	}
+	if c.Repeat <= 0 {
+		c.Repeat = 3
+	}
+	return c
+}
+
+// CutBenchRow is one size point of the sweep.
+type CutBenchRow struct {
+	Nodes       int     `json:"nodes"`
+	Edges       int     `json:"edges"`
+	Pins        int     `json:"pins"`
+	CoLocations int     `json:"colocations"`
+	Weight      float64 `json:"cut_weight"`
+
+	// NewNS is the production CSR highest-label core's wall time
+	// (best of Repeat), in nanoseconds; NewAllocBytes its total heap
+	// allocation for one build+cut.
+	NewNS         int64  `json:"new_ns"`
+	NewAllocBytes uint64 `json:"new_alloc_bytes"`
+
+	// OldNS and OracleNS are the legacy relabel-to-front and Edmonds–Karp
+	// times; zero when the size cap skipped the algorithm.
+	OldNS    int64 `json:"old_ns"`
+	OracleNS int64 `json:"oracle_ns"`
+
+	// Speedup is OldNS/NewNS (0 when the old path was skipped).
+	Speedup float64 `json:"speedup_old_over_new"`
+	// WeightsAgree is true when every algorithm that ran returned the
+	// same cut weight (within 1e-6 relative tolerance).
+	WeightsAgree bool `json:"weights_agree"`
+}
+
+// CutBenchReport is the full benchmark output, serialized to
+// BENCH_graphcut.json.
+type CutBenchReport struct {
+	Seed      int           `json:"seed"`
+	OracleMax int           `json:"oracle_max_nodes"`
+	Repeat    int           `json:"repeat"`
+	Rows      []CutBenchRow `json:"rows"`
+}
+
+// timeCut runs fn Repeat times on freshly synthesized copies of the
+// workload and returns the fastest wall time plus the last cut.
+func timeCut(repeat int, mk func() *graph.Graph, cut func(*graph.Graph) (*graph.Cut, error)) (time.Duration, *graph.Cut, error) {
+	best := time.Duration(math.MaxInt64)
+	var last *graph.Cut
+	for r := 0; r < repeat; r++ {
+		g := mk()
+		start := time.Now()
+		c, err := cut(g)
+		elapsed := time.Since(start)
+		if err != nil {
+			return 0, nil, err
+		}
+		if elapsed < best {
+			best = elapsed
+		}
+		last = c
+	}
+	return best, last, nil
+}
+
+// RunCutBench sweeps the configured sizes. Any weight divergence between
+// the production core and an oracle that ran is an error — the benchmark
+// doubles as a correctness gate.
+func RunCutBench(cfg CutBenchConfig, progress io.Writer) (*CutBenchReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &CutBenchReport{Seed: int(cfg.Seed), OracleMax: cfg.OracleMax, Repeat: cfg.Repeat}
+	for _, n := range cfg.Sizes {
+		mk := func() *graph.Graph {
+			return graph.Synthesize(graph.SynthConfig{
+				Nodes:            n,
+				AvgDegree:        cfg.AvgDegree,
+				PinFraction:      cfg.PinFraction,
+				CoLocateFraction: cfg.CoLocateFraction,
+				FreeFraction:     cfg.FreeFraction,
+				Seed:             cfg.Seed,
+			})
+		}
+		g := mk()
+		row := CutBenchRow{
+			Nodes:       g.Len(),
+			Edges:       g.Edges(),
+			Pins:        g.Pins(),
+			CoLocations: g.CoLocations(),
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "n=%d (%d edges): highest-label...", row.Nodes, row.Edges)
+		}
+
+		// Allocation footprint of one build+cut on the production path.
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		warm, err := g.MinCut()
+		if err != nil {
+			return nil, fmt.Errorf("bench-cut: n=%d: %w", n, err)
+		}
+		runtime.ReadMemStats(&after)
+		row.NewAllocBytes = after.TotalAlloc - before.TotalAlloc
+		row.Weight = warm.Weight
+
+		newT, newCut, err := timeCut(cfg.Repeat, mk, (*graph.Graph).MinCut)
+		if err != nil {
+			return nil, fmt.Errorf("bench-cut: n=%d: %w", n, err)
+		}
+		row.NewNS = newT.Nanoseconds()
+		row.WeightsAgree = true
+		tol := 1e-6 * (1 + newCut.Weight)
+
+		if cfg.OldMax == 0 || n <= cfg.OldMax {
+			if progress != nil {
+				fmt.Fprintf(progress, " relabel-to-front...")
+			}
+			oldT, oldCut, err := timeCut(cfg.Repeat, mk, (*graph.Graph).MinCutRelabelToFront)
+			if err != nil {
+				return nil, fmt.Errorf("bench-cut: n=%d old: %w", n, err)
+			}
+			row.OldNS = oldT.Nanoseconds()
+			row.Speedup = float64(row.OldNS) / float64(row.NewNS)
+			if math.Abs(oldCut.Weight-newCut.Weight) > tol {
+				row.WeightsAgree = false
+				return rep, fmt.Errorf("bench-cut: n=%d: relabel-to-front weight %v != %v", n, oldCut.Weight, newCut.Weight)
+			}
+		}
+		if n <= cfg.OracleMax {
+			if progress != nil {
+				fmt.Fprintf(progress, " edmonds-karp...")
+			}
+			ekT, ekCut, err := timeCut(1, mk, (*graph.Graph).MinCutEdmondsKarp)
+			if err != nil {
+				return nil, fmt.Errorf("bench-cut: n=%d oracle: %w", n, err)
+			}
+			row.OracleNS = ekT.Nanoseconds()
+			if math.Abs(ekCut.Weight-newCut.Weight) > tol {
+				row.WeightsAgree = false
+				return rep, fmt.Errorf("bench-cut: n=%d: oracle weight %v != %v", n, ekCut.Weight, newCut.Weight)
+			}
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, " done (%.1fms)\n", float64(row.NewNS)/1e6)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// WriteJSON serializes the report (indented, trailing newline).
+func (r *CutBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// PrintCutBench renders the sweep as a table.
+func PrintCutBench(w io.Writer, rep *CutBenchReport) {
+	fmt.Fprintf(w, "%8s %9s %12s %12s %12s %9s %10s %6s\n",
+		"nodes", "edges", "hi-label", "lift-front", "edmonds-k", "speedup", "alloc", "agree")
+	ms := func(ns int64) string {
+		if ns == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	}
+	for _, r := range rep.Rows {
+		speed := "-"
+		if r.Speedup > 0 {
+			speed = fmt.Sprintf("%.1fx", r.Speedup)
+		}
+		fmt.Fprintf(w, "%8d %9d %12s %12s %12s %9s %9.1fM %6v\n",
+			r.Nodes, r.Edges, ms(r.NewNS), ms(r.OldNS), ms(r.OracleNS),
+			speed, float64(r.NewAllocBytes)/1e6, r.WeightsAgree)
+	}
+}

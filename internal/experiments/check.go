@@ -78,15 +78,9 @@ func Check(appName string, scenarios []string) (*CheckRow, error) {
 }
 
 // CheckAll runs Check over every application with its full training
-// scenario suite.
+// scenario suite, one application per worker on a bounded pool.
 func CheckAll() ([]*CheckRow, error) {
-	var rows []*CheckRow
-	for _, appName := range scenario.Apps() {
-		row, err := Check(appName, scenario.TrainingForApp(appName))
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return parallelMap(scenario.Apps(), func(appName string) (*CheckRow, error) {
+		return Check(appName, scenario.TrainingForApp(appName))
+	})
 }

@@ -84,15 +84,9 @@ func Coverage(appName string, scenarios []string) (*CoverageRow, error) {
 }
 
 // CoverageAll measures scenario coverage for every suite application with
-// its full training suite.
+// its full training suite, one application per worker on a bounded pool.
 func CoverageAll() ([]*CoverageRow, error) {
-	var rows []*CoverageRow
-	for _, appName := range scenario.Apps() {
-		row, err := Coverage(appName, nil)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return parallelMap(scenario.Apps(), func(appName string) (*CoverageRow, error) {
+		return Coverage(appName, nil)
+	})
 }

@@ -141,17 +141,17 @@ func RunScenario(name string) (*ScenarioRow, error) {
 
 // Tables4And5 runs every scenario of Table 1 through the pipeline. One
 // pass produces both tables: communication time (Table 4) and execution
-// time prediction accuracy (Table 5).
+// time prediction accuracy (Table 5). Scenarios run concurrently on a
+// bounded worker pool — each builds an independent pipeline — and the rows
+// come back in Table 1 order.
 func Tables4And5() ([]ScenarioRow, error) {
-	var rows []ScenarioRow
-	for _, s := range scenario.Table1() {
+	return parallelMap(scenario.Table1(), func(s scenario.Info) (ScenarioRow, error) {
 		row, err := RunScenario(s.Name)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", s.Name, err)
+			return ScenarioRow{}, fmt.Errorf("experiments: %s: %w", s.Name, err)
 		}
-		rows = append(rows, *row)
-	}
-	return rows, nil
+		return *row, nil
+	})
 }
 
 // FigureRow summarizes one distribution figure.
@@ -164,10 +164,12 @@ type FigureRow struct {
 	PaperNote         string
 }
 
-// figureSpecs maps the paper's distribution figures to scenarios.
-var figureSpecs = []struct {
+// figureSpec maps one of the paper's distribution figures to a scenario.
+type figureSpec struct {
 	figure, scenario, note string
-}{
+}
+
+var figureSpecs = []figureSpec{
 	{"Figure 4", "p_oldmsr", "paper: 8 of 295 components on the server"},
 	{"Figure 5", "o_oldwp7", "paper: 2 of 458 on the server (reader + text properties)"},
 	{"Figure 6", "b_bigone", "paper: 135 of 196 on the middle tier (programmer chose 187)"},
@@ -175,47 +177,46 @@ var figureSpecs = []struct {
 	{"Figure 8", "o_oldbth", "paper: 281 of 786 on the server"},
 }
 
-// Figures regenerates the five distribution figures.
+// Figures regenerates the five distribution figures, one figure per
+// worker on a bounded pool, in the paper's figure order.
 func Figures() ([]FigureRow, error) {
-	var rows []FigureRow
-	for _, spec := range figureSpecs {
+	return parallelMap(figureSpecs, func(spec figureSpec) (FigureRow, error) {
 		info, err := scenario.Lookup(spec.scenario)
 		if err != nil {
-			return nil, err
+			return FigureRow{}, err
 		}
 		app, err := scenario.NewApp(info.App)
 		if err != nil {
-			return nil, err
+			return FigureRow{}, err
 		}
 		adps := core.New(app)
 		if err := adps.Instrument(); err != nil {
-			return nil, err
+			return FigureRow{}, err
 		}
 		p, _, err := adps.ProfileScenario(spec.scenario, false)
 		if err != nil {
-			return nil, err
+			return FigureRow{}, err
 		}
 		res, err := adps.Analyze(p)
 		if err != nil {
-			return nil, err
+			return FigureRow{}, err
 		}
 		coign, err2 := func() (*core.ScenarioReport, error) {
 			adps2 := core.New(app)
 			return adps2.ScenarioExperiment(spec.scenario)
 		}()
 		if err2 != nil {
-			return nil, err2
+			return FigureRow{}, err2
 		}
-		rows = append(rows, FigureRow{
+		return FigureRow{
 			Figure:            spec.figure,
 			Scenario:          spec.scenario,
 			TotalInstances:    coign.TotalInstances,
 			ServerInstances:   coign.ServerInstances,
 			NonRemotableEdges: res.NonRemotableEdges,
 			PaperNote:         spec.note,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Figure4 runs only the PhotoDraw distribution experiment.

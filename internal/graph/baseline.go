@@ -12,7 +12,7 @@ func (g *Graph) MinCutEdmondsKarp() (*Cut, error) {
 	}
 	f, inf := g.build()
 	flow := f.maxFlowEdmondsKarp()
-	return g.extractCut(f, flow, inf)
+	return g.extractCutSides(f.minCutSides(), flow, inf)
 }
 
 func (f *flowNet) maxFlowEdmondsKarp() float64 {
@@ -62,21 +62,41 @@ func (f *flowNet) maxFlowEdmondsKarp() float64 {
 // EvaluateAssignment returns the total weight of edges crossing an
 // arbitrary assignment — the communication time of any proposed
 // distribution, not necessarily a minimum cut. Nodes missing from the
-// assignment count as SourceSide. Crossing an infinite (co-location) edge
-// yields +Inf.
+// assignment count as SourceSide. Splitting a co-located pair yields
+// +Inf.
 func (g *Graph) EvaluateAssignment(assign map[string]Side) float64 {
-	var w float64
+	w, violations := g.EvaluateAssignmentDetail(assign)
+	if violations > 0 {
+		return math.Inf(1)
+	}
+	return w
+}
+
+// EvaluateAssignmentDetail prices an arbitrary assignment with true edge
+// weights and reports constraint violations separately: the finite
+// communication weight crossing the assignment, and the number of
+// co-location constraints the assignment splits. Unlike
+// EvaluateAssignment it never collapses the price to +Inf, so an
+// infeasible default distribution still gets an honest communication
+// time alongside an explicit violation count.
+func (g *Graph) EvaluateAssignmentDetail(assign map[string]Side) (weight float64, violations int) {
 	for e, ew := range g.edges {
 		a := assign[g.names[e[0]]]
 		b := assign[g.names[e[1]]]
 		if a != b {
 			if math.IsInf(ew, 1) {
-				return math.Inf(1)
+				violations++
+				continue
 			}
-			w += ew
+			weight += ew
 		}
 	}
-	return w
+	for e := range g.coloc {
+		if assign[g.names[e[0]]] != assign[g.names[e[1]]] {
+			violations++
+		}
+	}
+	return weight, violations
 }
 
 // AllOn returns the trivial assignment with every node on one side — the

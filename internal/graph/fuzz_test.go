@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCSRBuilder decodes arbitrary bytes into a sequence of graph
+// operations (add-edge, pin, co-locate), builds the CSR flow network, and
+// checks its structural invariants: the reverse-arc mapping is an
+// involution, every arc's reverse lives in the target node's row, offsets
+// are monotone and cover every arc exactly once, and capacities are
+// non-negative. If the resulting instance validates, the production cut
+// must also agree with the Edmonds–Karp oracle.
+func FuzzCSRBuilder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 10, 1, 2, 20, 0x40, 0, 0x41, 2, 0x80, 1, 2})
+	f.Add([]byte{0, 0, 5, 3, 3, 0, 0x40, 7, 0x80, 7, 7})
+	f.Add([]byte{9, 2, 255, 0x80, 9, 2, 0x41, 9, 0x40, 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := New()
+		nodeOf := func(b byte) string { return synthName(int(b % 16)) }
+		for i := 0; i+1 < len(data); {
+			op := data[i]
+			switch {
+			case op == 0x40 || op == 0x41: // pin client / server
+				g.Pin(nodeOf(data[i+1]), Side(op&1))
+				i += 2
+			case op == 0x80 && i+2 < len(data): // co-locate
+				g.CoLocate(nodeOf(data[i+1]), nodeOf(data[i+2]))
+				i += 3
+			case i+2 < len(data): // edge with weight from the third byte
+				g.AddEdge(nodeOf(op), nodeOf(data[i+1]), float64(data[i+2])*0.01)
+				i += 3
+			default:
+				i = len(data)
+			}
+		}
+
+		net, inf := g.buildCSR()
+		if net.n != g.Len()+2 {
+			t.Fatalf("node count %d, want %d", net.n, g.Len()+2)
+		}
+		if len(net.head) != net.n+1 || int(net.head[0]) != 0 || int(net.head[net.n]) != len(net.to) {
+			t.Fatalf("head bounds broken: %d..%d over %d arcs", net.head[0], net.head[net.n], len(net.to))
+		}
+		if len(net.rev) != len(net.to) || len(net.cap) != len(net.to) {
+			t.Fatal("parallel arc arrays disagree on length")
+		}
+		owner := make([]int32, len(net.to))
+		for u := 0; u < net.n; u++ {
+			if net.head[u] > net.head[u+1] {
+				t.Fatalf("head not monotone at node %d", u)
+			}
+			for a := net.head[u]; a < net.head[u+1]; a++ {
+				owner[a] = int32(u)
+			}
+		}
+		for a := range net.to {
+			r := net.rev[a]
+			if int(net.rev[r]) != a {
+				t.Fatalf("rev not an involution at arc %d", a)
+			}
+			if owner[r] != net.to[a] || net.to[r] != owner[a] {
+				t.Fatalf("arc %d: reverse arc lives in node %d, target is %d", a, owner[r], net.to[a])
+			}
+			if net.cap[a] < 0 || math.IsNaN(net.cap[a]) || net.cap[a] > inf {
+				t.Fatalf("arc %d: capacity %v out of range", a, net.cap[a])
+			}
+		}
+
+		if g.Validate() != nil {
+			return
+		}
+		hl, err := g.MinCut()
+		if err != nil {
+			// Feasible pins/welds can still force an unsplittable pair
+			// across the cut via a chain of pinned welds plus direct edges;
+			// both algorithms must agree that is an error.
+			if _, ekErr := g.MinCutEdmondsKarp(); ekErr == nil {
+				t.Fatalf("hl failed (%v) but oracle succeeded", err)
+			}
+			return
+		}
+		ek, err := g.MinCutEdmondsKarp()
+		if err != nil {
+			t.Fatalf("hl succeeded but oracle failed: %v", err)
+		}
+		if math.Abs(hl.Weight-ek.Weight) > 1e-6*(1+hl.Weight) {
+			t.Fatalf("weights diverge: hl=%v ek=%v", hl.Weight, ek.Weight)
+		}
+	})
+}

@@ -1,10 +1,14 @@
 // Package graph implements the inter-component communication graph and the
-// graph-cutting algorithms Coign uses to choose distributions: the exact
-// two-way lift-to-front (relabel-to-front) minimum-cut algorithm of
-// CLRS [paper ref 9] for client–server partitioning, a BFS augmenting-path
-// baseline for cross-checking and ablation, and the isolation-heuristic
-// multiway cut for the paper's future-work extension to three or more
-// machines.
+// graph-cutting algorithms Coign uses to choose distributions: an exact
+// two-way minimum cut via highest-label push-relabel over a flat CSR flow
+// network (the production path, csr.go and hipr.go), the lift-to-front
+// (relabel-to-front) algorithm of CLRS [paper ref 9] retained as the
+// old-vs-new benchmark baseline, a BFS augmenting-path implementation
+// (Edmonds–Karp) as the exact cross-check oracle, and the
+// isolation-heuristic multiway cut for the paper's future-work extension
+// to three or more machines. A seeded synthetic-workload generator
+// (synth.go) produces power-law ICC graphs up to 100k+ nodes for the cut
+// benchmark harness.
 package graph
 
 import (
@@ -30,6 +34,12 @@ type Graph struct {
 	index  map[string]int
 	edges  map[[2]int]float64
 	pinned map[int]Side
+	// coloc holds pair-wise co-location constraints as a side table keyed
+	// like edges. Keeping constraints out of the edge store preserves the
+	// accumulated communication weight of a constrained pair: the engine
+	// reports true edge weights while the cut still treats the pair as
+	// unsplittable.
+	coloc map[[2]int]bool
 }
 
 // New returns an empty graph.
@@ -38,6 +48,7 @@ func New() *Graph {
 		index:  make(map[string]int),
 		edges:  make(map[[2]int]float64),
 		pinned: make(map[int]Side),
+		coloc:  make(map[[2]int]bool),
 	}
 }
 
@@ -113,6 +124,9 @@ func (g *Graph) Pin(name string, s Side) {
 	g.pinned[g.Node(name)] = s
 }
 
+// Pins returns the number of pinned nodes.
+func (g *Graph) Pins() int { return len(g.pinned) }
+
 // Pinned returns the side a node is pinned to, if any.
 func (g *Graph) Pinned(name string) (Side, bool) {
 	i, ok := g.index[name]
@@ -124,28 +138,73 @@ func (g *Graph) Pinned(name string) (Side, bool) {
 }
 
 // CoLocate constrains two nodes to the same machine (the paper's pair-wise
-// constraint, used for endpoints of non-remotable interfaces) by joining
-// them with an effectively infinite edge.
+// constraint, used for endpoints of non-remotable interfaces). The
+// constraint is tracked separately from the edge store, so any
+// communication weight accumulated on the pair — before or after — is
+// preserved.
 func (g *Graph) CoLocate(a, b string) {
 	i, j := g.Node(a), g.Node(b)
+	if i == j {
+		return
+	}
 	if i > j {
 		i, j = j, i
 	}
-	g.edges[[2]int{i, j}] = math.Inf(1)
+	g.coloc[[2]int{i, j}] = true
 }
 
-// Validate reports structural problems: contradictory pins joined by
-// infinite edges make the instance unsatisfiable.
-func (g *Graph) Validate() error {
+// CoLocated reports whether a direct pair-wise constraint joins a and b.
+func (g *Graph) CoLocated(a, b string) bool {
+	i, ok := g.index[a]
+	if !ok {
+		return false
+	}
+	j, ok := g.index[b]
+	if !ok {
+		return false
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return g.coloc[[2]int{i, j}]
+}
+
+// CoLocations returns the number of pair-wise co-location constraints.
+func (g *Graph) CoLocations() int { return len(g.coloc) }
+
+// weldUnion returns a union-find over every unsplittable connection: the
+// co-location side table plus any infinite edge a caller managed to
+// install directly.
+func (g *Graph) weldUnion() *unionFind {
+	uf := newUnionFind(g.Len())
+	for e := range g.coloc {
+		uf.union(e[0], e[1])
+	}
 	for e, w := range g.edges {
-		if !math.IsInf(w, 1) {
+		if math.IsInf(w, 1) {
+			uf.union(e[0], e[1])
+		}
+	}
+	return uf
+}
+
+// Validate reports structural problems: contradictory pins connected by a
+// chain of co-location constraints make the instance unsatisfiable. The
+// check is transitive — A welded to B welded to C with A and C pinned
+// apart is rejected even though no single constraint spans the pins.
+func (g *Graph) Validate() error {
+	uf := g.weldUnion()
+	firstPinned := make(map[int]int) // weld-component root -> pinned node
+	for v, side := range g.pinned {
+		root := uf.find(v)
+		w, ok := firstPinned[root]
+		if !ok {
+			firstPinned[root] = v
 			continue
 		}
-		si, iok := g.pinned[e[0]]
-		sj, jok := g.pinned[e[1]]
-		if iok && jok && si != sj {
-			return fmt.Errorf("graph: nodes %q and %q are co-located but pinned to different machines",
-				g.names[e[0]], g.names[e[1]])
+		if g.pinned[w] != side {
+			return fmt.Errorf("graph: nodes %q and %q are (transitively) co-located but pinned to different machines",
+				g.names[w], g.names[v])
 		}
 	}
 	return nil

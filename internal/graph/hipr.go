@@ -1,0 +1,275 @@
+package graph
+
+import "math"
+
+// Highest-label push-relabel (the hi_pr family of Cherkassky and
+// Goldberg) over the CSR network. Three things distinguish it from the
+// legacy relabel-to-front path in mincut.go:
+//
+//   - selection: active nodes are kept in per-height bucket stacks and
+//     always discharged from the highest label, instead of scanning a
+//     global node list that restarts from the front after every relabel
+//     (the restart is what sends relabel-to-front quadratic on large
+//     graphs);
+//   - the gap heuristic: when a height h empties while smaller heights
+//     below n remain occupied, no residual path through h can reach the
+//     sink, so every node above the gap is lifted to n (dormant) at once;
+//   - periodic global relabeling: after a bounded amount of discharge
+//     work, one reverse BFS from the sink restores exact residual
+//     distances.
+//
+// The run is phase 1 only — a maximum preflow into t. That is enough for
+// a minimum cut: the nodes unable to reach t in the residual network form
+// the source side, every arc leaving that set is saturated, no flow
+// crosses back into it, and excess parked on dormant nodes never reaches
+// t, so the cut capacity equals excess[t] (see csrNet.sourceSide). The
+// excess-return phase the full max-flow algorithm needs is skipped
+// entirely.
+
+// maxFlowHighestLabel runs phase-1 highest-label push-relabel and returns
+// the max-flow value (the preflow accumulated at t).
+func (f *csrNet) maxFlowHighestLabel() float64 {
+	n := f.n
+	if n == 0 || f.s == f.t {
+		return 0
+	}
+	m := len(f.to)
+	height := make([]int32, n)
+	excess := make([]float64, n)
+	cur := make([]int32, n) // current-arc pointer, absolute arc index
+
+	// Active nodes: singly-linked bucket stacks per height < n.
+	activeNext := make([]int32, n)
+	activeHead := make([]int32, n+1)
+	inActive := make([]bool, n)
+	highest := -1
+
+	// All non-dormant, non-terminal nodes: doubly-linked label lists per
+	// height < n, backing the gap heuristic.
+	labelNext := make([]int32, n)
+	labelPrev := make([]int32, n)
+	labelHead := make([]int32, n+1)
+	count := make([]int32, n+1)
+	for h := 0; h <= n; h++ {
+		activeHead[h] = -1
+		labelHead[h] = -1
+	}
+
+	link := func(v int32, h int32) {
+		labelPrev[v] = -1
+		labelNext[v] = labelHead[h]
+		if labelHead[h] != -1 {
+			labelPrev[labelHead[h]] = v
+		}
+		labelHead[h] = v
+		count[h]++
+	}
+	unlink := func(v int32, h int32) {
+		if labelPrev[v] != -1 {
+			labelNext[labelPrev[v]] = labelNext[v]
+		} else {
+			labelHead[h] = labelNext[v]
+		}
+		if labelNext[v] != -1 {
+			labelPrev[labelNext[v]] = labelPrev[v]
+		}
+		count[h]--
+	}
+	activate := func(v int32) {
+		h := height[v]
+		if inActive[v] || int(v) == f.s || int(v) == f.t || h >= int32(n) {
+			return
+		}
+		activeNext[v] = activeHead[h]
+		activeHead[h] = v
+		inActive[v] = true
+		if int(h) > highest {
+			highest = int(h)
+		}
+	}
+	// setHeight moves a non-terminal node between label lists. Dormant
+	// nodes (height n) leave the lists for good.
+	setHeight := func(v int32, newH int32) {
+		oldH := height[v]
+		if oldH < int32(n) {
+			unlink(v, oldH)
+		}
+		height[v] = newH
+		if newH < int32(n) {
+			link(v, newH)
+		}
+	}
+	// gap lifts every node strictly above an emptied height to dormancy:
+	// any residual path to t from above the gap would need a node at the
+	// gap height.
+	gap := func(h int32) {
+		for hh := h + 1; hh < int32(n); hh++ {
+			for labelHead[hh] != -1 {
+				v := labelHead[hh]
+				unlink(v, hh)
+				height[v] = int32(n)
+			}
+		}
+	}
+
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	var work int
+	// workLimit paces global relabeling: one O(n+m) reverse BFS per
+	// O(n+m) discharge work keeps residual distances near exact without
+	// dominating the run.
+	workLimit := 6*n + m/2
+
+	// globalRelabel restores exact residual distances to t and rebuilds
+	// the label lists and active buckets from scratch. Stale active-bucket
+	// entries are discarded by the pop guard in the main loop.
+	globalRelabel := func() {
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue = queue[:0]
+		queue = append(queue, int32(f.t))
+		dist[f.t] = 0
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for a := f.head[x]; a < f.head[x+1]; a++ {
+				v := f.to[a]
+				// v reaches x iff residual(v -> x) > 0.
+				if dist[v] == -1 && f.cap[f.rev[a]] > capEps {
+					dist[v] = dist[x] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for h := 0; h <= n; h++ {
+			activeHead[h] = -1
+			labelHead[h] = -1
+			count[h] = 0
+		}
+		highest = -1
+		for v := 0; v < n; v++ {
+			if v == f.s || v == f.t {
+				continue
+			}
+			h := int32(n)
+			if dist[v] >= 0 && dist[v] < int32(n) {
+				h = dist[v]
+			}
+			if height[v] > h {
+				// Heights never decrease; a label already at or above the
+				// BFS distance stays (dormant nodes stay dormant).
+				h = height[v]
+			}
+			if h > int32(n) {
+				h = int32(n)
+			}
+			height[v] = h
+			inActive[v] = false
+			cur[v] = f.head[v]
+			if h < int32(n) {
+				link(int32(v), h)
+				if excess[v] > capEps {
+					activate(int32(v))
+				}
+			}
+		}
+		height[f.s] = int32(n)
+		height[f.t] = 0
+		work = 0
+	}
+
+	globalRelabel()
+	// Saturate the source's out-arcs to create the initial preflow.
+	for a := f.head[f.s]; a < f.head[f.s+1]; a++ {
+		if f.cap[a] <= capEps {
+			continue
+		}
+		amt := f.cap[a]
+		f.cap[a] = 0
+		f.cap[f.rev[a]] += amt
+		v := f.to[a]
+		excess[v] += amt
+		excess[f.s] -= amt
+		activate(v)
+	}
+
+	for {
+		if work > workLimit {
+			globalRelabel()
+		}
+		for highest >= 0 && activeHead[highest] == -1 {
+			highest--
+		}
+		if highest < 0 {
+			break
+		}
+		u := activeHead[highest]
+		activeHead[highest] = activeNext[u]
+		inActive[u] = false
+		// Pop guard: the gap heuristic and global relabeling leave stale
+		// bucket entries behind rather than unthreading them.
+		if height[u] >= int32(n) || excess[u] <= capEps {
+			continue
+		}
+
+		// Discharge u: push along admissible current arcs, relabel when
+		// they run out, stop when the excess is gone or u goes dormant.
+		for {
+			aEnd := f.head[u+1]
+			a := cur[u]
+			for ; a < aEnd; a++ {
+				if f.cap[a] <= capEps {
+					continue
+				}
+				v := f.to[a]
+				if height[u] != height[v]+1 {
+					continue
+				}
+				amt := excess[u]
+				if f.cap[a] < amt {
+					amt = f.cap[a]
+				}
+				f.cap[a] -= amt
+				f.cap[f.rev[a]] += amt
+				excess[u] -= amt
+				excess[v] += amt
+				if !inActive[v] {
+					activate(v)
+				}
+				if excess[u] <= capEps {
+					break
+				}
+			}
+			work += int(a-cur[u]) + 1
+			if excess[u] <= capEps {
+				// The arc at a may hold leftover capacity; resume there.
+				cur[u] = a
+				break
+			}
+			// Arcs exhausted: relabel to one above the lowest residual
+			// neighbor.
+			oldH := height[u]
+			minH := int32(math.MaxInt32)
+			for a := f.head[u]; a < aEnd; a++ {
+				if f.cap[a] > capEps && height[f.to[a]] < minH {
+					minH = height[f.to[a]]
+				}
+			}
+			work += int(aEnd - f.head[u])
+			newH := int32(n)
+			if minH != int32(math.MaxInt32) && minH+1 < int32(n) {
+				newH = minH + 1
+			}
+			setHeight(u, newH)
+			cur[u] = f.head[u]
+			if count[oldH] == 0 && oldH > 0 && oldH < int32(n) {
+				gap(oldH)
+			}
+			if height[u] >= int32(n) {
+				break // dormant: the remaining excess never reaches t
+			}
+		}
+	}
+	return excess[f.t]
+}

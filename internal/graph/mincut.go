@@ -222,23 +222,31 @@ func (f *flowNet) minCutSides() []bool {
 	return seen
 }
 
-// build constructs the flow network for a two-way cut: graph nodes plus a
-// source terminal (client) and sink terminal (server); pins become
-// infinite-capacity terminal edges. Infinite weights are replaced by a
-// finite capacity exceeding the sum of all finite weights, which no
-// minimum cut can afford to cross.
-func (g *Graph) build() (*flowNet, float64) {
-	n := g.Len()
-	s, t := n, n+1
-	f := newFlowNet(n+2, s, t)
-
+// infinityProxy returns the finite capacity standing in for an infinite
+// (constraint) edge: larger than the sum of all finite weights, so no
+// minimum cut can afford to cross it.
+func (g *Graph) infinityProxy() float64 {
 	var finiteSum float64
 	for _, w := range g.edges {
 		if !math.IsInf(w, 1) {
 			finiteSum += w
 		}
 	}
-	inf := finiteSum*2 + 1
+	return finiteSum*2 + 1
+}
+
+// build constructs the adjacency-list flow network for a two-way cut:
+// graph nodes plus a source terminal (client) and sink terminal (server);
+// pins become infinite-capacity terminal edges and co-location
+// constraints become infinite-capacity node-to-node edges. Infinite
+// weights are replaced by the finite infinity proxy. This network backs
+// the legacy relabel-to-front path and the Edmonds–Karp oracle; the
+// production cut runs on the flat CSR network in csr.go.
+func (g *Graph) build() (*flowNet, float64) {
+	n := g.Len()
+	s, t := n, n+1
+	f := newFlowNet(n+2, s, t)
+	inf := g.infinityProxy()
 
 	for e, w := range g.edges {
 		c := w
@@ -246,6 +254,9 @@ func (g *Graph) build() (*flowNet, float64) {
 			c = inf
 		}
 		f.addUndirected(e[0], e[1], c)
+	}
+	for e := range g.coloc {
+		f.addUndirected(e[0], e[1], inf)
 	}
 	for v, side := range g.pinned {
 		if side == SourceSide {
@@ -258,20 +269,39 @@ func (g *Graph) build() (*flowNet, float64) {
 }
 
 // MinCut partitions the graph between client (source side) and server
-// (sink side) minimizing the weight of crossing edges, using the
-// lift-to-front algorithm. Unpinned nodes in components touching neither
-// terminal carry no crossing cost; they land on the source side.
+// (sink side) minimizing the weight of crossing edges, using
+// highest-label push-relabel over the CSR flow network (csr.go, hipr.go).
+// Unpinned nodes in components touching neither terminal carry no
+// crossing cost; they land on the source side.
 func (g *Graph) MinCut() (*Cut, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	f, inf := g.buildCSR()
+	flow := f.maxFlowHighestLabel()
+	return g.extractCutSides(f.sourceSide(), flow, inf)
+}
+
+// MinCutRelabelToFront is the previous production algorithm — push-relabel
+// with the relabel-to-front discharge order over an adjacency-list
+// network. Its scan-restart global-relabel loop goes quadratic on large
+// graphs; it is retained as the old-vs-new baseline for the cut benchmark
+// harness (coign bench-cut) and as a third independent implementation for
+// cross-checks.
+func (g *Graph) MinCutRelabelToFront() (*Cut, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	f, inf := g.build()
 	flow := f.maxFlowRelabelToFront()
-	return g.extractCut(f, flow, inf)
+	return g.extractCutSides(f.minCutSides(), flow, inf)
 }
 
-func (g *Graph) extractCut(f *flowNet, flow, inf float64) (*Cut, error) {
-	onSource := f.minCutSides()
+// extractCutSides turns a source-side indicator over the graph's nodes
+// into a Cut: it applies Coign's free-floating-component rule, prices the
+// crossing edges under the original weights, and rejects any cut that
+// splits a co-location constraint.
+func (g *Graph) extractCutSides(onSource []bool, flow, inf float64) (*Cut, error) {
 	cut := &Cut{Assignment: make(map[string]Side, g.Len()), FlowValue: flow}
 	for i, name := range g.names {
 		if onSource[i] {
@@ -281,11 +311,14 @@ func (g *Graph) extractCut(f *flowNet, flow, inf float64) (*Cut, error) {
 		}
 	}
 	// A connected component that touches neither terminal (no pinned node)
-	// is unreachable from s and lands wholly on the sink side at zero
-	// cost. Coign leaves such free-floating components on the client,
-	// where the undistributed application would have run them.
+	// crosses no cut edge wherever it lands. Coign leaves such
+	// free-floating components on the client, where the undistributed
+	// application would have run them.
 	uf := newUnionFind(g.Len())
 	for e := range g.edges {
+		uf.union(e[0], e[1])
+	}
+	for e := range g.coloc {
 		uf.union(e[0], e[1])
 	}
 	componentPinned := make(map[int]bool)
@@ -305,6 +338,11 @@ func (g *Graph) extractCut(f *flowNet, flow, inf float64) (*Cut, error) {
 				return nil, fmt.Errorf("graph: minimum cut crosses a co-location constraint")
 			}
 			w += ew
+		}
+	}
+	for e := range g.coloc {
+		if cut.Assignment[g.names[e[0]]] != cut.Assignment[g.names[e[1]]] {
+			return nil, fmt.Errorf("graph: minimum cut crosses a co-location constraint")
 		}
 	}
 	cut.Weight = w

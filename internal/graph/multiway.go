@@ -89,10 +89,16 @@ func (g *Graph) MultiwayCut(terminals []MultiwayTerminal) (map[string]string, fl
 			w += ew
 		}
 	}
+	for e := range g.coloc {
+		if assign[g.names[e[0]]] != assign[g.names[e[1]]] {
+			return nil, 0, fmt.Errorf("graph: multiway assignment crosses a co-location constraint")
+		}
+	}
 	return assign, w, nil
 }
 
-// cloneUnpinned copies the graph's nodes and edges without pins.
+// cloneUnpinned copies the graph's nodes, edges, and co-location
+// constraints without pins.
 func (g *Graph) cloneUnpinned() *Graph {
 	c := New()
 	c.names = append([]string(nil), g.names...)
@@ -101,6 +107,9 @@ func (g *Graph) cloneUnpinned() *Graph {
 	}
 	for e, w := range g.edges {
 		c.edges[e] = w
+	}
+	for e := range g.coloc {
+		c.coloc[e] = true
 	}
 	return c
 }
