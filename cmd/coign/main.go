@@ -21,9 +21,13 @@
 //	coign check [-app all] [-json out.json]      static constraint analysis + verification
 //	coign coverage [-app all] [-fail-under 70]   activation-reachability scenario coverage
 //	coign instrument -app octarine -o app.img    rewrite a binary for profiling
+//	coign synth -family skewed -seed 7 [-o f.img]  generate a synthetic application
+//	coign synth -harness -seeds 20 [-json]       full-pipeline property sweep
 package main
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -34,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/binimg"
 	"repro/internal/classify"
 	"repro/internal/com"
 	"repro/internal/core"
@@ -46,6 +51,7 @@ import (
 	"repro/internal/reach"
 	"repro/internal/scenario"
 	"repro/internal/staticanal"
+	"repro/internal/synthapp"
 )
 
 func main() {
@@ -94,6 +100,8 @@ func main() {
 		err = cmdCoverage(args)
 	case "instrument":
 		err = cmdInstrument(args)
+	case "synth":
+		err = cmdSynth(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -129,7 +137,9 @@ commands:
   coverage    diff static activation reachability against profiled scenarios
   instrument  rewrite an application binary for profiling
   profile     run profiling scenarios and write .icc log files
-  analyze     combine .icc log files and print the chosen distribution`)
+  analyze     combine .icc log files and print the chosen distribution
+  synth       generate a synthetic application, or sweep the pipeline
+              property harness over the generator families`)
 }
 
 func cmdList() error {
@@ -253,6 +263,10 @@ func cmdRun(args []string) error {
 	fmt.Printf("  execution:         predicted %.1fs, measured %.1fs (error %+.1f%%)\n",
 		row.PredictedExec.Seconds(), row.MeasuredExec.Seconds(), row.PredictionErr*100)
 	fmt.Printf("  violations:        %d\n", row.Violations)
+	if row.DefaultViolations > 0 {
+		fmt.Printf("  default infeasible: splits %d co-location constraint(s); default time is a lower bound\n",
+			row.DefaultViolations)
+	}
 	return nil
 }
 
@@ -587,6 +601,96 @@ func cmdInstrument(args []string) error {
 	}
 	fmt.Printf("wrote instrumented binary %s (%d bytes of code, %d imports, %s in slot 0)\n",
 		path, adps.Image.CodeBytes(), len(adps.Image.Imports), adps.Image.Imports[0])
+	return nil
+}
+
+// cmdSynth drives the synthetic-application generator: list the families,
+// emit one generated application (optionally as a binary image), or sweep
+// the full-pipeline property harness over the whole seed matrix — the
+// mode the CI pipeline-property job runs.
+func cmdSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	list := fs.Bool("list", false, "list the generator families and exit")
+	family := fs.String("family", string(synthapp.ThreeTier), "generator family")
+	seed := fs.Int64("seed", 0, "generator seed")
+	scale := fs.Int("scale", 1, fmt.Sprintf("size multiplier (1..%d)", synthapp.MaxScale))
+	out := fs.String("o", "", "write the generated application's binary image to this path")
+	harness := fs.Bool("harness", false, "run the full-pipeline property harness over every family")
+	seeds := fs.Int("seeds", 20, "harness: seeds per family")
+	jsonOut := fs.Bool("json", false, "harness: emit the matrix summary as JSON on stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Printf("%-15s %-24s %s\n", "Family", "Training", "Bigone")
+		for _, fam := range synthapp.Families() {
+			sa, err := synthapp.Generate(synthapp.Config{Family: fam})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-15s %-24s %s\n", fam, strings.Join(sa.Training, ","), sa.Bigone)
+		}
+		return nil
+	}
+	if *harness {
+		sum, err := experiments.RunPipelineMatrix(*seeds, *scale)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(sum); err != nil {
+				return err
+			}
+		} else {
+			fmt.Printf("pipeline property matrix: %d families x %d seeds = %d runs, %d failed\n",
+				len(sum.Families), sum.SeedsPerFamily, sum.Runs, sum.Failed)
+			for _, rep := range sum.Reports {
+				for _, c := range rep.Checks {
+					if !c.OK {
+						fmt.Printf("  FAIL %s seed %d: %s: %s\n", rep.Family, rep.Seed, c.Name, c.Detail)
+					}
+				}
+			}
+		}
+		if sum.Failed > 0 {
+			return fmt.Errorf("%d of %d pipeline property runs failed", sum.Failed, sum.Runs)
+		}
+		return nil
+	}
+
+	sa, err := synthapp.Generate(synthapp.Config{
+		Family: synthapp.Family(*family), Seed: *seed, Scale: *scale,
+	})
+	if err != nil {
+		return err
+	}
+	if err := synthapp.Validate(sa.App); err != nil {
+		return err
+	}
+	img := binimg.BuildImage(sa.App)
+	var buf bytes.Buffer
+	if err := img.Encode(&buf); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d classes, %d interfaces, training %s, bigone %s\n",
+		sa.App.Name, sa.App.Classes.Len(), len(sa.App.Interfaces.IIDs()),
+		strings.Join(sa.Training, ","), sa.Bigone)
+	fmt.Printf("image: %d bytes, sha256 %x\n", buf.Len(), sha256.Sum256(buf.Bytes()))
+	if sa.PlantsInfeasibleDefault {
+		fmt.Println("plants: infeasible default distribution (expect DefaultViolations > 0)")
+	}
+	for _, pair := range sa.LatentPairs {
+		fmt.Printf("plants: latent activation %s -> %s (uncovered by training scenarios)\n",
+			pair[0], pair[1])
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("writing image: %w", err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
 	return nil
 }
 

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/synthapp"
+)
+
+// TestDefaultViolationsSurfaced checks the ROADMAP leftover end to end:
+// the synth family that plants an infeasible default distribution must
+// produce a non-zero DefaultViolations count in its Table 4 row and in
+// the rendered table, while a clean family reports zero.
+func TestDefaultViolationsSurfaced(t *testing.T) {
+	t.Parallel()
+	planted, err := synthapp.Generate(synthapp.Config{Family: synthapp.ThreeTier, Seed: 5})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	row, err := ScenarioRowFor(planted.App, planted.App.Name, planted.Bigone)
+	if err != nil {
+		t.Fatalf("ScenarioRowFor: %v", err)
+	}
+	if row.DefaultViolations == 0 {
+		t.Fatal("three-tier plants an infeasible default but the row reports zero DefaultViolations")
+	}
+
+	clean, err := synthapp.Generate(synthapp.Config{Family: synthapp.CacheHeavy, Seed: 5})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	cleanRow, err := ScenarioRowFor(clean.App, clean.App.Name, clean.Bigone)
+	if err != nil {
+		t.Fatalf("ScenarioRowFor: %v", err)
+	}
+	if cleanRow.DefaultViolations != 0 {
+		t.Fatalf("cache-heavy reported %d DefaultViolations, want 0", cleanRow.DefaultViolations)
+	}
+
+	var sb strings.Builder
+	PrintTable4(&sb, []ScenarioRow{*row, *cleanRow})
+	out := sb.String()
+	if !strings.Contains(out, "DefViol") {
+		t.Fatalf("Table 4 header lacks DefViol column:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("unexpected table shape:\n%s", out)
+	}
+	if !strings.HasSuffix(strings.TrimRight(lines[2], " "), " 0") {
+		t.Fatalf("clean row does not end with a zero DefViol count:\n%s", out)
+	}
+}

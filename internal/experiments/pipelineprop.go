@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/binimg"
+	"repro/internal/classify"
+	"repro/internal/com"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fault"
+	"repro/internal/profile"
+	"repro/internal/synthapp"
+)
+
+// Full-pipeline property harness: for a generated synthetic application,
+// run reach → staticanal → coverage → profile → cut → distributed replay
+// and assert the cross-stage invariants no single-stage unit test can
+// see. Infrastructure failures (a stage erroring out) come back as
+// errors; invariant violations come back as failed checks in the report,
+// so a matrix run can keep going and summarize everything it found.
+
+// PipelineCheck is one named invariant verdict.
+type PipelineCheck struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// PipelineReport is the outcome of the property harness on one generated
+// application.
+type PipelineReport struct {
+	Family string `json:"family"`
+	Seed   int64  `json:"seed"`
+	Scale  int    `json:"scale,omitempty"`
+	App    string `json:"app"`
+
+	Classes           int     `json:"classes"`
+	GraphNodes        int     `json:"graphNodes"`
+	GraphEdges        int     `json:"graphEdges"`
+	CutWeight         float64 `json:"cutWeight"`
+	RelaxedWeight     float64 `json:"relaxedWeight"`
+	DefaultViolations int     `json:"defaultViolations"`
+	UncoveredEdges    int     `json:"uncoveredEdges"`
+
+	Checks []PipelineCheck `json:"checks"`
+	Failed int             `json:"failed"`
+}
+
+func (r *PipelineReport) check(name string, ok bool, detail string) {
+	if ok {
+		detail = ""
+	} else {
+		r.Failed++
+	}
+	r.Checks = append(r.Checks, PipelineCheck{Name: name, OK: ok, Detail: detail})
+}
+
+const propEps = 1e-6
+
+// RunPipelineProperty generates the application for cfg and drives it
+// through the complete pipeline, recording every invariant verdict.
+func RunPipelineProperty(cfg synthapp.Config) (*PipelineReport, error) {
+	a, err := synthapp.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &PipelineReport{
+		Family:  string(cfg.Family),
+		Seed:    cfg.Seed,
+		Scale:   a.Config.Scale,
+		App:     a.App.Name,
+		Classes: a.App.Classes.Len(),
+	}
+	if a.Config.Scale == 1 {
+		rep.Scale = 0 // omit the default from JSON
+	}
+
+	// Generator invariants: the app is well formed and regenerating it is
+	// byte-identical (the reproducibility contract `coign synth` exposes).
+	if verr := synthapp.Validate(a.App); verr != nil {
+		rep.check("app-validates", false, verr.Error())
+	} else {
+		rep.check("app-validates", true, "")
+	}
+	if b, gerr := synthapp.Generate(cfg); gerr != nil {
+		return nil, gerr
+	} else {
+		var ab, bb bytes.Buffer
+		if err := binimg.BuildImage(a.App).Encode(&ab); err != nil {
+			return nil, err
+		}
+		if err := binimg.BuildImage(b.App).Encode(&bb); err != nil {
+			return nil, err
+		}
+		rep.check("regeneration-byte-identical", bytes.Equal(ab.Bytes(), bb.Bytes()), "second Generate produced a different image")
+	}
+
+	// reach → staticanal → coverage, installing conservative co-location
+	// constraints for every uncovered edge.
+	adps := core.New(a.App)
+	adps.Seed = cfg.Seed + 1
+	cov, prof, err := adps.CoverageReport(a.Training, true)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: coverage of %s: %w", a.App.Name, err)
+	}
+	uncoveredEdge := make(map[[2]string]bool)
+	for _, e := range cov.Edges {
+		if !e.Covered {
+			uncoveredEdge[[2]string{e.Src, e.Dst}] = true
+			rep.UncoveredEdges++
+		}
+	}
+	// The planted latent activation edges must surface as uncovered.
+	for _, pair := range a.LatentPairs {
+		rep.check("latent-edge-uncovered",
+			uncoveredEdge[[2]string{pair[0], pair[1]}],
+			fmt.Sprintf("planted edge %s -> %s not reported uncovered", pair[0], pair[1]))
+	}
+
+	// Cut the combined training profile.
+	ares, err := adps.Analyze(prof)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: analyzing %s: %w", a.App.Name, err)
+	}
+	rep.GraphNodes = ares.Graph.Len()
+	rep.GraphEdges = ares.Graph.Edges()
+	rep.CutWeight = ares.Cut.Weight
+	rep.DefaultViolations = ares.DefaultViolations
+
+	if verr := ares.Graph.Validate(); verr != nil {
+		rep.check("graph-validates", false, verr.Error())
+	} else {
+		rep.check("graph-validates", true, "")
+	}
+
+	// DefaultViolations must be reported exactly when the family plants an
+	// infeasible default distribution.
+	if a.PlantsInfeasibleDefault {
+		rep.check("default-violations-reported", ares.DefaultViolations > 0,
+			"family plants an infeasible default but analysis reported zero violations")
+	} else {
+		rep.check("default-violations-absent", ares.DefaultViolations == 0,
+			fmt.Sprintf("family plants no infeasible default but analysis reported %d violations", ares.DefaultViolations))
+	}
+
+	// Monotonicity: dropping the co-location welds can only cheapen the
+	// cut, so the constrained weight must be >= the relaxed weight.
+	relaxed, err := ares.Graph.WithoutCoLocations().MinCut()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: relaxed cut of %s: %w", a.App.Name, err)
+	}
+	rep.RelaxedWeight = relaxed.Weight
+	rep.check("constrained-not-cheaper-than-relaxed",
+		ares.Cut.Weight >= relaxed.Weight-propEps*(1+relaxed.Weight),
+		fmt.Sprintf("constrained cut %.9g < relaxed cut %.9g", ares.Cut.Weight, relaxed.Weight))
+
+	// On small instances the push-relabel cut must match the Edmonds-Karp
+	// oracle exactly.
+	if ares.Graph.Len() <= 80 {
+		ek, err := ares.Graph.MinCutEdmondsKarp()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: oracle cut of %s: %w", a.App.Name, err)
+		}
+		diff := ares.Cut.Weight - ek.Weight
+		if diff < 0 {
+			diff = -diff
+		}
+		rep.check("cut-matches-edmonds-karp",
+			diff <= propEps*(1+ek.Weight),
+			fmt.Sprintf("push-relabel %.9g vs Edmonds-Karp %.9g", ares.Cut.Weight, ek.Weight))
+	}
+
+	// Uncovered (unpriced) edges were installed as conservative welds, so
+	// both endpoints of every planted latent pair must land on the same
+	// machine in the chosen distribution.
+	for _, pair := range a.LatentPairs {
+		ok, detail := classesCoLocated(ares.Distribution, prof, pair[0], pair[1])
+		rep.check("uncovered-endpoints-co-located", ok, detail)
+	}
+
+	// Write the distribution into the binary and replay it: two identical
+	// fault-free runs, then two identical chaos runs (same fault seed), so
+	// the virtual-time replay is provably deterministic end to end.
+	if err := adps.WriteDistribution(ares); err != nil {
+		return nil, fmt.Errorf("experiments: writing distribution of %s: %w", a.App.Name, err)
+	}
+	r1, err := adps.RunDistributed(a.Bigone, false)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: distributed replay of %s: %w", a.App.Name, err)
+	}
+	r2, err := adps.RunDistributed(a.Bigone, false)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: distributed replay of %s: %w", a.App.Name, err)
+	}
+	rep.check("replay-deterministic",
+		r1.Clock.Elapsed() == r2.Clock.Elapsed() && r1.Clock.CommTime() == r2.Clock.CommTime(),
+		fmt.Sprintf("elapsed %v/%v, comm %v/%v", r1.Clock.Elapsed(), r2.Clock.Elapsed(),
+			r1.Clock.CommTime(), r2.Clock.CommTime()))
+	rep.check("replay-no-violations", r1.Violations == 0,
+		fmt.Sprintf("chosen distribution crossed %d non-remotable boundaries", r1.Violations))
+
+	c1, err := chaosRun(adps, a.Bigone, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: chaos replay of %s: %w", a.App.Name, err)
+	}
+	c2, err := chaosRun(adps, a.Bigone, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: chaos replay of %s: %w", a.App.Name, err)
+	}
+	rep.check("chaos-replay-converges",
+		c1.Clock.Elapsed() == c2.Clock.Elapsed() && c1.Retries == c2.Retries &&
+			c1.FaultDrops == c2.FaultDrops && c1.FaultCorruptions == c2.FaultCorruptions,
+		fmt.Sprintf("elapsed %v/%v, retries %d/%d, drops %d/%d",
+			c1.Clock.Elapsed(), c2.Clock.Elapsed(), c1.Retries, c2.Retries, c1.FaultDrops, c2.FaultDrops))
+
+	return rep, nil
+}
+
+// classesCoLocated reports whether every classification of the two named
+// classes landed on one machine in the distribution.
+func classesCoLocated(distribution map[string]com.Machine, prof *profile.Profile, classA, classB string) (bool, string) {
+	var machines []com.Machine
+	var ids []string
+	for _, id := range prof.ClassificationIDs() {
+		ci := prof.Classifications[id]
+		if ci.Class != classA && ci.Class != classB {
+			continue
+		}
+		m, ok := distribution[id]
+		if !ok {
+			return false, fmt.Sprintf("classification %s (class %s) missing from distribution", id, ci.Class)
+		}
+		machines = append(machines, m)
+		ids = append(ids, id)
+	}
+	if len(machines) == 0 {
+		return false, fmt.Sprintf("no classifications profiled for %s/%s", classA, classB)
+	}
+	for i := 1; i < len(machines); i++ {
+		if machines[i] != machines[0] {
+			return false, fmt.Sprintf("%s on %s but %s on %s", ids[0], machines[0], ids[i], machines[i])
+		}
+	}
+	return true, ""
+}
+
+// chaosRun replays the written distribution under a seeded lossy network.
+// The fault schedule is fully determined by the run seed, so two calls
+// with the same seed must agree byte for byte.
+func chaosRun(adps *core.ADPS, scenario string, seed int64) (*dist.Result, error) {
+	dm := adps.Image.Config.DistributionMap()
+	if dm == nil {
+		return nil, fmt.Errorf("experiments: binary carries no distribution map")
+	}
+	kind, err := classify.KindByName(adps.Image.Config.Classifier)
+	if err != nil {
+		return nil, err
+	}
+	return dist.Run(dist.Config{
+		App:          adps.App,
+		Scenario:     scenario,
+		Seed:         seed + 17,
+		Mode:         dist.ModeCoign,
+		Classifier:   classify.New(kind, adps.Image.Config.ClassifierDepth),
+		Distribution: dm,
+		Network:      adps.Network,
+		Faults: &dist.FaultPolicy{
+			Rates:       fault.Rates{Drop: 0.01, Corrupt: 0.005},
+			MaxAttempts: 6,
+			Timeout:     50 * time.Millisecond,
+			Backoff:     5 * time.Millisecond,
+		},
+	})
+}
+
+// MatrixSummary aggregates a family × seed sweep of the property
+// harness — the JSON artifact the CI pipeline-property job uploads.
+type MatrixSummary struct {
+	Families       []string          `json:"families"`
+	SeedsPerFamily int               `json:"seedsPerFamily"`
+	Runs           int               `json:"runs"`
+	Failed         int               `json:"failed"`
+	Reports        []*PipelineReport `json:"reports"`
+}
+
+// RunPipelineMatrix sweeps every generator family over seeds 0..seeds-1
+// on the worker pool.
+func RunPipelineMatrix(seeds int, scale int) (*MatrixSummary, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("experiments: matrix needs >= 1 seed per family, got %d", seeds)
+	}
+	var cfgs []synthapp.Config
+	sum := &MatrixSummary{SeedsPerFamily: seeds}
+	for _, fam := range synthapp.Families() {
+		sum.Families = append(sum.Families, string(fam))
+		for s := 0; s < seeds; s++ {
+			cfgs = append(cfgs, synthapp.Config{Family: fam, Seed: int64(s), Scale: scale})
+		}
+	}
+	reports, err := parallelMap(cfgs, RunPipelineProperty)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range reports {
+		sum.Runs++
+		if r.Failed > 0 {
+			sum.Failed++
+		}
+	}
+	sum.Reports = reports
+	return sum, nil
+}

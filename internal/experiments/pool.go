@@ -1,50 +1,14 @@
 package experiments
 
-import (
-	"runtime"
-	"sync"
-)
+import "repro/internal/par"
 
-// parallelMap applies fn to every item on a bounded worker pool and
-// returns the results in input order. Workers are capped at GOMAXPROCS —
-// each experiment pipeline is CPU-bound (profile replay plus a graph cut),
-// so more workers would only thrash. When several items fail, the error of
-// the earliest item wins, so the reported failure is deterministic
-// regardless of scheduling.
+// parallelMap is the package-local alias for the shared worker pool in
+// internal/par (extracted from here so the graph package can fan out the
+// multiway heuristic's per-terminal cuts on the same pool).
 //
 // Every fn call builds its own scenario.NewApp plus core.New pipeline, and
 // the package registries behind them are read-only after init, so items
 // share no mutable state.
 func parallelMap[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
-	results := make([]R, len(items))
-	errs := make([]error, len(items))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(items) {
-		workers = len(items)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	next := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i], errs[i] = fn(items[i])
-			}
-		}()
-	}
-	for i := range items {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return par.Map(items, fn)
 }

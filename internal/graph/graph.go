@@ -172,6 +172,26 @@ func (g *Graph) CoLocated(a, b string) bool {
 // CoLocations returns the number of pair-wise co-location constraints.
 func (g *Graph) CoLocations() int { return len(g.coloc) }
 
+// WithoutCoLocations returns a copy of the graph with identical nodes,
+// edges, and pins but no co-location constraints. Because constraints
+// only ever merge nodes (infinite-capacity welds), the relaxed graph's
+// minimum cut is a lower bound on the constrained one — the monotonicity
+// oracle the full-pipeline property harness checks every cut against.
+func (g *Graph) WithoutCoLocations() *Graph {
+	c := New()
+	c.names = append([]string(nil), g.names...)
+	for i, n := range c.names {
+		c.index[n] = i
+	}
+	for e, w := range g.edges {
+		c.edges[e] = w
+	}
+	for i, s := range g.pinned {
+		c.pinned[i] = s
+	}
+	return c
+}
+
 // weldUnion returns a union-find over every unsplittable connection: the
 // co-location side table plus any infinite edge a caller managed to
 // install directly.

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // Multiway partitioning. The paper restricts itself to the exact two-way
@@ -32,10 +34,17 @@ func (g *Graph) MultiwayCut(terminals []MultiwayTerminal) (map[string]string, fl
 		cut    *Cut
 		weight float64
 	}
-	cuts := make([]isoCut, 0, len(terminals))
-	for ti, term := range terminals {
+	// The k isolating cuts are independent — each runs on a private
+	// unpinned clone and only reads the shared graph — so they fan out on
+	// the worker pool. Results come back in terminal order, keeping the
+	// heuristic's tie-breaking identical to the sequential version.
+	terms := make([]int, len(terminals))
+	for i := range terminals {
+		terms[i] = i
+	}
+	cuts, err := par.Map(terms, func(ti int) (isoCut, error) {
 		iso := g.cloneUnpinned()
-		for _, n := range term.Pinned {
+		for _, n := range terminals[ti].Pinned {
 			iso.Pin(n, SourceSide)
 		}
 		for tj, other := range terminals {
@@ -48,9 +57,12 @@ func (g *Graph) MultiwayCut(terminals []MultiwayTerminal) (map[string]string, fl
 		}
 		c, err := iso.MinCut()
 		if err != nil {
-			return nil, 0, fmt.Errorf("graph: isolating cut for %s: %w", term.Machine, err)
+			return isoCut{}, fmt.Errorf("graph: isolating cut for %s: %w", terminals[ti].Machine, err)
 		}
-		cuts = append(cuts, isoCut{term: ti, cut: c, weight: c.Weight})
+		return isoCut{term: ti, cut: c, weight: c.Weight}, nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
 
 	// Discard the heaviest isolating cut: its terminal becomes the default

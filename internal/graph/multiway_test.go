@@ -1,0 +1,62 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestMultiwayCutSynthDeterministic runs the (now parallel) isolation
+// heuristic over seeded synthetic instances and checks that repeated runs
+// agree exactly — the per-terminal cuts fan out on a worker pool, and the
+// result must not depend on scheduling. Under `go test -race` this also
+// exercises the concurrent reads of the shared graph.
+func TestMultiwayCutSynthDeterministic(t *testing.T) {
+	t.Parallel()
+	const eps = 1e-9
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			// Pins are dropped by the per-terminal clones anyway; disable
+			// co-locations so the heuristic's assignment is always legal.
+			g := Synthesize(SynthConfig{
+				Nodes: 300, AvgDegree: 6, Seed: seed,
+				PinFraction: 1e-9, CoLocateFraction: 1e-9, FreeFraction: 1e-9,
+			})
+			terminals := []MultiwayTerminal{
+				{Machine: "client", Pinned: []string{synthName(0)}},
+				{Machine: "server", Pinned: []string{synthName(1)}},
+				{Machine: "middle", Pinned: []string{synthName(2)}},
+			}
+			if seed%2 == 1 {
+				terminals = append(terminals, MultiwayTerminal{Machine: "edge", Pinned: []string{synthName(3)}})
+			}
+			assign1, w1, err := g.MultiwayCut(terminals)
+			if err != nil {
+				t.Fatalf("MultiwayCut: %v", err)
+			}
+			assign2, w2, err := g.MultiwayCut(terminals)
+			if err != nil {
+				t.Fatalf("MultiwayCut (second run): %v", err)
+			}
+			if d := w1 - w2; d > eps || d < -eps {
+				t.Fatalf("weights differ across runs: %v vs %v", w1, w2)
+			}
+			if len(assign1) != len(assign2) || len(assign1) != g.Len() {
+				t.Fatalf("assignment sizes differ: %d, %d, want %d", len(assign1), len(assign2), g.Len())
+			}
+			for n, m := range assign1 {
+				if assign2[n] != m {
+					t.Fatalf("node %s assigned to %s then %s", n, m, assign2[n])
+				}
+			}
+			for _, term := range terminals {
+				for _, n := range term.Pinned {
+					if assign1[n] != term.Machine {
+						t.Fatalf("terminal node %s landed on %s, want %s", n, assign1[n], term.Machine)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+// Package par provides the bounded worker pool shared by CPU-bound
+// fan-out across the repository: the experiment pipelines and the
+// multiway cut's per-terminal isolating cuts.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Map applies fn to every item on a bounded worker pool and returns the
+// results in input order. Workers are capped at GOMAXPROCS — callers are
+// CPU-bound (profile replay, graph cuts), so more workers would only
+// thrash. When several items fail, the error of the earliest item wins,
+// so the reported failure is deterministic regardless of scheduling.
+//
+// fn must not touch mutable state shared between items; every call site
+// either builds its own pipeline per item or operates on a private clone.
+func Map[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
+	results := make([]R, len(items))
+	errs := make([]error, len(items))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = fn(items[i])
+			}
+		}()
+	}
+	for i := range items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/classify"
+	"repro/internal/com"
+	"repro/internal/dist"
+	"repro/internal/profile"
+)
+
+// Mix weights one scenario within a composed usage profile. The paper's
+// profiling step (§3.2) combines scenario logs so the optimizer sees the
+// expected usage distribution rather than one run; Weight is the number
+// of times the scenario contributes to the composition — "users open
+// documents nine times for every print job" becomes Weight 9 vs 1.
+type Mix struct {
+	Scenario string
+	Weight   int
+}
+
+// Compose profiles each scenario of the mix Weight times and merges the
+// logs into one profile under a single classifier, the input the
+// analysis engine consumes.
+//
+// The composition is canonical: mixes are deduplicated (weights for the
+// same scenario sum) and processed in sorted scenario order, and each
+// repetition's run seed is derived from (seed, scenario, repetition)
+// alone. Permuting or splitting the mix therefore yields a byte-identical
+// profile, and the same seed always reproduces it.
+func Compose(app *com.App, kind classify.Kind, depth int, mixes []Mix, seed int64) (*profile.Profile, error) {
+	if app == nil {
+		return nil, fmt.Errorf("scenario: compose: nil application")
+	}
+	if len(mixes) == 0 {
+		return nil, fmt.Errorf("scenario: compose: empty scenario mix")
+	}
+	weights := make(map[string]int)
+	for _, m := range mixes {
+		if m.Scenario == "" {
+			return nil, fmt.Errorf("scenario: compose: empty scenario name in mix")
+		}
+		if m.Weight <= 0 {
+			return nil, fmt.Errorf("scenario: compose: scenario %s has non-positive weight %d",
+				m.Scenario, m.Weight)
+		}
+		weights[m.Scenario] += m.Weight
+	}
+	names := make([]string, 0, len(weights))
+	for n := range weights {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	classifier := classify.New(kind, depth)
+	var combined *profile.Profile
+	for _, name := range names {
+		for rep := 0; rep < weights[name]; rep++ {
+			res, err := dist.Run(dist.Config{
+				App:        app,
+				Scenario:   name,
+				Seed:       mixSeed(seed, name, rep),
+				Mode:       dist.ModeProfiling,
+				Classifier: classifier,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("scenario: compose: %s rep %d: %w", name, rep, err)
+			}
+			if res.Profile == nil {
+				return nil, fmt.Errorf("scenario: compose: %s rep %d produced no profile", name, rep)
+			}
+			if combined == nil {
+				combined = res.Profile
+				continue
+			}
+			if err := combined.Merge(res.Profile); err != nil {
+				return nil, fmt.Errorf("scenario: compose: merging %s rep %d: %w", name, rep, err)
+			}
+		}
+	}
+	return combined, nil
+}
+
+// mixSeed derives the run seed for one repetition of one scenario. It
+// depends only on the composition seed, the scenario name, and the
+// repetition index — never on the position within the mix — which is what
+// makes Compose order-independent.
+func mixSeed(seed int64, scenario string, rep int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", scenario, rep)
+	return seed ^ int64(h.Sum64())
+}

@@ -1,0 +1,160 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/synthapp"
+)
+
+// composeApp generates one synthetic application for the composition
+// property tests.
+func composeApp(t *testing.T, fam synthapp.Family, seed int64) *synthapp.App {
+	t.Helper()
+	sa, err := synthapp.Generate(synthapp.Config{Family: fam, Seed: seed})
+	if err != nil {
+		t.Fatalf("Generate(%s, %d): %v", fam, seed, err)
+	}
+	return sa
+}
+
+// TestComposeOrderIndependent checks the headline property: permuting the
+// mix, or splitting one weighted entry into repeated smaller entries,
+// yields a byte-identical composed profile.
+func TestComposeOrderIndependent(t *testing.T) {
+	t.Parallel()
+	for _, fam := range []synthapp.Family{synthapp.ThreeTier, synthapp.Skewed} {
+		fam := fam
+		t.Run(string(fam), func(t *testing.T) {
+			t.Parallel()
+			sa := composeApp(t, fam, 7)
+			mixes := [][]Mix{
+				{{synthapp.ScenBase, 2}, {synthapp.ScenHeavy, 1}, {synthapp.ScenAlt, 3}},
+				{{synthapp.ScenAlt, 3}, {synthapp.ScenHeavy, 1}, {synthapp.ScenBase, 2}},
+				// Split weights: same multiset of repetitions, different shape.
+				{{synthapp.ScenHeavy, 1}, {synthapp.ScenAlt, 2}, {synthapp.ScenBase, 1},
+					{synthapp.ScenAlt, 1}, {synthapp.ScenBase, 1}},
+			}
+			var first interface{}
+			for i, mix := range mixes {
+				p, err := Compose(sa.App, classify.IFCB, 0, mix, 99)
+				if err != nil {
+					t.Fatalf("Compose(mix %d): %v", i, err)
+				}
+				if first == nil {
+					first = p
+					continue
+				}
+				if !reflect.DeepEqual(first, p) {
+					t.Errorf("mix %d produced a different profile than mix 0", i)
+				}
+			}
+		})
+	}
+}
+
+// TestComposeSeedStable checks that regeneration from the same (family,
+// seed) pair plus the same composition seed reproduces the profile
+// exactly, and that a different composition seed perturbs it.
+func TestComposeSeedStable(t *testing.T) {
+	t.Parallel()
+	mix := []Mix{{synthapp.ScenBase, 1}, {synthapp.ScenHeavy, 2}}
+
+	a := composeApp(t, synthapp.CacheHeavy, 11)
+	p1, err := Compose(a.App, classify.IFCB, 0, mix, 5)
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	// Regenerate the app from scratch: same seed, fresh com.App value.
+	b := composeApp(t, synthapp.CacheHeavy, 11)
+	p2, err := Compose(b.App, classify.IFCB, 0, mix, 5)
+	if err != nil {
+		t.Fatalf("Compose (regenerated app): %v", err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Error("same (family, seed, composition seed) did not reproduce the profile")
+	}
+
+	p3, err := Compose(b.App, classify.IFCB, 0, mix, 6)
+	if err != nil {
+		t.Fatalf("Compose (different seed): %v", err)
+	}
+	if reflect.DeepEqual(p1, p3) {
+		t.Error("different composition seed produced an identical profile (payload jitter lost)")
+	}
+}
+
+// TestComposeWeightScaling checks that weight W contributes exactly W
+// runs: call counts are structural, so doubling the weight doubles the
+// total calls.
+func TestComposeWeightScaling(t *testing.T) {
+	t.Parallel()
+	sa := composeApp(t, synthapp.Pipeline, 3)
+	p1, err := Compose(sa.App, classify.IFCB, 0, []Mix{{synthapp.ScenBase, 1}}, 1)
+	if err != nil {
+		t.Fatalf("Compose(w=1): %v", err)
+	}
+	p2, err := Compose(sa.App, classify.IFCB, 0, []Mix{{synthapp.ScenBase, 2}}, 1)
+	if err != nil {
+		t.Fatalf("Compose(w=2): %v", err)
+	}
+	if got, want := p2.TotalCalls(), 2*p1.TotalCalls(); got != want {
+		t.Errorf("weight 2 total calls = %d, want %d (2x weight 1)", got, want)
+	}
+	if len(p2.Scenarios) != 2*len(p1.Scenarios) {
+		t.Errorf("weight 2 recorded %d scenario runs, want %d", len(p2.Scenarios), 2*len(p1.Scenarios))
+	}
+}
+
+// TestComposeErrors covers the mix-validation failure modes.
+func TestComposeErrors(t *testing.T) {
+	t.Parallel()
+	sa := composeApp(t, synthapp.GUISwarm, 1)
+	cases := []struct {
+		name string
+		mix  []Mix
+	}{
+		{"empty mix", nil},
+		{"zero weight", []Mix{{synthapp.ScenBase, 0}}},
+		{"negative weight", []Mix{{synthapp.ScenBase, -2}}},
+		{"empty scenario", []Mix{{"", 1}}},
+		{"unknown scenario", []Mix{{"y_nope", 1}}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := Compose(sa.App, classify.IFCB, 0, tc.mix, 0); err == nil {
+				t.Errorf("Compose accepted %s", tc.name)
+			}
+		})
+	}
+	if _, err := Compose(nil, classify.IFCB, 0, []Mix{{synthapp.ScenBase, 1}}, 0); err == nil {
+		t.Error("Compose accepted a nil application")
+	}
+}
+
+// TestNewAppSynth checks the synth:<family>:<seed> application scheme.
+func TestNewAppSynth(t *testing.T) {
+	t.Parallel()
+	app, err := NewApp("synth:skewed:42")
+	if err != nil {
+		t.Fatalf("NewApp(synth:skewed:42): %v", err)
+	}
+	direct, err := synthapp.Generate(synthapp.Config{Family: synthapp.Skewed, Seed: 42})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if app.Name != direct.App.Name {
+		t.Errorf("NewApp name %q != direct generation %q", app.Name, direct.App.Name)
+	}
+	if _, err := NewApp("synth:skewed:42:2"); err != nil {
+		t.Errorf("NewApp with scale suffix: %v", err)
+	}
+	for _, bad := range []string{"synth:", "synth:skewed", "synth:nope:1", "synth:skewed:x", "synth:skewed:1:y", "synth:skewed:1:9"} {
+		if _, err := NewApp(bad); err == nil {
+			t.Errorf("NewApp(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -6,12 +6,15 @@ package scenario
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/apps/benefits"
 	"repro/internal/apps/octarine"
 	"repro/internal/apps/photodraw"
 	"repro/internal/apps/quickstart"
 	"repro/internal/com"
+	"repro/internal/synthapp"
 )
 
 // Info describes one profiling scenario.
@@ -54,8 +57,14 @@ func Table1() []Info {
 // Apps returns the application names in suite order.
 func Apps() []string { return []string{"octarine", "photodraw", "benefits"} }
 
-// NewApp constructs an application of the suite by name.
+// NewApp constructs an application of the suite by name. Beyond the
+// Table 1 suite, the name "synth:<family>:<seed>[:<scale>]" builds a
+// generated application from internal/synthapp, so every pipeline entry
+// point that takes an app name can also run against the synthetic corpus.
 func NewApp(name string) (*com.App, error) {
+	if strings.HasPrefix(name, "synth:") {
+		return newSynthApp(name)
+	}
 	switch name {
 	case "octarine":
 		return octarine.New(), nil
@@ -70,6 +79,32 @@ func NewApp(name string) (*com.App, error) {
 	default:
 		return nil, fmt.Errorf("scenario: unknown application %q", name)
 	}
+}
+
+// newSynthApp parses a "synth:<family>:<seed>[:<scale>]" application name
+// and generates the corresponding synthetic application.
+func newSynthApp(name string) (*com.App, error) {
+	parts := strings.Split(name, ":")
+	if len(parts) != 3 && len(parts) != 4 {
+		return nil, fmt.Errorf("scenario: synthetic app name %q: want synth:<family>:<seed>[:<scale>]", name)
+	}
+	seed, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: synthetic app name %q: bad seed: %w", name, err)
+	}
+	cfg := synthapp.Config{Family: synthapp.Family(parts[1]), Seed: seed}
+	if len(parts) == 4 {
+		scale, err := strconv.Atoi(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("scenario: synthetic app name %q: bad scale: %w", name, err)
+		}
+		cfg.Scale = scale
+	}
+	sa, err := synthapp.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: synthetic app %q: %w", name, err)
+	}
+	return sa.App, nil
 }
 
 // ForApp returns the scenario names belonging to one application, in

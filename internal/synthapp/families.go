@@ -1,0 +1,400 @@
+package synthapp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/com"
+)
+
+// Family builders. Each derives every free choice from the seeded rng so
+// a (family, seed, scale) triple always produces the same spec, and each
+// plants exactly one latent activation edge whose endpoints share a Home
+// (so the coverage weld it becomes never creates a spurious default
+// violation). Only three-tier plants an infeasible default distribution.
+
+func pick(rng *rand.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+func dur(rng *rand.Rand, lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(rng.Int63n(int64(hi-lo)))
+}
+
+func codeSize(rng *rand.Rand) int { return pick(rng, 24<<10, 320<<10) }
+
+// threeTierSpec: GUI views over business logic over storage. The plant:
+// Spool is homed on the server but offers only a non-remotable interface
+// and is called from a client-pinned view, so the as-shipped distribution
+// splits a must-co-locate pair and analysis must report it.
+func threeTierSpec(rng *rand.Rand, scale int) appSpec {
+	views := pick(rng, 1, 2)
+	logics := pick(rng, 2, 3) + (scale - 1)
+	stores := pick(rng, 1, 2)
+	var spec appSpec
+
+	for k := 0; k < stores; k++ {
+		spec.classes = append(spec.classes, classSpec{
+			name: fmt.Sprintf("Store%d", k), home: com.Server, infra: true,
+			apis:      []string{com.APIFileOpen, com.APIFileRead},
+			codeBytes: codeSize(rng), compute: dur(rng, 500*time.Microsecond, 2*time.Millisecond),
+			resBytes: pick(rng, 8<<10, 32<<10),
+		})
+	}
+	for j := 0; j < logics; j++ {
+		cs := classSpec{
+			name: fmt.Sprintf("Logic%d", j), home: com.Client,
+			codeBytes: codeSize(rng), compute: dur(rng, time.Millisecond, 5*time.Millisecond),
+			resBytes: pick(rng, 128, 1024),
+		}
+		for k := 0; k < stores; k++ {
+			cs.edges = append(cs.edges, edgeSpec{
+				target: fmt.Sprintf("Store%d", k), calls: pick(rng, 2, 6), argBytes: pick(rng, 32, 128),
+			})
+		}
+		if j == 0 {
+			cs.latent = []string{"Audit"}
+		}
+		spec.classes = append(spec.classes, cs)
+	}
+	spec.classes = append(spec.classes, classSpec{
+		name: "Spool", home: com.Server, opaque: true,
+		codeBytes: codeSize(rng), compute: dur(rng, 100*time.Microsecond, time.Millisecond),
+		resBytes: pick(rng, 64, 256),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Audit", home: com.Client,
+		codeBytes: codeSize(rng), compute: dur(rng, 100*time.Microsecond, 500*time.Microsecond),
+		resBytes: pick(rng, 32, 128),
+	})
+	for i := 0; i < views; i++ {
+		cs := classSpec{
+			name: fmt.Sprintf("View%d", i), home: com.Client,
+			apis:      []string{com.APIGdiPaint, com.APIUserWindow},
+			codeBytes: codeSize(rng), compute: dur(rng, 200*time.Microsecond, time.Millisecond),
+			resBytes: pick(rng, 64, 512),
+		}
+		for j := 0; j < logics; j++ {
+			cs.edges = append(cs.edges, edgeSpec{
+				target: fmt.Sprintf("Logic%d", j), calls: pick(rng, 1, 3), argBytes: pick(rng, 64, 512),
+			})
+		}
+		if i == 0 {
+			cs.edges = append(cs.edges, edgeSpec{target: "Spool", calls: 1, argBytes: pick(rng, 128, 1024)})
+		}
+		spec.classes = append(spec.classes, cs)
+	}
+
+	heavy := scenarioSpec{name: ScenHeavy}
+	for i := 0; i < views; i++ {
+		heavy.steps = append(heavy.steps, step{
+			class: fmt.Sprintf("View%d", i), instances: 1, calls: pick(rng, 2, 4), payload: pick(rng, 512, 2048),
+		})
+	}
+	spec.scenarios = []scenarioSpec{
+		{name: ScenBase, steps: []step{{class: "View0", instances: 1, calls: 2, payload: 256}}},
+		heavy,
+		{name: ScenAlt, steps: []step{
+			{class: "Audit", instances: 1, calls: 2, payload: 64},
+			{class: "View0", instances: 1, calls: 1, payload: 128},
+		}},
+	}
+	spec.plantsInfeasible = true
+	spec.latentPairs = [][2]string{{"Logic0", "Audit"}}
+	return spec
+}
+
+// scatterGatherSpec: a client coordinator scatters work through a dynamic
+// factory that mints workers and returns their interfaces — exercising
+// the reachability analysis's return-flow grant and effective-creator
+// attribution.
+func scatterGatherSpec(rng *rand.Rand, scale int) appSpec {
+	var spec appSpec
+	spec.classes = append(spec.classes, classSpec{
+		name: "SGStore", home: com.Server, infra: true,
+		apis:      []string{com.APIFileRead, com.APIFileWrite},
+		codeBytes: codeSize(rng), compute: dur(rng, 500*time.Microsecond, 2*time.Millisecond),
+		resBytes: pick(rng, 4<<10, 16<<10),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Worker", home: com.Server,
+		codeBytes: codeSize(rng), compute: dur(rng, time.Millisecond, 4*time.Millisecond),
+		resBytes: pick(rng, 512, 4096),
+		edges: []edgeSpec{
+			{target: "SGStore", calls: pick(rng, 1, 3), argBytes: pick(rng, 32, 128)},
+		},
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Spawn", home: com.Server, factoryFor: "Worker",
+		codeBytes: codeSize(rng), compute: dur(rng, 100*time.Microsecond, 500*time.Microsecond),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Probe", home: com.Client,
+		codeBytes: codeSize(rng), compute: dur(rng, 100*time.Microsecond, 500*time.Microsecond),
+		resBytes: pick(rng, 32, 128),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Coord", home: com.Client,
+		apis:      []string{com.APIUserWindow},
+		codeBytes: codeSize(rng), compute: dur(rng, 500*time.Microsecond, 2*time.Millisecond),
+		resBytes: pick(rng, 128, 512),
+		edges: []edgeSpec{{
+			target: "Spawn", calls: pick(rng, 3, 5) + (scale-1)*2, argBytes: 64,
+			fanCalls: pick(rng, 2, 4), fanBytes: pick(rng, 256, 1024),
+		}},
+		latent:        []string{"Probe"},
+		alsoActivates: []string{"Worker"},
+	})
+
+	spec.scenarios = []scenarioSpec{
+		{name: ScenBase, steps: []step{{class: "Coord", instances: 1, calls: 1, payload: 128}}},
+		{name: ScenHeavy, steps: []step{
+			{class: "Coord", instances: pick(rng, 1, 2), calls: pick(rng, 2, 3), payload: pick(rng, 256, 512)},
+		}},
+		{name: ScenAlt, steps: []step{
+			{class: "Probe", instances: 1, calls: 2, payload: 64},
+			{class: "Coord", instances: 1, calls: 1, payload: 128},
+		}},
+	}
+	spec.latentPairs = [][2]string{{"Coord", "Probe"}}
+	return spec
+}
+
+// pipelineSpec: a linear stage chain from a client display to server
+// storage; inter-stage payloads vary so the minimum cut falls at the
+// narrowest point of the chain.
+func pipelineSpec(rng *rand.Rand, scale int) appSpec {
+	depth := pick(rng, 3, 4)
+	if scale > 1 {
+		depth++
+	}
+	var spec appSpec
+	spec.classes = append(spec.classes, classSpec{
+		name: "PipeStore", home: com.Server, infra: true,
+		apis:      []string{com.APIFileOpen, com.APIFileWrite},
+		codeBytes: codeSize(rng), compute: dur(rng, 500*time.Microsecond, 2*time.Millisecond),
+		resBytes: pick(rng, 8<<10, 32<<10),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Tap", home: com.Client,
+		codeBytes: codeSize(rng), compute: dur(rng, 100*time.Microsecond, 500*time.Microsecond),
+		resBytes: pick(rng, 32, 128),
+	})
+	for i := depth - 1; i >= 0; i-- {
+		cs := classSpec{
+			name:      fmt.Sprintf("Stage%d", i),
+			codeBytes: codeSize(rng), compute: dur(rng, 500*time.Microsecond, 3*time.Millisecond),
+			resBytes: pick(rng, 256, 2048),
+		}
+		if i < depth/2 {
+			cs.home = com.Client
+		} else {
+			cs.home = com.Server
+		}
+		if i == 0 {
+			cs.home = com.Client
+			cs.apis = []string{com.APIGdiPaint}
+			cs.latent = []string{"Tap"}
+		}
+		if i == depth-1 {
+			cs.edges = []edgeSpec{{target: "PipeStore", calls: pick(rng, 1, 3), argBytes: pick(rng, 64, 256)}}
+		} else {
+			cs.edges = []edgeSpec{{
+				target: fmt.Sprintf("Stage%d", i+1), calls: pick(rng, 1, 2), argBytes: pick(rng, 128, 8192),
+			}}
+		}
+		spec.classes = append(spec.classes, cs)
+	}
+
+	spec.scenarios = []scenarioSpec{
+		{name: ScenBase, steps: []step{{class: "Stage0", instances: 1, calls: 2, payload: 1024}}},
+		{name: ScenHeavy, steps: []step{
+			{class: "Stage0", instances: 1, calls: pick(rng, 3, 5), payload: pick(rng, 2048, 8192)},
+		}},
+		{name: ScenAlt, steps: []step{
+			{class: "Tap", instances: 1, calls: 1, payload: 64},
+			{class: "Stage0", instances: 1, calls: 1, payload: 512},
+		}},
+	}
+	spec.latentPairs = [][2]string{{"Stage0", "Tap"}}
+	return spec
+}
+
+// guiSwarmSpec: many widget instances sharing a non-remotable surface
+// interface and passing opaque device contexts down a widget chain — the
+// whole swarm must end up welded onto the client.
+func guiSwarmSpec(rng *rand.Rand, scale int) appSpec {
+	widgets := pick(rng, 3, 4) + (scale - 1)
+	guiAPIs := [][]string{
+		{com.APIGdiPaint},
+		{com.APIUserWindow},
+		{com.APIUserInput},
+	}
+	var spec appSpec
+	spec.shared = []sharedIfaceSpec{{iid: "ISurface", remotable: false}}
+	spec.classes = append(spec.classes, classSpec{
+		name: "Prefs", home: com.Server, infra: true,
+		apis:      []string{com.APIFileRead},
+		codeBytes: codeSize(rng), compute: dur(rng, 200*time.Microsecond, time.Millisecond),
+		resBytes: pick(rng, 256, 1024),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Theme", home: com.Client,
+		codeBytes: codeSize(rng), compute: dur(rng, 100*time.Microsecond, 500*time.Microsecond),
+		resBytes: pick(rng, 32, 128),
+	})
+	for i := 0; i < widgets; i++ {
+		cs := classSpec{
+			name: fmt.Sprintf("Widget%d", i), home: com.Client,
+			apis: guiAPIs[i%len(guiAPIs)], shared: []string{"ISurface"},
+			opaque:    true,
+			codeBytes: codeSize(rng), compute: dur(rng, 200*time.Microsecond, time.Millisecond),
+			resBytes: pick(rng, 128, 512),
+		}
+		if i < widgets-1 {
+			cs.edges = []edgeSpec{{
+				target: fmt.Sprintf("Widget%d", i+1), calls: pick(rng, 1, 2), argBytes: pick(rng, 64, 512),
+			}}
+		} else {
+			cs.edges = []edgeSpec{{target: "Prefs", calls: 1, argBytes: 32}}
+		}
+		if i == 0 {
+			cs.latent = append(cs.latent, "Theme")
+		}
+		spec.classes = append(spec.classes, cs)
+	}
+
+	spec.scenarios = []scenarioSpec{
+		{name: ScenBase, steps: []step{
+			{class: "Widget0", instances: pick(rng, 3, 5) * scale, calls: 2, payload: 256},
+		}},
+		{name: ScenHeavy, steps: []step{
+			{class: "Widget0", instances: pick(rng, 6, 10), calls: pick(rng, 2, 3), payload: pick(rng, 256, 1024)},
+		}},
+		{name: ScenAlt, steps: []step{
+			{class: "Theme", instances: 1, calls: 1, payload: 64},
+			{class: "Widget0", instances: 1, calls: 1, payload: 128},
+		}},
+	}
+	spec.latentPairs = [][2]string{{"Widget0", "Theme"}}
+	return spec
+}
+
+// cacheHeavySpec: a client front end behind a cacheable mid-tier over a
+// bulk backing store — the family that gives the caching runtime and the
+// cut engine a workload where interposition pays.
+func cacheHeavySpec(rng *rand.Rand, scale int) appSpec {
+	var spec appSpec
+	spec.classes = append(spec.classes, classSpec{
+		name: "CStore", home: com.Server, infra: true,
+		apis:      []string{com.APIFileOpen, com.APIFileRead},
+		codeBytes: codeSize(rng), compute: dur(rng, time.Millisecond, 3*time.Millisecond),
+		resBytes: pick(rng, 16<<10, 64<<10),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Cache", home: com.Client, cacheable: true,
+		codeBytes: codeSize(rng), compute: dur(rng, 200*time.Microsecond, time.Millisecond),
+		resBytes: pick(rng, 4<<10, 16<<10),
+		edges: []edgeSpec{
+			{target: "CStore", calls: pick(rng, 1, 3), argBytes: 64},
+		},
+		latent: []string{"Warm"},
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Warm", home: com.Client,
+		codeBytes: codeSize(rng), compute: dur(rng, 100*time.Microsecond, 500*time.Microsecond),
+		resBytes: pick(rng, 32, 128),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Front", home: com.Client,
+		apis:      []string{com.APIUserWindow},
+		codeBytes: codeSize(rng), compute: dur(rng, 200*time.Microsecond, time.Millisecond),
+		resBytes: pick(rng, 128, 512),
+		edges: []edgeSpec{
+			{target: "Cache", calls: pick(rng, 6, 10) + (scale-1)*4, argBytes: pick(rng, 32, 128)},
+		},
+	})
+
+	spec.scenarios = []scenarioSpec{
+		{name: ScenBase, steps: []step{{class: "Front", instances: 1, calls: 2, payload: 128}}},
+		{name: ScenHeavy, steps: []step{
+			{class: "Front", instances: 1, calls: pick(rng, 3, 5), payload: pick(rng, 128, 512)},
+		}},
+		{name: ScenAlt, steps: []step{
+			{class: "Warm", instances: 1, calls: 1, payload: 32},
+			{class: "Front", instances: 1, calls: 1, payload: 64},
+		}},
+	}
+	spec.latentPairs = [][2]string{{"Cache", "Warm"}}
+	return spec
+}
+
+// skewedSpec: the "celebrity" hot-spot — many peers hammer one hub with a
+// heavy-tailed call distribution, and the hub reads big from storage, so
+// the cut hinges on where the hub lands.
+func skewedSpec(rng *rand.Rand, scale int) appSpec {
+	peers := pick(rng, 5, 7) + (scale-1)*2
+	var spec appSpec
+	spec.classes = append(spec.classes, classSpec{
+		name: "HotStore", home: com.Server, infra: true,
+		apis:      []string{com.APIFileOpen, com.APIFileRead},
+		codeBytes: codeSize(rng), compute: dur(rng, time.Millisecond, 3*time.Millisecond),
+		resBytes: pick(rng, 8<<10, 64<<10),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Cold", home: com.Client,
+		codeBytes: codeSize(rng), compute: dur(rng, 100*time.Microsecond, 500*time.Microsecond),
+		resBytes: pick(rng, 32, 128),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Hub", home: com.Client,
+		codeBytes: codeSize(rng), compute: dur(rng, time.Millisecond, 3*time.Millisecond),
+		resBytes: pick(rng, 256, 2048),
+		edges: []edgeSpec{
+			{target: "HotStore", calls: pick(rng, 3, 8), argBytes: 64},
+		},
+		latent: []string{"Cold"},
+	})
+	for i := 0; i < peers; i++ {
+		cs := classSpec{
+			name: fmt.Sprintf("Peer%d", i), home: com.Client,
+			codeBytes: codeSize(rng), compute: dur(rng, 200*time.Microsecond, time.Millisecond),
+			resBytes: pick(rng, 64, 256),
+			edges: []edgeSpec{{
+				target: "Hub", calls: max(1, 12/(i+1)), argBytes: pick(rng, 128, 1024),
+			}},
+		}
+		if i < 2 {
+			cs.apis = []string{com.APIUserInput}
+		}
+		spec.classes = append(spec.classes, cs)
+	}
+
+	base := scenarioSpec{name: ScenBase}
+	for i := 0; i < peers && i < 3; i++ {
+		base.steps = append(base.steps, step{class: fmt.Sprintf("Peer%d", i), instances: 1, calls: 1, payload: 256})
+	}
+	heavy := scenarioSpec{name: ScenHeavy}
+	for i := 0; i < peers; i++ {
+		heavy.steps = append(heavy.steps, step{
+			class: fmt.Sprintf("Peer%d", i), instances: 1, calls: pick(rng, 1, 2), payload: pick(rng, 256, 1024),
+		})
+	}
+	spec.scenarios = []scenarioSpec{
+		base,
+		heavy,
+		{name: ScenAlt, steps: []step{
+			{class: "Cold", instances: 1, calls: 1, payload: 64},
+			{class: "Peer0", instances: 1, calls: 1, payload: 128},
+		}},
+	}
+	spec.latentPairs = [][2]string{{"Hub", "Cold"}}
+	return spec
+}

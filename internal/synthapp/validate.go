@@ -1,0 +1,124 @@
+package synthapp
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/binimg"
+	"repro/internal/com"
+	"repro/internal/profile"
+	"repro/internal/reach"
+	"repro/internal/staticanal"
+)
+
+// Validate checks that a generated application is well-formed end to end:
+// registry integrity, image encode/decode fidelity, a clean reachability
+// scan, and — crucially for the property harness — static feasibility of
+// the constraint set (no must-co-locate pair pinned to two different
+// machines, which would make every cut infeasible). The generator must
+// never emit an app that fails Validate; the fuzz target enforces this
+// for arbitrary configs.
+func Validate(app *com.App) error {
+	if app == nil {
+		return fmt.Errorf("synthapp: nil application")
+	}
+	if app.Name == "" {
+		return fmt.Errorf("synthapp: application has no name")
+	}
+	if app.Classes == nil || app.Interfaces == nil {
+		return fmt.Errorf("synthapp: %s has nil registries", app.Name)
+	}
+	if app.Main == nil {
+		return fmt.Errorf("synthapp: %s has no entry point", app.Name)
+	}
+	if app.Classes.Len() < 2 {
+		return fmt.Errorf("synthapp: %s has %d classes, need at least 2", app.Name, app.Classes.Len())
+	}
+	for _, c := range app.Classes.Classes() {
+		if len(c.Interfaces) == 0 {
+			return fmt.Errorf("synthapp: class %s implements no interfaces", c.Name)
+		}
+		for _, iid := range c.Interfaces {
+			if app.Interfaces.Lookup(iid) == nil {
+				return fmt.Errorf("synthapp: class %s implements unregistered interface %s", c.Name, iid)
+			}
+		}
+		for _, a := range c.Activations {
+			if app.Classes.Lookup(a) == nil {
+				return fmt.Errorf("synthapp: class %s activates unregistered class %s", c.Name, a)
+			}
+		}
+	}
+	if len(app.MainActivations) == 0 {
+		return fmt.Errorf("synthapp: %s main activates nothing", app.Name)
+	}
+	for _, a := range app.MainActivations {
+		if app.Classes.Lookup(a) == nil {
+			return fmt.Errorf("synthapp: main activates unregistered class %s", a)
+		}
+	}
+
+	// The binary image must survive an encode/decode round trip and
+	// re-encode to identical bytes (the property `coign synth -o` rests
+	// on).
+	img := binimg.BuildImage(app)
+	var buf bytes.Buffer
+	if err := img.Encode(&buf); err != nil {
+		return fmt.Errorf("synthapp: encoding %s image: %w", app.Name, err)
+	}
+	decoded, err := binimg.Decode(buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("synthapp: decoding %s image: %w", app.Name, err)
+	}
+	var buf2 bytes.Buffer
+	if err := decoded.Encode(&buf2); err != nil {
+		return fmt.Errorf("synthapp: re-encoding %s image: %w", app.Name, err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		return fmt.Errorf("synthapp: %s image round trip is not byte-identical", app.Name)
+	}
+
+	// The reachability scan must be clean: no stale activation metadata
+	// and no dead classes (every generated class must be profilable).
+	rg, err := reach.Scan(img, app)
+	if err != nil {
+		return fmt.Errorf("synthapp: reach scan of %s: %w", app.Name, err)
+	}
+	if len(rg.UnknownTargets) > 0 {
+		return fmt.Errorf("synthapp: %s relocations target unknown classes %v", app.Name, rg.UnknownTargets)
+	}
+	if len(rg.Unreachable) > 0 {
+		return fmt.Errorf("synthapp: %s has unreachable classes %v", app.Name, rg.Unreachable)
+	}
+
+	// Static feasibility: no potential ICC edge may connect a
+	// must-co-locate pair whose endpoints are pinned to different
+	// machines — such an app could never be cut.
+	rep, err := staticanal.Analyze(app, img)
+	if err != nil {
+		return fmt.Errorf("synthapp: static analysis of %s: %w", app.Name, err)
+	}
+	cs := rep.Constraints
+	machineOf := func(class string) (com.Machine, bool) {
+		if class == profile.MainProgram {
+			return com.Client, true
+		}
+		if pin, ok := cs.PinFor(class); ok {
+			return pin.Machine, true
+		}
+		return 0, false
+	}
+	for _, e := range rg.Edges {
+		reason, weld := cs.MustCoLocate(e.Src, e.Dst)
+		if !weld {
+			continue
+		}
+		sm, sok := machineOf(e.Src)
+		dm, dok := machineOf(e.Dst)
+		if sok && dok && sm != dm {
+			return fmt.Errorf("synthapp: %s edge %s -> %s must co-locate (%s) but endpoints are pinned to %s and %s",
+				app.Name, e.Src, e.Dst, reason, sm, dm)
+		}
+	}
+	return nil
+}
