@@ -17,11 +17,11 @@ import (
 // so the benchmark doubles as a correctness gate.
 func cmdBenchCut(args []string) error {
 	fs := flag.NewFlagSet("bench-cut", flag.ExitOnError)
-	sizes := fs.String("sizes", "1000,3000,10000,30000,100000", "comma-separated node counts")
+	sizes := fs.String("sizes", "1000,3000,10000,30000,100000,300000,1000000", "comma-separated node counts")
 	seed := fs.Int64("seed", 1, "workload seed (same seed, same graphs)")
 	degree := fs.Int("degree", 0, "average attachment degree (0 = generator default)")
 	oracleMax := fs.Int("oracle-max", 30000, "largest size the Edmonds-Karp oracle runs at (0 = default cap)")
-	oldMax := fs.Int("old-max", 0, "largest size the legacy relabel-to-front path runs at (0 = unlimited)")
+	oldMax := fs.Int("old-max", 0, "largest size the legacy relabel-to-front path runs at (0 = default cap 100000, negative = unlimited)")
 	repeat := fs.Int("repeat", 3, "timed repetitions per algorithm (best-of)")
 	jsonPath := fs.String("json", "", "write the report as JSON to this file")
 	quiet := fs.Bool("q", false, "suppress per-size progress")

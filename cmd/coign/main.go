@@ -20,6 +20,7 @@
 //	coign bench-cut [-sizes 1000,...,100000]     cut-engine benchmark on synthetic ICC graphs
 //	coign check [-app all] [-json out.json]      static constraint analysis + verification
 //	coign coverage [-app all] [-fail-under 70]   activation-reachability scenario coverage
+//	coign purity [-app all] [-fail-on misclassified]  state-mutability analysis + replication grading
 //	coign instrument -app octarine -o app.img    rewrite a binary for profiling
 //	coign synth -family skewed -seed 7 [-o f.img]  generate a synthetic application
 //	coign synth -harness -seeds 20 [-json]       full-pipeline property sweep
@@ -48,6 +49,7 @@ import (
 	"repro/internal/logger"
 	"repro/internal/netsim"
 	"repro/internal/profile"
+	"repro/internal/purity"
 	"repro/internal/reach"
 	"repro/internal/scenario"
 	"repro/internal/staticanal"
@@ -98,6 +100,8 @@ func main() {
 		err = cmdCheck(args)
 	case "coverage":
 		err = cmdCoverage(args)
+	case "purity":
+		err = cmdPurity(args)
 	case "instrument":
 		err = cmdInstrument(args)
 	case "synth":
@@ -135,6 +139,8 @@ commands:
   bench-cut   cut-engine benchmark sweep over synthetic ICC graphs
   check       static constraint analysis: remotability, pins, co-location
   coverage    diff static activation reachability against profiled scenarios
+  purity      static state-mutability analysis, component grading, and the
+              replication-aware cut
   instrument  rewrite an application binary for profiling
   profile     run profiling scenarios and write .icc log files
   analyze     combine .icc log files and print the chosen distribution
@@ -565,6 +571,85 @@ func cmdCoverage(args []string) error {
 	}
 	if len(failed) > 0 {
 		return fmt.Errorf("coverage below %.1f%%: %s", *failUnder, strings.Join(failed, ", "))
+	}
+	return nil
+}
+
+// cmdPurity runs the static purity & state-mutability analysis over one
+// or all applications: classify every method from the binary's state
+// records, fold in profiled call/write evidence to grade each component
+// stateless/read-mostly/stateful, verify the static claims against
+// observed mutations, and compare the plain cut with the
+// replication-aware one.
+func cmdPurity(args []string) error {
+	fs := flag.NewFlagSet("purity", flag.ExitOnError)
+	appName := fs.String("app", "all", "application to analyze, 'quickstart', or 'all'")
+	scens := fs.String("scenarios", "", "comma-separated scenario override (default: the app's training suite)")
+	theta := fs.Float64("theta", 0, fmt.Sprintf("read-mostly write-fraction threshold (0 selects %.2f)", purity.DefaultTheta))
+	jsonOut := fs.Bool("json", false, "emit the purity rows as JSON on stdout")
+	failOn := fs.String("fail-on", "", "fail (exit nonzero) on: 'misclassified'")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *failOn != "" && *failOn != "misclassified" {
+		return fmt.Errorf("unknown -fail-on condition %q (supported: misclassified)", *failOn)
+	}
+	apps := experiments.PurityApps()
+	if *appName != "all" {
+		apps = []string{*appName}
+	}
+	var scenarios []string
+	if *scens != "" {
+		if len(apps) != 1 {
+			return fmt.Errorf("-scenarios requires a single -app")
+		}
+		scenarios = strings.Split(*scens, ",")
+	}
+
+	var rows []*experiments.PurityRow
+	for _, name := range apps {
+		row, err := experiments.Purity(name, scenarios, *theta)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			return err
+		}
+	} else {
+		for _, row := range rows {
+			fmt.Printf("%s: %d classes (%d with state descriptors, %d locally pure), theta %.2f\n",
+				row.App, row.Classes, row.WithDescriptor, row.LocallyPure, row.Theta)
+			if g := row.Grading; g != nil {
+				fmt.Printf("  graded %d components: %d stateless, %d read-mostly, %d stateful\n",
+					len(g.Components), g.Stateless, g.ReadMostly, g.Stateful)
+				for _, cg := range g.Components {
+					if cg.Grade != purity.GradeStateful {
+						fmt.Printf("    %-12s %-24s %s (%s)\n", cg.Grade, cg.Classification, cg.Class, cg.Provenance)
+					}
+				}
+				fmt.Printf("  cut %.6fs plain vs %.6fs replicated (%d components cloned)\n",
+					row.CutWeight, row.ReplicatedWeight, len(row.Replicated))
+			}
+			fmt.Printf("  verifier: %d misclassified, %d warnings\n\n", row.Misclassified, row.Warnings)
+		}
+	}
+
+	if *failOn == "misclassified" {
+		var failed []string
+		for _, row := range rows {
+			if row.Misclassified > 0 {
+				failed = append(failed, fmt.Sprintf("%s (%d)", row.App, row.Misclassified))
+			}
+		}
+		if len(failed) > 0 {
+			return fmt.Errorf("purity misclassifications: %s", strings.Join(failed, ", "))
+		}
 	}
 	return nil
 }

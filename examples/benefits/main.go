@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/internal/apps/benefits"
 	"repro/internal/core"
@@ -55,11 +56,20 @@ func main() {
 		}
 	}
 	fmt.Println("\nstays on the middle tier (business logic):")
-	for class, n := range middle {
-		fmt.Printf("  %-18s x%d\n", class, n)
-	}
+	printByClass(middle)
 	fmt.Println("moves to the client (front end + caches):")
-	for class, n := range client {
-		fmt.Printf("  %-18s x%d\n", class, n)
+	printByClass(client)
+}
+
+// printByClass prints class instance counts in sorted class order, so
+// repeated runs produce identical output.
+func printByClass(counts map[string]int64) {
+	classes := make([]string, 0, len(counts))
+	for class := range counts {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		fmt.Printf("  %-18s x%d\n", class, counts[class])
 	}
 }

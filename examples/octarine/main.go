@@ -16,6 +16,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/internal/apps/octarine"
 	"repro/internal/core"
@@ -64,7 +65,13 @@ func main() {
 	for _, cp := range res.ServerComponents(p) {
 		byClass[cp.Class] += cp.Instances
 	}
-	for class, n := range byClass {
-		fmt.Printf("  %-18s x%d\n", class, n)
+	// Sorted class order keeps repeated runs byte-identical.
+	classes := make([]string, 0, len(byClass))
+	for class := range byClass {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		fmt.Printf("  %-18s x%d\n", class, byClass[class])
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/netsim"
 	"repro/internal/profile"
+	"repro/internal/purity"
 	"repro/internal/staticanal"
 )
 
@@ -46,6 +47,20 @@ type Options struct {
 	// ExtraCoLocate forces pairs of classifications together, modeling
 	// programmer-supplied pair-wise constraints.
 	ExtraCoLocate [][2]string
+	// Purity, when set, is the static purity analyzer's report: profiled
+	// components are graded Stateless/ReadMostly/Stateful (surfaced in
+	// Result.Purity) and the purity verifier cross-checks profile-observed
+	// mutations against static read-only claims (findings land in
+	// Result.Findings).
+	Purity *purity.Report
+	// PurityTheta is the read-mostly threshold; <= 0 selects
+	// purity.DefaultTheta.
+	PurityTheta float64
+	// Replicate additionally cuts the replication-aware network: every
+	// replication-eligible node's edges are removed (graph.Replicate) and
+	// the replicated cut is reported alongside the plain one, with an
+	// invariant finding if it ever costs more.
+	Replicate bool
 }
 
 // Result is the analysis engine's output.
@@ -92,6 +107,17 @@ type Result struct {
 	// Findings is the static/dynamic verifier's output: cross-check
 	// divergences and (never expected) cut-constraint violations.
 	Findings []staticanal.Finding
+	// Purity is the profile-folded component grading (nil unless
+	// Options.Purity was supplied).
+	Purity *purity.Grading
+	// ReplicatedCut is the minimum cut of the replication-aware network
+	// (nil unless Options.Replicate).
+	ReplicatedCut *graph.Cut
+	// ReplicatedComm is the communication time of the replicated cut.
+	ReplicatedComm time.Duration
+	// Replicated lists the nodes actually replicated, sorted (eligible
+	// nodes that are pinned or welded are skipped).
+	Replicated []string
 }
 
 // BuildStats summarizes the constraints installed during graph
@@ -119,7 +145,11 @@ func BuildGraph(p *profile.Profile, np *netsim.Profile, classes *com.ClassRegist
 	g.Pin(profile.MainProgram, graph.SourceSide)
 
 	var st BuildStats
-	for id := range p.Classifications {
+	// Intern nodes in sorted order: node indices decide the edge-key order
+	// every downstream float accumulation (cut weights, assignment pricing)
+	// sums in, and map-order interning made those sums — and tie-breaks
+	// between equal-cost cuts — drift across runs.
+	for _, id := range p.ClassificationIDs() {
 		g.Node(id)
 	}
 	if cs := opts.Constraints; cs != nil {
@@ -235,6 +265,31 @@ func Analyze(p *profile.Profile, np *netsim.Profile, app *com.App, opts Options)
 	if cs := opts.Constraints; cs != nil {
 		res.Findings = append(res.Findings, cs.CrossCheck(p)...)
 		res.Findings = append(res.Findings, cs.CheckCut(p, res.Distribution)...)
+	}
+
+	// Purity grading and the replication-aware cut. Replication only ever
+	// removes edges, so the replicated cut can never cost more than the
+	// plain one; a violation of that invariant is an engine bug and
+	// surfaces as an error finding.
+	if opts.Purity != nil {
+		res.Purity = opts.Purity.Grade(p, opts.PurityTheta)
+		res.Findings = append(res.Findings, opts.Purity.Verify(p)...)
+		if opts.Replicate {
+			rg, replicated := g.Replicate(res.Purity.Replication.Classifications)
+			rcut, err := rg.MinCut()
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %s: replicated cut: %w", p.App, err)
+			}
+			res.ReplicatedCut = rcut
+			res.ReplicatedComm = time.Duration(rcut.Weight * float64(time.Second))
+			res.Replicated = replicated
+			if rcut.Weight > cut.Weight*(1+1e-9)+1e-12 {
+				res.Findings = append(res.Findings, staticanal.Finding{
+					Kind: "replication-regression", Severity: staticanal.SeverityError,
+					Detail: fmt.Sprintf("replicated cut weight %g exceeds plain cut weight %g", rcut.Weight, cut.Weight),
+				})
+			}
+		}
 	}
 	return res, nil
 }

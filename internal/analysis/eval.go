@@ -24,6 +24,13 @@ type ClassifierEval struct {
 	NewClassifications            int
 	AvgInstancesPerClassification float64
 	AvgCorrelation                float64
+	// Stateless, ReadMostly, and Stateful count the purity grades of the
+	// profiled classifications — how the granularity of a classifier
+	// shifts the replication-eligible population. Filled by
+	// core.ClassifierAccuracy; zero when no purity report is available.
+	Stateless  int
+	ReadMostly int
+	Stateful   int
 }
 
 // EvaluateClassifier compares an evaluation profile against the combined

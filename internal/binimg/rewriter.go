@@ -35,6 +35,14 @@ func BuildImage(app *com.App) *Image {
 				Data: EncodeReloc(c.DynamicActivation, c.Activations),
 			})
 		}
+		// State descriptors become state-mutability records the purity
+		// analysis scans back out of the image.
+		if c.State != nil {
+			im.Sections = append(im.Sections, Section{
+				Name: StatePrefix + string(c.ID),
+				Data: EncodeState(c.State),
+			})
+		}
 	}
 	if len(app.MainActivations) > 0 {
 		im.Sections = append(im.Sections, Section{

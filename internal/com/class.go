@@ -53,6 +53,42 @@ type ObjectFunc func(call *Call) ([]idl.Value, error)
 // Invoke calls f.
 func (f ObjectFunc) Invoke(call *Call) ([]idl.Value, error) { return f(call) }
 
+// StateDesc declares the mutable state of a component class and which
+// methods touch it — the state-mutability metadata the binary rewriter
+// embeds as `.state$` sections and the purity analysis recovers by
+// scanning the image. Bytes is the size of the instance state block;
+// zero declares the class stateless. Reads and Writes list method names
+// (across all implemented interfaces) that read or mutate the state.
+// Like activation records, the declaration is over-approximate on the
+// write side: a listed writer may never mutate at run time, but an
+// unlisted one must never (the purity verifier reports an observed
+// mutation through a method not declared as a writer as a static miss).
+type StateDesc struct {
+	Bytes  int      // size of the instance state block; 0 = stateless
+	Reads  []string // methods that only read the state
+	Writes []string // methods that may mutate the state
+}
+
+// ReadsMethod reports whether the descriptor declares method a reader.
+func (s *StateDesc) ReadsMethod(m string) bool {
+	for _, r := range s.Reads {
+		if r == m {
+			return true
+		}
+	}
+	return false
+}
+
+// WritesMethod reports whether the descriptor declares method a writer.
+func (s *StateDesc) WritesMethod(m string) bool {
+	for _, w := range s.Writes {
+		if w == m {
+			return true
+		}
+	}
+	return false
+}
+
 // Class describes a component class: its identity, the interfaces it
 // implements, the system APIs its binary imports (input to constraint
 // inference), and a constructor.
@@ -89,6 +125,11 @@ type Class struct {
 	// path, and grants the factory the interface types its own method
 	// signatures can return.
 	DynamicActivation bool
+
+	// State declares the class's mutable state and per-method read/write
+	// behaviour. Nil means the class ships no state metadata; the purity
+	// analysis then treats every method as conservatively mutating.
+	State *StateDesc
 }
 
 // Implements reports whether the class implements the interface.

@@ -104,6 +104,13 @@ func (c *Call) Compute(d time.Duration) {
 	c.Env.Compute(c.Self, d)
 }
 
+// Mutate records that the currently executing method mutates its
+// instance's state. Behaviours call it from state-writing methods so the
+// runtime can observe mutations and cross-check static purity claims.
+func (c *Call) Mutate() {
+	c.Env.StateWrite(c.Self, c.Method)
+}
+
 // Hooks are the interception points the Coign runtime installs. A nil hook
 // field means the default (un-instrumented) behaviour.
 type Hooks struct {
@@ -119,6 +126,9 @@ type Hooks struct {
 	WrapInterface func(itf *Interface) *Interface
 	// ReleaseInstance observes instance destruction.
 	ReleaseInstance func(inst *Instance)
+	// StateWrite observes a state mutation performed by the named method
+	// of inst. The default discards the observation.
+	StateWrite func(inst *Instance, method string)
 }
 
 // ComputeClock receives compute-time accruals. The distributed execution
@@ -319,4 +329,13 @@ func (e *Env) Compute(inst *Instance, d time.Duration) {
 		m = inst.Machine
 	}
 	e.clock.Compute(m, d)
+}
+
+// StateWrite reports a state mutation by method on inst to the installed
+// StateWrite hook. Without a hook the observation is discarded.
+func (e *Env) StateWrite(inst *Instance, method string) {
+	if e.hooks.StateWrite == nil {
+		return
+	}
+	e.hooks.StateWrite(inst, method)
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/netsim"
 	"repro/internal/profile"
+	"repro/internal/purity"
 	"repro/internal/reach"
 	"repro/internal/staticanal"
 )
@@ -48,6 +49,11 @@ type ADPS struct {
 	// construction. Diffed against profiles it yields scenario-coverage
 	// reports (see CoverageReport).
 	Reach *reach.Graph
+	// Purity is the static state-mutability report recovered from the
+	// original binary's state records, derived once at pipeline
+	// construction; it feeds component grading and the purity verifier in
+	// the analysis engine.
+	Purity *purity.Report
 	// Samples is the number of observations per message size in network
 	// profiling.
 	Samples int
@@ -78,6 +84,10 @@ func New(app *com.App) *ADPS {
 	}
 	if rg, err := reach.Scan(a.Image, app); err == nil {
 		a.Reach = rg
+	}
+	if pr, err := purity.Scan(a.Image, app, a.Reach); err == nil {
+		a.Purity = pr
+		a.AnalysisOptions.Purity = pr
 	}
 	return a
 }
@@ -406,5 +416,17 @@ func ClassifierAccuracy(app *com.App, kind classify.Kind, depth int,
 	if err != nil {
 		return nil, fmt.Errorf("core: evaluating %s: %w", evalScenario, err)
 	}
-	return analysis.EvaluateClassifier(combined, evalRes.Profile, np)
+	ev, err := analysis.EvaluateClassifier(combined, evalRes.Profile, np)
+	if err != nil {
+		return nil, err
+	}
+	// Purity grades per classification: the finer the classifier, the more
+	// of the profiled population can be proven replication-eligible.
+	if pr, perr := purity.Scan(binimg.BuildImage(app), app, nil); perr == nil {
+		grading := pr.Grade(combined, 0)
+		ev.Stateless = grading.Stateless
+		ev.ReadMostly = grading.ReadMostly
+		ev.Stateful = grading.Stateful
+	}
+	return ev, nil
 }

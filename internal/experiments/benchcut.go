@@ -33,8 +33,9 @@ type CutBenchConfig struct {
 	// OracleMax caps the sizes the Edmonds–Karp oracle runs at: EK is
 	// O(V·E²) and already needs minutes at 30k nodes. 0 means 30000.
 	OracleMax int
-	// OldMax caps the sizes the legacy relabel-to-front path runs at.
-	// 0 means unlimited.
+	// OldMax caps the sizes the legacy relabel-to-front path runs at:
+	// its scan-restart loop goes quadratic past ~100k nodes. 0 means
+	// 100000; negative means unlimited.
 	OldMax int
 	// Repeat is how many times each timed algorithm runs per size; the
 	// fastest run is reported (default 3).
@@ -43,13 +44,16 @@ type CutBenchConfig struct {
 
 func (c CutBenchConfig) withDefaults() CutBenchConfig {
 	if len(c.Sizes) == 0 {
-		c.Sizes = []int{1000, 3000, 10000, 30000, 100000}
+		c.Sizes = []int{1000, 3000, 10000, 30000, 100000, 300000, 1000000}
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
 	if c.OracleMax == 0 {
 		c.OracleMax = 30000
+	}
+	if c.OldMax == 0 {
+		c.OldMax = 100000
 	}
 	if c.Repeat <= 0 {
 		c.Repeat = 3
@@ -81,6 +85,15 @@ type CutBenchRow struct {
 	// WeightsAgree is true when every algorithm that ran returned the
 	// same cut weight (within 1e-6 relative tolerance).
 	WeightsAgree bool `json:"weights_agree"`
+
+	// Replicated is how many components the replication-aware variant
+	// cloned (a deterministic ~1% sample, minus pinned/welded nodes);
+	// ReplWeight and ReplNS are the cut weight and time on the replicated
+	// network. The harness fails if ReplWeight exceeds Weight: replication
+	// only removes edges, so the cut can never get costlier.
+	Replicated int     `json:"replicated"`
+	ReplWeight float64 `json:"repl_weight"`
+	ReplNS     int64   `json:"repl_ns"`
 }
 
 // CutBenchReport is the full benchmark output, serialized to
@@ -190,12 +203,52 @@ func RunCutBench(cfg CutBenchConfig, progress io.Writer) (*CutBenchReport, error
 				return rep, fmt.Errorf("bench-cut: n=%d: oracle weight %v != %v", n, ekCut.Weight, newCut.Weight)
 			}
 		}
+
+		// Replication-aware cut on the same workload: clone the sampled
+		// components, drop their ICC edges, re-cut. Timed on the reduced
+		// network so the column compares cut cost, not clone setup. A
+		// replicated cut above the plain one is an engine bug — the copy
+		// has a strict subset of the edges.
+		if progress != nil {
+			fmt.Fprintf(progress, " replicated...")
+		}
+		eligible := replicationCandidates(g)
+		_, cloned := g.Replicate(eligible)
+		row.Replicated = len(cloned)
+		mkRepl := func() *graph.Graph {
+			rg, _ := mk().Replicate(eligible)
+			return rg
+		}
+		replT, replCut, err := timeCut(cfg.Repeat, mkRepl, (*graph.Graph).MinCut)
+		if err != nil {
+			return nil, fmt.Errorf("bench-cut: n=%d replicated: %w", n, err)
+		}
+		row.ReplNS = replT.Nanoseconds()
+		row.ReplWeight = replCut.Weight
+		if replCut.Weight > newCut.Weight+tol {
+			row.WeightsAgree = false
+			return rep, fmt.Errorf("bench-cut: n=%d: replicated cut weight %v exceeds plain %v", n, replCut.Weight, newCut.Weight)
+		}
+
 		if progress != nil {
 			fmt.Fprintf(progress, " done (%.1fms)\n", float64(row.NewNS)/1e6)
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
 	return rep, nil
+}
+
+// replicationCandidates picks every 100th component, in node insertion
+// order, as replication-eligible — a deterministic ~1% sample that is
+// stable for a given seed and size. Pinned and welded candidates are
+// skipped by Replicate itself.
+func replicationCandidates(g *graph.Graph) []string {
+	names := g.NodeNames()
+	out := make([]string, 0, len(names)/100+1)
+	for i := 0; i < len(names); i += 100 {
+		out = append(out, names[i])
+	}
+	return out
 }
 
 // WriteJSON serializes the report (indented, trailing newline).
@@ -205,10 +258,13 @@ func (r *CutBenchReport) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// PrintCutBench renders the sweep as a table.
+// PrintCutBench renders the sweep as a table. The repl-cut column is the
+// replicated cut weight as a fraction of the plain one — how much of the
+// communication cost vanishes when the sampled components are cloned.
 func PrintCutBench(w io.Writer, rep *CutBenchReport) {
-	fmt.Fprintf(w, "%8s %9s %12s %12s %12s %9s %10s %6s\n",
-		"nodes", "edges", "hi-label", "lift-front", "edmonds-k", "speedup", "alloc", "agree")
+	fmt.Fprintf(w, "%8s %9s %12s %12s %12s %9s %10s %6s %6s %12s %9s\n",
+		"nodes", "edges", "hi-label", "lift-front", "edmonds-k", "speedup", "alloc", "agree",
+		"repl", "repl-time", "repl-cut")
 	ms := func(ns int64) string {
 		if ns == 0 {
 			return "-"
@@ -220,8 +276,13 @@ func PrintCutBench(w io.Writer, rep *CutBenchReport) {
 		if r.Speedup > 0 {
 			speed = fmt.Sprintf("%.1fx", r.Speedup)
 		}
-		fmt.Fprintf(w, "%8d %9d %12s %12s %12s %9s %9.1fM %6v\n",
+		frac := "-"
+		if r.Weight > 0 {
+			frac = fmt.Sprintf("%.3f", r.ReplWeight/r.Weight)
+		}
+		fmt.Fprintf(w, "%8d %9d %12s %12s %12s %9s %9.1fM %6v %6d %12s %9s\n",
 			r.Nodes, r.Edges, ms(r.NewNS), ms(r.OldNS), ms(r.OracleNS),
-			speed, float64(r.NewAllocBytes)/1e6, r.WeightsAgree)
+			speed, float64(r.NewAllocBytes)/1e6, r.WeightsAgree,
+			r.Replicated, ms(r.ReplNS), frac)
 	}
 }

@@ -17,13 +17,18 @@ import (
 	"repro/internal/scenario"
 )
 
-// Table2Row is one row of Table 2 (classifier accuracy).
+// Table2Row is one row of Table 2 (classifier accuracy), extended with
+// the purity analysis's per-classification grade counts: how many of the
+// profiled classifications each classifier proves replication-eligible.
 type Table2Row struct {
 	Classifier              string
 	ProfiledClassifications int
 	NewClassifications      int
 	AvgInstances            float64
 	AvgCorrelation          float64
+	Stateless               int
+	ReadMostly              int
+	Stateful                int
 }
 
 // Table2 evaluates all seven instance classifiers on an application:
@@ -51,17 +56,24 @@ func Table2(app string) ([]Table2Row, error) {
 			NewClassifications:      res.NewClassifications,
 			AvgInstances:            res.AvgInstancesPerClassification,
 			AvgCorrelation:          res.AvgCorrelation,
+			Stateless:               res.Stateless,
+			ReadMostly:              res.ReadMostly,
+			Stateful:                res.Stateful,
 		})
 	}
 	return rows, nil
 }
 
-// Table3Row is one row of Table 3 (IFCB accuracy vs stack depth).
+// Table3Row is one row of Table 3 (IFCB accuracy vs stack depth), with
+// the same purity-grade columns as Table 2.
 type Table3Row struct {
 	Depth                   int // 0 = complete stack
 	ProfiledClassifications int
 	AvgInstances            float64
 	AvgCorrelation          float64
+	Stateless               int
+	ReadMostly              int
+	Stateful                int
 }
 
 // Table3Depths are the stack-walk depths of paper Table 3.
@@ -89,6 +101,9 @@ func Table3(app string) ([]Table3Row, error) {
 			ProfiledClassifications: res.ProfiledClassifications,
 			AvgInstances:            res.AvgInstancesPerClassification,
 			AvgCorrelation:          res.AvgCorrelation,
+			Stateless:               res.Stateless,
+			ReadMostly:              res.ReadMostly,
+			Stateful:                res.Stateful,
 		})
 	}
 	return rows, nil
@@ -252,27 +267,30 @@ func Figure7() (*ScenarioRow, error) { return RunScenario("o_oldtb0") }
 // Figure8 runs only the Octarine mixed-document distribution experiment.
 func Figure8() (*ScenarioRow, error) { return RunScenario("o_oldbth") }
 
-// PrintTable2 renders Table 2 in the paper's layout.
+// PrintTable2 renders Table 2 in the paper's layout, with the purity
+// grade counts appended (stateless/read-mostly/stateful).
 func PrintTable2(w io.Writer, rows []Table2Row) {
-	fmt.Fprintf(w, "%-24s %10s %8s %12s %12s\n",
-		"Instance Classifier", "Profiled", "New", "Inst/Class", "Avg Corr")
+	fmt.Fprintf(w, "%-24s %10s %8s %12s %12s %14s\n",
+		"Instance Classifier", "Profiled", "New", "Inst/Class", "Avg Corr", "SL/RM/SF")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-24s %10d %8d %12.1f %12.3f\n",
+		fmt.Fprintf(w, "%-24s %10d %8d %12.1f %12.3f %14s\n",
 			r.Classifier, r.ProfiledClassifications, r.NewClassifications,
-			r.AvgInstances, r.AvgCorrelation)
+			r.AvgInstances, r.AvgCorrelation,
+			fmt.Sprintf("%d/%d/%d", r.Stateless, r.ReadMostly, r.Stateful))
 	}
 }
 
-// PrintTable3 renders Table 3.
+// PrintTable3 renders Table 3, with the purity grade counts appended.
 func PrintTable3(w io.Writer, rows []Table3Row) {
-	fmt.Fprintf(w, "%-12s %10s %12s %12s\n", "Stack Depth", "Profiled", "Inst/Class", "Avg Corr")
+	fmt.Fprintf(w, "%-12s %10s %12s %12s %14s\n", "Stack Depth", "Profiled", "Inst/Class", "Avg Corr", "SL/RM/SF")
 	for _, r := range rows {
 		depth := fmt.Sprintf("%d", r.Depth)
 		if r.Depth == 0 {
 			depth = "complete"
 		}
-		fmt.Fprintf(w, "%-12s %10d %12.1f %12.3f\n",
-			depth, r.ProfiledClassifications, r.AvgInstances, r.AvgCorrelation)
+		fmt.Fprintf(w, "%-12s %10d %12.1f %12.3f %14s\n",
+			depth, r.ProfiledClassifications, r.AvgInstances, r.AvgCorrelation,
+			fmt.Sprintf("%d/%d/%d", r.Stateless, r.ReadMostly, r.Stateful))
 	}
 }
 

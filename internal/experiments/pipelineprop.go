@@ -12,6 +12,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/fault"
 	"repro/internal/profile"
+	"repro/internal/purity"
 	"repro/internal/synthapp"
 )
 
@@ -42,6 +43,8 @@ type PipelineReport struct {
 	GraphEdges        int     `json:"graphEdges"`
 	CutWeight         float64 `json:"cutWeight"`
 	RelaxedWeight     float64 `json:"relaxedWeight"`
+	ReplicatedWeight  float64 `json:"replicatedWeight"`
+	Replicated        int     `json:"replicated"`
 	DefaultViolations int     `json:"defaultViolations"`
 	UncoveredEdges    int     `json:"uncoveredEdges"`
 
@@ -120,7 +123,9 @@ func RunPipelineProperty(cfg synthapp.Config) (*PipelineReport, error) {
 			fmt.Sprintf("planted edge %s -> %s not reported uncovered", pair[0], pair[1]))
 	}
 
-	// Cut the combined training profile.
+	// Cut the combined training profile, with the replication-aware cut
+	// alongside so its monotonicity invariant is swept on every topology.
+	adps.AnalysisOptions.Replicate = true
 	ares, err := adps.Analyze(prof)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: analyzing %s: %w", a.App.Name, err)
@@ -173,6 +178,47 @@ func RunPipelineProperty(cfg synthapp.Config) (*PipelineReport, error) {
 			fmt.Sprintf("push-relabel %.9g vs Edmonds-Karp %.9g", ares.Cut.Weight, ek.Weight))
 	}
 
+	// Purity: the static grading must exist, the verifier must never see a
+	// mutation through a method claimed read-only, and replication — a
+	// pure edge-removal transform — can never make the cut costlier.
+	rep.check("purity-graded", ares.Purity != nil, "analysis produced no purity grading")
+	misses := 0
+	for _, f := range ares.Findings {
+		if f.Kind == purity.KindPurityMiss || f.Kind == "replication-regression" {
+			misses++
+		}
+	}
+	rep.check("purity-verifier-clean", misses == 0,
+		fmt.Sprintf("%d purity-miss/replication-regression finding(s): %v", misses, ares.Findings))
+	if ares.ReplicatedCut != nil {
+		rep.ReplicatedWeight = ares.ReplicatedCut.Weight
+		rep.Replicated = len(ares.Replicated)
+		rep.check("replicated-not-costlier",
+			ares.ReplicatedCut.Weight <= ares.Cut.Weight+propEps*(1+ares.Cut.Weight),
+			fmt.Sprintf("replicated cut %.9g > plain cut %.9g", ares.ReplicatedCut.Weight, ares.Cut.Weight))
+	}
+
+	// Families with purity plants: every classification of the planted
+	// read-mostly class must grade read-mostly (none stateless — it has
+	// state — and none stateful), every classification of the decoy must
+	// grade stateful, and cloning the plant must strictly cheapen the cut.
+	if a.ReadMostlyPlant != "" && ares.Purity != nil {
+		rep.check("plant-read-mostly",
+			classGraded(ares.Purity, a.ReadMostlyPlant, purity.GradeReadMostly),
+			fmt.Sprintf("planted class %s not uniformly read-mostly: %s",
+				a.ReadMostlyPlant, gradesOf(ares.Purity, a.ReadMostlyPlant)))
+		rep.check("decoy-stateful",
+			classGraded(ares.Purity, a.StatefulDecoy, purity.GradeStateful),
+			fmt.Sprintf("decoy class %s not uniformly stateful: %s",
+				a.StatefulDecoy, gradesOf(ares.Purity, a.StatefulDecoy)))
+		if ares.ReplicatedCut != nil {
+			rep.check("replication-strictly-cheaper",
+				ares.ReplicatedCut.Weight < ares.Cut.Weight-propEps*(1+ares.Cut.Weight),
+				fmt.Sprintf("replicated cut %.9g not strictly below plain cut %.9g",
+					ares.ReplicatedCut.Weight, ares.Cut.Weight))
+		}
+	}
+
 	// Uncovered (unpriced) edges were installed as conservative welds, so
 	// both endpoints of every planted latent pair must land on the same
 	// machine in the chosen distribution.
@@ -217,6 +263,41 @@ func RunPipelineProperty(cfg synthapp.Config) (*PipelineReport, error) {
 			c1.Clock.Elapsed(), c2.Clock.Elapsed(), c1.Retries, c2.Retries, c1.FaultDrops, c2.FaultDrops))
 
 	return rep, nil
+}
+
+// classGraded reports whether at least one classification of the class
+// was graded, and every one of them got the expected grade.
+func classGraded(g *purity.Grading, class string, want purity.Grade) bool {
+	n := 0
+	for i := range g.Components {
+		if g.Components[i].Class != class {
+			continue
+		}
+		n++
+		if g.Components[i].Grade != want {
+			return false
+		}
+	}
+	return n > 0
+}
+
+// gradesOf renders a class's per-classification grades for a check detail.
+func gradesOf(g *purity.Grading, class string) string {
+	out := ""
+	for i := range g.Components {
+		c := &g.Components[i]
+		if c.Class != class {
+			continue
+		}
+		if out != "" {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s=%s (%s)", c.Classification, c.Grade, c.Provenance)
+	}
+	if out == "" {
+		return "no classifications graded"
+	}
+	return out
 }
 
 // classesCoLocated reports whether every classification of the two named

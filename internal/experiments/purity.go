@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/purity"
+	"repro/internal/scenario"
+	"repro/internal/staticanal"
+)
+
+// PurityRow is the purity pipeline's summary for one application: the
+// static scan, the profile-folded grading, the verifier's verdicts, and
+// the plain-vs-replicated cut comparison.
+type PurityRow struct {
+	App   string  `json:"app"`
+	Theta float64 `json:"theta"`
+
+	// Static scan summary.
+	Classes        int `json:"classes"`
+	WithDescriptor int `json:"withDescriptor"`
+	LocallyPure    int `json:"locallyPure"`
+
+	// Scenarios profiled to fold in dynamic evidence.
+	Scenarios []string `json:"scenarios,omitempty"`
+	// Grading is the per-component verdict (nil when no scenarios ran).
+	Grading *purity.Grading `json:"grading,omitempty"`
+	// Misclassified counts purity-miss findings: profile-observed
+	// mutations through methods the static analysis claimed read-only.
+	// Always expected to be zero; the CI gate fails on any.
+	Misclassified int `json:"misclassified"`
+	// Warnings counts soft verifier findings (mutations on components the
+	// static model cannot resolve).
+	Warnings int `json:"warnings"`
+
+	// Cut comparison: the plain minimum cut versus the replication-aware
+	// one (eligible components cloned, their ICC edges removed).
+	CutWeight        float64  `json:"cutWeight"`
+	ReplicatedWeight float64  `json:"replicatedWeight"`
+	Replicated       []string `json:"replicated,omitempty"`
+
+	// Report is the full static analysis, for -json consumers.
+	Report *purity.Report `json:"report,omitempty"`
+}
+
+// Purity runs the purity pipeline for one application: static scan over
+// the binary image, then (when scenarios is non-empty) profile the
+// scenarios, grade every component, verify the static claims against the
+// observed mutations, and cut both the plain and the replication-aware
+// networks. theta <= 0 selects purity.DefaultTheta.
+func Purity(appName string, scenarios []string, theta float64) (*PurityRow, error) {
+	app, err := scenario.NewApp(appName)
+	if err != nil {
+		return nil, err
+	}
+	adps := core.New(app)
+	pr, err := purity.Scan(adps.Image, app, adps.Reach)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: purity scan of %s: %w", appName, err)
+	}
+	row := &PurityRow{
+		App:     appName,
+		Theta:   theta,
+		Classes: len(pr.Classes),
+		Report:  pr,
+	}
+	if row.Theta <= 0 {
+		row.Theta = purity.DefaultTheta
+	}
+	for _, ci := range pr.Classes {
+		if ci.HasDescriptor {
+			row.WithDescriptor++
+		}
+		if ci.LocallyPure {
+			row.LocallyPure++
+		}
+	}
+
+	if len(scenarios) == 0 {
+		scenarios = TrainingScenarios(appName)
+	}
+	if len(scenarios) == 0 {
+		return row, nil
+	}
+	row.Scenarios = scenarios
+
+	if err := adps.Instrument(); err != nil {
+		return nil, err
+	}
+	p, err := adps.ProfileScenarios(scenarios, false)
+	if err != nil {
+		return nil, err
+	}
+	adps.AnalysisOptions.PurityTheta = theta
+	adps.AnalysisOptions.Replicate = true
+	res, err := adps.Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	row.Grading = res.Purity
+	row.CutWeight = res.Cut.Weight
+	if res.ReplicatedCut != nil {
+		row.ReplicatedWeight = res.ReplicatedCut.Weight
+	}
+	row.Replicated = res.Replicated
+	for _, f := range res.Findings {
+		switch {
+		case f.Kind == purity.KindPurityMiss || f.Kind == "replication-regression":
+			row.Misclassified++
+		case f.Kind == staticanal.KindUnknownClass && f.Severity == staticanal.SeverityWarning:
+			row.Warnings++
+		}
+	}
+	return row, nil
+}
+
+// PurityApps lists the applications the purity gate sweeps: the Table 1
+// suite plus the quick-start example.
+func PurityApps() []string { return append(scenario.Apps(), "quickstart") }
+
+// PurityAll runs Purity over every gate application with its training
+// suite, one application per worker on a bounded pool.
+func PurityAll(theta float64) ([]*PurityRow, error) {
+	return parallelMap(PurityApps(), func(appName string) (*PurityRow, error) {
+		return Purity(appName, nil, theta)
+	})
+}

@@ -80,7 +80,9 @@ func (g *Graph) EvaluateAssignment(assign map[string]Side) float64 {
 // infeasible default distribution still gets an honest communication
 // time alongside an explicit violation count.
 func (g *Graph) EvaluateAssignmentDetail(assign map[string]Side) (weight float64, violations int) {
-	for e, ew := range g.edges {
+	// Sorted edge order keeps the float sum reproducible run to run.
+	for _, e := range g.sortedEdgeKeys() {
+		ew := g.edges[e]
 		a := assign[g.names[e[0]]]
 		b := assign[g.names[e[1]]]
 		if a != b {

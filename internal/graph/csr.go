@@ -74,19 +74,23 @@ func (g *Graph) buildCSR() (*csrNet, float64) {
 	s, t := n, n+1
 	inf := g.infinityProxy()
 
+	// Arcs are staged in sorted order so the network layout — and with it
+	// the particular minimum cut the algorithm lands on when several tie —
+	// is identical run to run. Map-order layout made equal-cost cuts flip
+	// between runs, which broke byte-stable JSON artifacts.
 	pairs := make([]csrArc, 0, len(g.edges)+len(g.coloc)+len(g.pinned))
-	for e, w := range g.edges {
-		c := w
-		if math.IsInf(w, 1) {
+	for _, e := range g.sortedEdgeKeys() {
+		c := g.edges[e]
+		if math.IsInf(c, 1) {
 			c = inf
 		}
 		pairs = append(pairs, csrArc{u: int32(e[0]), v: int32(e[1]), capUV: c, capVU: c})
 	}
-	for e := range g.coloc {
+	for _, e := range g.sortedColocKeys() {
 		pairs = append(pairs, csrArc{u: int32(e[0]), v: int32(e[1]), capUV: inf, capVU: inf})
 	}
-	for v, side := range g.pinned {
-		if side == SourceSide {
+	for _, v := range g.sortedPinnedNodes() {
+		if g.pinned[v] == SourceSide {
 			pairs = append(pairs, csrArc{u: int32(s), v: int32(v), capUV: inf})
 		} else {
 			pairs = append(pairs, csrArc{u: int32(v), v: int32(t), capUV: inf})

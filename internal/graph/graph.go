@@ -75,6 +75,11 @@ func (g *Graph) Name(i int) string { return g.names[i] }
 // Len returns the number of nodes.
 func (g *Graph) Len() int { return len(g.names) }
 
+// NodeNames returns a copy of the node names in insertion order.
+func (g *Graph) NodeNames() []string {
+	return append([]string(nil), g.names...)
+}
+
 // AddEdge accumulates weight w onto the undirected edge {a, b}. Self-edges
 // and non-positive weights are ignored: communication within one node
 // never crosses a machine boundary.
@@ -107,6 +112,47 @@ func (g *Graph) EdgeWeight(a, b string) float64 {
 
 // Edges returns the number of distinct edges.
 func (g *Graph) Edges() int { return len(g.edges) }
+
+// sortedEdgeKeys returns the edge keys in (lo, hi) index order, for
+// iteration whose float accumulation must reproduce across runs.
+func (g *Graph) sortedEdgeKeys() [][2]int {
+	keys := make([][2]int, 0, len(g.edges))
+	for e := range g.edges {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+// sortedColocKeys returns the co-location keys in (lo, hi) index order.
+func (g *Graph) sortedColocKeys() [][2]int {
+	keys := make([][2]int, 0, len(g.coloc))
+	for e := range g.coloc {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+// sortedPinnedNodes returns the pinned node indices in increasing order.
+func (g *Graph) sortedPinnedNodes() []int {
+	nodes := make([]int, 0, len(g.pinned))
+	for v := range g.pinned {
+		nodes = append(nodes, v)
+	}
+	sort.Ints(nodes)
+	return nodes
+}
 
 // TotalWeight returns the sum of all edge weights.
 func (g *Graph) TotalWeight() float64 {

@@ -248,18 +248,21 @@ func (g *Graph) build() (*flowNet, float64) {
 	f := newFlowNet(n+2, s, t)
 	inf := g.infinityProxy()
 
-	for e, w := range g.edges {
-		c := w
-		if math.IsInf(w, 1) {
+	// Sorted arc order keeps the legacy and oracle paths deterministic too:
+	// when several minimum cuts tie, every algorithm must land on the same
+	// one run after run.
+	for _, e := range g.sortedEdgeKeys() {
+		c := g.edges[e]
+		if math.IsInf(c, 1) {
 			c = inf
 		}
 		f.addUndirected(e[0], e[1], c)
 	}
-	for e := range g.coloc {
+	for _, e := range g.sortedColocKeys() {
 		f.addUndirected(e[0], e[1], inf)
 	}
-	for v, side := range g.pinned {
-		if side == SourceSide {
+	for _, v := range g.sortedPinnedNodes() {
+		if g.pinned[v] == SourceSide {
 			f.addDirected(s, v, inf)
 		} else {
 			f.addDirected(v, t, inf)
@@ -330,9 +333,13 @@ func (g *Graph) extractCutSides(onSource []bool, flow, inf float64) (*Cut, error
 			cut.Assignment[name] = SourceSide
 		}
 	}
-	// Weight of the cut under original capacities.
+	// Weight of the cut under original capacities, summed in sorted edge
+	// order: float addition is order-sensitive in the last ulp, and map
+	// iteration order would make repeated runs disagree byte-for-byte in
+	// JSON artifacts.
 	var w float64
-	for e, ew := range g.edges {
+	for _, e := range g.sortedEdgeKeys() {
+		ew := g.edges[e]
 		if cut.Assignment[g.names[e[0]]] != cut.Assignment[g.names[e[1]]] {
 			if math.IsInf(ew, 1) {
 				return nil, fmt.Errorf("graph: minimum cut crosses a co-location constraint")

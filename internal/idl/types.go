@@ -9,7 +9,10 @@
 // package reproduces that capability for the synthetic component model.
 package idl
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Kind enumerates the wire type categories supported by the interface
 // definition language.
@@ -280,11 +283,12 @@ func (r *Registry) Lookup(iid string) *InterfaceDesc {
 // Len returns the number of registered interfaces.
 func (r *Registry) Len() int { return len(r.byIID) }
 
-// IIDs returns all registered interface ids in unspecified order.
+// IIDs returns all registered interface ids, sorted.
 func (r *Registry) IIDs() []string {
 	ids := make([]string, 0, len(r.byIID))
 	for id := range r.byIID {
 		ids = append(ids, id)
 	}
+	sort.Strings(ids)
 	return ids
 }

@@ -115,10 +115,21 @@ func (l *Profiling) Call(rec CallRecord) {
 	}
 	l.current.Edge(rec.SrcClassification, rec.DstClassification).
 		Record(rec.InBytes, rec.OutBytes, rec.NonRemotable)
+	l.current.Method(rec.DstClassification, rec.Method).Calls++
 	if l.instanceDetail {
 		l.current.InstEdge(rec.SrcInst, rec.DstInst).
 			Record(rec.InBytes, rec.OutBytes, rec.NonRemotable)
 	}
+}
+
+// Mutation implements MutationSink: observed state writes accumulate on
+// the per-method statistics the purity verifier diffs against static
+// read-only claims.
+func (l *Profiling) Mutation(rec MutationRecord) {
+	if l.current == nil {
+		return
+	}
+	l.current.Method(rec.Classification, rec.Method).Writes++
 }
 
 // Release implements Logger. The profiling logger does not need
@@ -177,6 +188,21 @@ type FaultRecord struct {
 // with a type assertion.
 type FaultSink interface {
 	Fault(rec FaultRecord)
+}
+
+// MutationRecord describes one observed state mutation: the named method
+// of an instance under the given classification wrote its state.
+type MutationRecord struct {
+	Classification string
+	Class          string
+	Method         string
+}
+
+// MutationSink receives state-mutation events. Like FaultSink it is
+// separate from Logger so existing loggers stay source-compatible; sinks
+// are discovered with a type assertion.
+type MutationSink interface {
+	Mutation(rec MutationRecord)
 }
 
 // EventKind enumerates trace event types.
@@ -307,6 +333,15 @@ func (m Multi) Fault(rec FaultRecord) {
 	for _, l := range m {
 		if fs, ok := l.(FaultSink); ok {
 			fs.Fault(rec)
+		}
+	}
+}
+
+// Mutation implements MutationSink, forwarding to members that are sinks.
+func (m Multi) Mutation(rec MutationRecord) {
+	for _, l := range m {
+		if ms, ok := l.(MutationSink); ok {
+			ms.Mutation(rec)
 		}
 	}
 }

@@ -35,12 +35,20 @@ type instEdgeForm struct {
 	NonRemotable bool          `json:"nonRemotable,omitempty"`
 }
 
+type methodForm struct {
+	Classification string `json:"classification"`
+	Method         string `json:"method"`
+	Calls          int64  `json:"calls"`
+	Writes         int64  `json:"writes,omitempty"`
+}
+
 type fileForm struct {
 	App             string               `json:"app"`
 	Classifier      string               `json:"classifier"`
 	Scenarios       []string             `json:"scenarios"`
 	Edges           []edgeForm           `json:"edges"`
 	Classifications []ClassificationInfo `json:"classifications"`
+	Methods         []methodForm         `json:"methods,omitempty"`
 	Instances       []InstanceRecord     `json:"instances,omitempty"`
 	InstEdges       []instEdgeForm       `json:"instEdges,omitempty"`
 }
@@ -71,6 +79,18 @@ func (p *Profile) Encode(w io.Writer) error {
 	}
 	sort.Slice(f.Classifications, func(i, j int) bool {
 		return f.Classifications[i].ID < f.Classifications[j].ID
+	})
+	for k, m := range p.Methods {
+		f.Methods = append(f.Methods, methodForm{
+			Classification: k.Classification, Method: k.Method,
+			Calls: m.Calls, Writes: m.Writes,
+		})
+	}
+	sort.Slice(f.Methods, func(i, j int) bool {
+		if f.Methods[i].Classification != f.Methods[j].Classification {
+			return f.Methods[i].Classification < f.Methods[j].Classification
+		}
+		return f.Methods[i].Method < f.Methods[j].Method
 	})
 	f.Instances = p.Instances
 	for k, e := range p.InstEdges {
@@ -114,6 +134,11 @@ func Decode(r io.Reader) (*Profile, error) {
 	for _, ci := range f.Classifications {
 		c := ci
 		p.Classifications[ci.ID] = &c
+	}
+	for _, mf := range f.Methods {
+		m := p.Method(mf.Classification, mf.Method)
+		m.Calls = mf.Calls
+		m.Writes = mf.Writes
 	}
 	p.Instances = f.Instances
 	for _, ef := range f.InstEdges {

@@ -126,6 +126,27 @@ type ClassificationInfo struct {
 	Path []string
 }
 
+// MethodKey identifies one method of one instance classification, the
+// granularity at which mutation evidence is aggregated.
+type MethodKey struct {
+	Classification string
+	Method         string
+}
+
+// MethodStats aggregates per-method call and state-mutation counts — the
+// profile evidence the purity analysis folds into component grading and
+// the purity verifier diffs against static read-only claims.
+type MethodStats struct {
+	Calls  int64
+	Writes int64
+}
+
+// Merge folds other into m.
+func (m *MethodStats) Merge(other *MethodStats) {
+	m.Calls += other.Calls
+	m.Writes += other.Writes
+}
+
 // Profile is a complete ICC profile: the output of one or more profiling
 // runs under a given classifier.
 type Profile struct {
@@ -137,6 +158,8 @@ type Profile struct {
 	Edges map[PairKey]*EdgeSummary
 	// Classifications indexes the instance classifications observed.
 	Classifications map[string]*ClassificationInfo
+	// Methods aggregates per-method call and mutation counts.
+	Methods map[MethodKey]*MethodStats
 	// Instances holds per-instance records (optional detail).
 	Instances []InstanceRecord
 	// InstEdges aggregates communication between concrete instances
@@ -151,6 +174,7 @@ func New(app, classifier string) *Profile {
 		Classifier:      classifier,
 		Edges:           make(map[PairKey]*EdgeSummary),
 		Classifications: make(map[string]*ClassificationInfo),
+		Methods:         make(map[MethodKey]*MethodStats),
 		InstEdges:       make(map[InstPairKey]*EdgeSummary),
 	}
 }
@@ -164,6 +188,18 @@ func (p *Profile) Edge(src, dst string) *EdgeSummary {
 		p.Edges[k] = e
 	}
 	return e
+}
+
+// Method returns the (created-on-demand) per-method statistics for the
+// given classification and method name.
+func (p *Profile) Method(classification, method string) *MethodStats {
+	k := MethodKey{classification, method}
+	m := p.Methods[k]
+	if m == nil {
+		m = &MethodStats{}
+		p.Methods[k] = m
+	}
+	return m
 }
 
 // InstEdge returns the (created-on-demand) instance-level summary.
@@ -220,6 +256,9 @@ func (p *Profile) Merge(other *Profile) error {
 				mine.Path = append([]string(nil), ci.Path...)
 			}
 		}
+	}
+	for k, m := range other.Methods {
+		p.Method(k.Classification, k.Method).Merge(m)
 	}
 	p.Instances = append(p.Instances, other.Instances...)
 	for k, e := range other.InstEdges {

@@ -84,6 +84,17 @@ func NewApp(name string) (*com.App, error) {
 // newSynthApp parses a "synth:<family>:<seed>[:<scale>]" application name
 // and generates the corresponding synthetic application.
 func newSynthApp(name string) (*com.App, error) {
+	sa, err := generateSynth(name)
+	if err != nil {
+		return nil, err
+	}
+	return sa.App, nil
+}
+
+// generateSynth parses a "synth:<family>:<seed>[:<scale>]" name and runs
+// the generator, returning the full generation record (app, training
+// suite, planted ground truths).
+func generateSynth(name string) (*synthapp.App, error) {
 	parts := strings.Split(name, ":")
 	if len(parts) != 3 && len(parts) != 4 {
 		return nil, fmt.Errorf("scenario: synthetic app name %q: want synth:<family>:<seed>[:<scale>]", name)
@@ -104,7 +115,7 @@ func newSynthApp(name string) (*com.App, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: synthetic app %q: %w", name, err)
 	}
-	return sa.App, nil
+	return sa, nil
 }
 
 // ForApp returns the scenario names belonging to one application, in
@@ -120,8 +131,17 @@ func ForApp(app string) []string {
 }
 
 // TrainingForApp returns the classifier-training scenarios (everything
-// except the bigone synthesis).
+// except the bigone synthesis). For "synth:..." names it is the
+// generated application's own training suite, so profile-dependent
+// stages (coverage, purity grading) work on the synthetic corpus too.
 func TrainingForApp(app string) []string {
+	if strings.HasPrefix(app, "synth:") {
+		sa, err := generateSynth(app)
+		if err != nil {
+			return nil
+		}
+		return append([]string(nil), sa.Training...)
+	}
 	var out []string
 	for _, s := range Table1() {
 		if s.App == app && !s.Bigone {

@@ -398,3 +398,94 @@ func skewedSpec(rng *rand.Rand, scale int) appSpec {
 	spec.latentPairs = [][2]string{{"Hub", "Cold"}}
 	return spec
 }
+
+// readReplicaSpec: the purity-analysis plant. Catalog declares its state
+// (Work reads it, only the rare Update writes it) and sits torn between
+// client-pinned GUI readers and the server-pinned disk it reads through,
+// so the plain cut always pays for one of its heavy edges and the
+// replication-aware cut — which may clone the read-mostly Catalog onto
+// both machines — is strictly cheaper. Journal is the stateful decoy:
+// same declared shape, but the scenarios write it on every other call,
+// so grading it anything but stateful is a harness failure.
+func readReplicaSpec(rng *rand.Rand, scale int) appSpec {
+	readers := pick(rng, 1, 2) + (scale - 1)
+	var spec appSpec
+	spec.classes = append(spec.classes, classSpec{
+		name: "Disk", home: com.Server, infra: true, stateless: true,
+		apis:      []string{com.APIFileOpen, com.APIFileRead},
+		codeBytes: codeSize(rng), compute: dur(rng, 500*time.Microsecond, 2*time.Millisecond),
+		resBytes: pick(rng, 8<<10, 32<<10),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Catalog", home: com.Server, stateBytes: pick(rng, 16<<10, 128<<10),
+		codeBytes: codeSize(rng), compute: dur(rng, 200*time.Microsecond, time.Millisecond),
+		resBytes: pick(rng, 2<<10, 8<<10),
+		edges: []edgeSpec{
+			{target: "Disk", calls: pick(rng, 1, 2), argBytes: pick(rng, 2<<10, 8<<10)},
+		},
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Journal", home: com.Server, stateBytes: pick(rng, 4<<10, 16<<10),
+		codeBytes: codeSize(rng), compute: dur(rng, 200*time.Microsecond, time.Millisecond),
+		resBytes: pick(rng, 128, 512),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Stale", home: com.Client,
+		codeBytes: codeSize(rng), compute: dur(rng, 100*time.Microsecond, 500*time.Microsecond),
+		resBytes: pick(rng, 32, 128),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Indexer", home: com.Server, infra: true,
+		apis:      []string{com.APIFileRead, com.APIFileWrite},
+		codeBytes: codeSize(rng), compute: dur(rng, 500*time.Microsecond, 2*time.Millisecond),
+		resBytes: pick(rng, 256, 1024),
+		edges: []edgeSpec{
+			{target: "Catalog", calls: pick(rng, 3, 6), argBytes: pick(rng, 512, 2048)},
+		},
+	})
+	for i := 0; i < readers; i++ {
+		cs := classSpec{
+			name: fmt.Sprintf("Gui%d", i), home: com.Client,
+			apis:      []string{com.APIGdiPaint, com.APIUserWindow},
+			codeBytes: codeSize(rng), compute: dur(rng, 200*time.Microsecond, time.Millisecond),
+			resBytes: pick(rng, 128, 512),
+			edges: []edgeSpec{
+				{target: "Catalog", calls: pick(rng, 4, 8), argBytes: pick(rng, 256, 1024)},
+			},
+		}
+		if i == 0 {
+			cs.latent = []string{"Stale"}
+		}
+		spec.classes = append(spec.classes, cs)
+	}
+
+	heavy := scenarioSpec{name: ScenHeavy}
+	for i := 0; i < readers; i++ {
+		heavy.steps = append(heavy.steps, step{
+			class: fmt.Sprintf("Gui%d", i), instances: 1, calls: pick(rng, 2, 4), payload: pick(rng, 512, 2048),
+		})
+	}
+	heavy.steps = append(heavy.steps, step{class: "Indexer", instances: 1, calls: pick(rng, 2, 3), payload: 512})
+	journalCalls := pick(rng, 2, 4)
+	heavy.steps = append(heavy.steps, step{
+		class: "Journal", instances: 1, calls: journalCalls, payload: 128, updates: journalCalls,
+	})
+	spec.scenarios = []scenarioSpec{
+		{name: ScenBase, steps: []step{
+			// The rare write: one Update against a couple dozen reads keeps
+			// the observed write fraction safely under the default θ.
+			{class: "Catalog", instances: 1, calls: pick(rng, 24, 32), payload: pick(rng, 256, 1024), updates: 1},
+			{class: "Gui0", instances: 1, calls: 2, payload: 256},
+			{class: "Indexer", instances: 1, calls: 1, payload: 512},
+		}},
+		heavy,
+		{name: ScenAlt, steps: []step{
+			{class: "Stale", instances: 1, calls: 1, payload: 64},
+			{class: "Gui0", instances: 1, calls: 1, payload: 128},
+		}},
+	}
+	spec.latentPairs = [][2]string{{"Gui0", "Stale"}}
+	spec.readMostlyPlant = "Catalog"
+	spec.statefulDecoy = "Journal"
+	return spec
+}

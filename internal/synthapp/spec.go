@@ -56,15 +56,23 @@ type classSpec struct {
 	// reachability analysis attributes such activations to the innermost
 	// non-factory frame, i.e. to this class).
 	alsoActivates []string
+	// stateBytes > 0 ships a state descriptor: Work declared a reader, plus
+	// a mutating Update method the scenarios may drive (see step.updates).
+	stateBytes int
+	// stateless ships a zero-byte state descriptor, declaring every method
+	// read-only.
+	stateless bool
 }
 
 // step is one scenario action: create `instances` instances of a class
-// and call Work `calls` times on each with a `payload`-byte buffer.
+// and call Work `calls` times on each with a `payload`-byte buffer, then
+// Update `updates` times (only meaningful for classes with stateBytes).
 type step struct {
 	class     string
 	instances int
 	calls     int
 	payload   int
+	updates   int
 }
 
 type scenarioSpec struct {
@@ -86,6 +94,10 @@ type appSpec struct {
 	scenarios        []scenarioSpec // training scenarios in order; bigone is derived
 	plantsInfeasible bool
 	latentPairs      [][2]string
+	// readMostlyPlant / statefulDecoy name the classes the purity analysis
+	// must grade read-mostly and stateful respectively (read-replica only).
+	readMostlyPlant string
+	statefulDecoy   string
 }
 
 // App is a generated application plus the metadata the property harness
@@ -108,6 +120,11 @@ type App struct {
 	// site is statically declared but never exercised by any scenario —
 	// the coverage stage must surface each as an uncovered edge.
 	LatentPairs [][2]string
+	// ReadMostlyPlant names the class the purity analysis must grade
+	// read-mostly; StatefulDecoy the write-heavy class it must grade
+	// stateful. Both empty for families without purity plants.
+	ReadMostlyPlant string
+	StatefulDecoy   string
 }
 
 // Generate builds the application for a config. Identical configs yield
@@ -133,6 +150,8 @@ func Generate(cfg Config) (*App, error) {
 		spec = cacheHeavySpec(rng, cfg.Scale)
 	case Skewed:
 		spec = skewedSpec(rng, cfg.Scale)
+	case ReadReplica:
+		spec = readReplicaSpec(rng, cfg.Scale)
 	default:
 		return nil, &ConfigError{Field: "family", Reason: fmt.Sprintf("unknown family %q", cfg.Family)}
 	}
@@ -181,12 +200,23 @@ func materialize(cfg Config, spec appSpec) (*App, error) {
 		if cs.factoryFor != "" {
 			result = idl.InterfaceType(iidOf(cs.factoryFor))
 		}
+		methods := []idl.MethodDesc{
+			{Name: "Work", Params: params, Result: result, Cacheable: cs.cacheable},
+		}
+		if cs.stateBytes > 0 {
+			methods = append(methods, idl.MethodDesc{
+				Name: "Update",
+				Params: []idl.ParamDesc{
+					{Name: "level", Dir: idl.In, Type: idl.TInt32},
+					{Name: "data", Dir: idl.In, Type: idl.TBytes},
+				},
+				Result: idl.TBytes,
+			})
+		}
 		ifaces.Register(&idl.InterfaceDesc{
 			IID:       iidOf(cs.name),
 			Remotable: !cs.opaque,
-			Methods: []idl.MethodDesc{
-				{Name: "Work", Params: params, Result: result, Cacheable: cs.cacheable},
-			},
+			Methods:   methods,
 		})
 	}
 
@@ -203,6 +233,7 @@ func materialize(cfg Config, spec appSpec) (*App, error) {
 			Infrastructure:    cs.infra,
 			Activations:       activationsOf(cs),
 			DynamicActivation: cs.factoryFor != "",
+			State:             stateOf(cs),
 			New:               behaviorFor(cs, byName),
 		})
 	}
@@ -238,7 +269,24 @@ func materialize(cfg Config, spec appSpec) (*App, error) {
 		Bigone:                  ScenBigone,
 		PlantsInfeasibleDefault: spec.plantsInfeasible,
 		LatentPairs:             spec.latentPairs,
+		ReadMostlyPlant:         spec.readMostlyPlant,
+		StatefulDecoy:           spec.statefulDecoy,
 	}, nil
+}
+
+// stateOf derives a class's state declaration: stateful classes declare
+// Work a reader and Update the sole writer, stateless classes declare
+// zero state bytes, and everything else ships no descriptor (leaving the
+// purity analysis to its conservative unknown).
+func stateOf(cs *classSpec) *com.StateDesc {
+	switch {
+	case cs.stateBytes > 0:
+		return &com.StateDesc{Bytes: cs.stateBytes, Reads: []string{"Work"}, Writes: []string{"Update"}}
+	case cs.stateless:
+		return &com.StateDesc{Bytes: 0}
+	default:
+		return nil
+	}
 }
 
 // checkSpec validates referential integrity and acyclicity of the call
@@ -385,6 +433,13 @@ func behaviorFor(cs *classSpec, byName map[string]*classSpec) func() com.Object 
 			if len(c.Args) > 0 {
 				level = int32(c.Args[0].AsInt())
 			}
+			if c.Method == "Update" {
+				// State mutation: no downstream calls, just the write and
+				// local compute.
+				c.Mutate()
+				c.Compute(cs.compute)
+				return []idl.Value{idl.ByteBuf(resBuf)}, nil
+			}
 			if cs.factoryFor != "" {
 				// Dynamic factory: mint a fresh product and hand its
 				// interface back to the caller.
@@ -475,6 +530,12 @@ func runSteps(env *com.Env, steps []step, byName map[string]*classSpec, seed int
 				}
 				args := callArgs(cs, 8, buf[:n])
 				if _, err := env.Call(nil, itf, "Work", args...); err != nil {
+					return err
+				}
+			}
+			for u := 0; u < st.updates; u++ {
+				args := []idl.Value{idl.Int32(8), idl.ByteBuf(buf[:st.payload])}
+				if _, err := env.Call(nil, itf, "Update", args...); err != nil {
 					return err
 				}
 			}

@@ -9,7 +9,7 @@
 // Generation is fully seeded and parameterized: the same Config always
 // yields the identical application, down to byte-identical binary images,
 // so property-suite failures reproduce exactly from a (family, seed)
-// pair. Six families cover the workload shapes named in the roadmap:
+// pair. Seven families cover the workload shapes named in the roadmap:
 //
 //	three-tier     GUI tier over business logic over storage; plants an
 //	               infeasible default distribution (a server-homed spooler
@@ -25,6 +25,10 @@
 //	               bulk backing store
 //	skewed         the "celebrity" hot-spot: peers hammering one hub with
 //	               a heavy-tailed call distribution
+//	read-replica   a hot read-mostly catalog with declared state, fanned
+//	               into from both machines and rarely written — the
+//	               ground-truth plant for the purity analysis, paired
+//	               with a write-heavy stateful decoy
 //
 // Every family additionally plants one latent activation edge — a
 // statically declared activation site no scenario drives — so the
@@ -48,11 +52,12 @@ const (
 	GUISwarm      Family = "gui-swarm"
 	CacheHeavy    Family = "cache-heavy"
 	Skewed        Family = "skewed"
+	ReadReplica   Family = "read-replica"
 )
 
 // Families returns all generator families in canonical order.
 func Families() []Family {
-	return []Family{ThreeTier, ScatterGather, Pipeline, GUISwarm, CacheHeavy, Skewed}
+	return []Family{ThreeTier, ScatterGather, Pipeline, GUISwarm, CacheHeavy, Skewed, ReadReplica}
 }
 
 // Scenario names common to every generated application: three training

@@ -1,0 +1,267 @@
+package repolint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// MapOrder reports range statements over map values whose iteration order
+// leaks into output: a body that writes to a stream or encoder directly,
+// or appends to a slice that is never sorted afterwards in the same
+// function. Go randomizes map iteration order per run, so such loops make
+// artifacts (JSON reports, tables, serialized profiles) differ
+// byte-for-byte between identical runs — the determinism bugs this repo
+// keeps re-fixing. The compliant pattern collects the keys, sorts them,
+// and ranges over the sorted slice.
+//
+// Detection is file-local and syntactic: an expression counts as a map
+// when this file declares it with a map type — a var/param/field
+// declaration, a make(map[...]) assignment, or a map composite literal.
+// Maps declared in other files are invisible to the rule; it errs toward
+// silence rather than false positives.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "no range over a map feeding ordered output without an intervening sort",
+	Run: func(f *File) []Diagnostic {
+		mapIdents, mapFields := mapDecls(f.AST)
+		var out []Diagnostic
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			locals := localMapNames(fn, mapIdents)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapExpr(rs.X, locals, mapFields) {
+					return true
+				}
+				rangedName := exprText(rs.X)
+				if call := emissionInBody(rs.Body); call != nil {
+					out = append(out, Diagnostic{
+						Pos:  f.Fset.Position(call.Pos()),
+						Rule: "maporder",
+						Message: fmt.Sprintf(
+							"output emitted while ranging over map %s; iteration order is randomized — range over sorted keys instead", rangedName),
+					})
+				}
+				for _, target := range appendTargets(rs.Body) {
+					if sortedAfter(fn.Body, target, rs.End()) {
+						continue
+					}
+					out = append(out, Diagnostic{
+						Pos:  f.Fset.Position(rs.Pos()),
+						Rule: "maporder",
+						Message: fmt.Sprintf(
+							"range over map %s appends to %s, which is never sorted afterwards; iteration order is randomized — sort %s or range over sorted keys", rangedName, target, target),
+					})
+				}
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// mapDecls scans a file for names declared with a map type: package-level
+// and local var specs (mapIdents is seeded here; function-local discovery
+// adds to a copy), and struct field names (matched through selectors).
+func mapDecls(root *ast.File) (mapIdents map[string]bool, mapFields map[string]bool) {
+	mapIdents = make(map[string]bool)
+	mapFields = make(map[string]bool)
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ValueSpec:
+			if isMapType(v.Type) {
+				for _, name := range v.Names {
+					mapIdents[name.Name] = true
+				}
+			}
+		case *ast.StructType:
+			for _, field := range v.Fields.List {
+				if !isMapType(field.Type) {
+					continue
+				}
+				for _, name := range field.Names {
+					mapFields[name.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return mapIdents, mapFields
+}
+
+// localMapNames extends the file-level map-identifier set with the
+// function's own map-typed parameters and short-variable declarations
+// initialized from make(map[...]) or a map composite literal.
+func localMapNames(fn *ast.FuncDecl, fileLevel map[string]bool) map[string]bool {
+	names := make(map[string]bool, len(fileLevel))
+	for k := range fileLevel {
+		names[k] = true
+	}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			if !isMapType(field.Type) {
+				continue
+			}
+			for _, name := range field.Names {
+				names[name.Name] = true
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || st.Tok != token.DEFINE || len(st.Lhs) != len(st.Rhs) {
+			return true
+		}
+		for i, rhs := range st.Rhs {
+			if !mapValuedExpr(rhs) {
+				continue
+			}
+			if id, ok := st.Lhs[i].(*ast.Ident); ok {
+				names[id.Name] = true
+			}
+		}
+		return true
+	})
+	return names
+}
+
+// mapValuedExpr reports whether the expression syntactically constructs a
+// map: make(map[K]V, ...) or map[K]V{...}.
+func mapValuedExpr(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) > 0 {
+			return isMapType(v.Args[0])
+		}
+	case *ast.CompositeLit:
+		return isMapType(v.Type)
+	}
+	return false
+}
+
+func isMapType(e ast.Expr) bool {
+	_, ok := e.(*ast.MapType)
+	return ok
+}
+
+// isMapExpr reports whether the ranged expression resolves to a known
+// map: a bare identifier in the local set, or a selector whose field name
+// is declared as a map in this file's struct types.
+func isMapExpr(e ast.Expr, locals, fields map[string]bool) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return locals[v.Name]
+	case *ast.SelectorExpr:
+		return fields[v.Sel.Name]
+	}
+	return false
+}
+
+// exprText renders the small expressions this analyzer matches (an
+// identifier or a selector chain) for diagnostics.
+func exprText(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprText(v.X) + "." + v.Sel.Name
+	}
+	return "?"
+}
+
+// emissionInBody returns the first call inside the loop body that writes
+// order-sensitive output directly: a fmt print/fprint family call or a
+// method call named Encode, Write, or WriteString.
+func emissionInBody(body *ast.BlockStmt) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, isPkg := sel.X.(*ast.Ident); isPkg && id.Name == "fmt" && id.Obj == nil {
+			if strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint") {
+				found = call
+				return false
+			}
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Encode", "Write", "WriteString":
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// appendTargets returns the names of variables grown via
+// `x = append(x, ...)` (or any append assigned to an identifier) inside
+// the loop body.
+func appendTargets(body *ast.BlockStmt) []string {
+	seen := make(map[string]bool)
+	var out []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return true
+		}
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			return true
+		}
+		if id, ok := st.Lhs[0].(*ast.Ident); ok && !seen[id.Name] {
+			seen[id.Name] = true
+			out = append(out, id.Name)
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether, anywhere after pos in the function body, a
+// sort.* or slices.Sort* call receives the named slice as an argument.
+func sortedAfter(body *ast.BlockStmt, target string, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Obj != nil || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && id.Name == target {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

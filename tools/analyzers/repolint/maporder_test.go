@@ -1,0 +1,147 @@
+package repolint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMapOrderAppendWithoutSort(t *testing.T) {
+	t.Parallel()
+	src := `package p
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	ds := check(t, "internal/x/x.go", src)
+	if len(ds) != 1 || ds[0].Rule != "maporder" || !strings.Contains(ds[0].Message, "out") {
+		t.Fatalf("diagnostics = %v, want one maporder naming out", ds)
+	}
+}
+
+func TestMapOrderSortedAppendIsClean(t *testing.T) {
+	t.Parallel()
+	src := `package p
+import "sort"
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+`
+	if ds := check(t, "internal/x/x.go", src); len(ds) != 0 {
+		t.Fatalf("sorted collect-then-iterate flagged: %v", ds)
+	}
+	// sort.Slice with the target as first argument also counts.
+	slice := strings.Replace(src, "sort.Strings(out)",
+		"sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })", 1)
+	if ds := check(t, "internal/x/x.go", slice); len(ds) != 0 {
+		t.Fatalf("sort.Slice version flagged: %v", ds)
+	}
+}
+
+func TestMapOrderDirectEmission(t *testing.T) {
+	t.Parallel()
+	src := `package p
+import (
+	"fmt"
+	"os"
+)
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v)
+	}
+}
+`
+	ds := check(t, "internal/x/x.go", src)
+	if len(ds) != 1 || ds[0].Rule != "maporder" || !strings.Contains(ds[0].Message, "output emitted") {
+		t.Fatalf("diagnostics = %v, want one maporder emission finding", ds)
+	}
+}
+
+func TestMapOrderLocalMakeAndLiteral(t *testing.T) {
+	t.Parallel()
+	src := `package p
+func f() []string {
+	m := make(map[string]int)
+	lit := map[string]bool{"a": true}
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	for k := range lit {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	ds := check(t, "internal/x/x.go", src)
+	if len(ds) != 2 {
+		t.Fatalf("diagnostics = %v, want two maporder findings", ds)
+	}
+}
+
+func TestMapOrderStructField(t *testing.T) {
+	t.Parallel()
+	src := `package p
+type G struct {
+	edges map[int]float64
+}
+func (g *G) dump() []int {
+	var out []int
+	for e := range g.edges {
+		out = append(out, e)
+	}
+	return out
+}
+`
+	ds := check(t, "internal/x/x.go", src)
+	if len(ds) != 1 || !strings.Contains(ds[0].Message, "g.edges") {
+		t.Fatalf("diagnostics = %v, want one maporder naming g.edges", ds)
+	}
+}
+
+func TestMapOrderNonMapAndNonOrderedUsesClean(t *testing.T) {
+	t.Parallel()
+	src := `package p
+func f(names []string, m map[string]float64) float64 {
+	var out []string
+	for _, n := range names {
+		out = append(out, n)
+	}
+	_ = out
+	// Accumulation is order-insensitive: no finding.
+	var total float64
+	for _, w := range m {
+		total += w
+	}
+	return total
+}
+`
+	if ds := check(t, "internal/x/x.go", src); len(ds) != 0 {
+		t.Fatalf("order-insensitive uses flagged: %v", ds)
+	}
+}
+
+func TestMapOrderWaiver(t *testing.T) {
+	t.Parallel()
+	src := `package p
+func keys(m map[string]int) []string {
+	var out []string
+	//lint:allow maporder caller sorts
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	if ds := check(t, "internal/x/x.go", src); len(ds) != 0 {
+		t.Fatalf("waived maporder finding still reported: %v", ds)
+	}
+}

@@ -14,6 +14,9 @@
 //	             panics, on malformed values)
 //	ctxthread    internal/dist code must thread the ambient context and
 //	             virtual clock, not re-create them mid-path
+//	maporder     no range over a map feeding ordered output (stream
+//	             writes, or slice appends never sorted afterwards) —
+//	             map iteration order is randomized per run
 //
 // A finding is waived by a comment on the same or the preceding line:
 //
@@ -57,7 +60,7 @@ type Analyzer struct {
 }
 
 // Analyzers is the repository rule set.
-var Analyzers = []*Analyzer{ErrWrap, WallClock, ParallelTest, TypeAssert, CtxThread}
+var Analyzers = []*Analyzer{ErrWrap, WallClock, ParallelTest, TypeAssert, CtxThread, MapOrder}
 
 // ErrWrap reports fmt.Errorf calls that pass an error value without
 // wrapping it via %w, which breaks errors.Is/errors.As up the call chain.
