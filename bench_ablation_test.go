@@ -7,6 +7,7 @@ package coign
 // extension.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -156,7 +157,7 @@ func BenchmarkAblationThreeTier(b *testing.B) {
 	var res *experiments.ThreeTierResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.ThreeTier()
+		res, err = experiments.ThreeTier(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,7 +175,7 @@ func BenchmarkAblationWhatIfReplay(b *testing.B) {
 	var res *experiments.WhatIfResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.WhatIf("o_oldwp7", 40, 3)
+		res, err = experiments.WhatIf(context.Background(), "o_oldwp7", 40, 3)
 		if err != nil {
 			b.Fatal(err)
 		}

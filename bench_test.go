@@ -13,6 +13,7 @@ package coign
 // Plus the §3.2 instrumentation-overhead measurements.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -108,7 +109,7 @@ func benchTables45(b *testing.B) []experiments.ScenarioRow {
 	var rows []experiments.ScenarioRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Tables4And5()
+		rows, err = experiments.Tables4And5(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -245,7 +246,7 @@ func BenchmarkAdaptiveRepartitioning(b *testing.B) {
 	var rows []experiments.AdaptiveRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Adaptive("o_oldwp7",
+		rows, err = experiments.Adaptive(context.Background(), "o_oldwp7",
 			[]string{"ISDN", "10BaseT", "100BaseT", "ATM", "SAN"})
 		if err != nil {
 			b.Fatal(err)

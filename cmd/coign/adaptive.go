@@ -1,0 +1,120 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+
+	"repro/internal/adapt"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+)
+
+func cmdAdapt(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("adapt", flag.ExitOnError)
+	scen := fs.String("scenario", "o_oldwp7", "scenario to re-partition")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := experiments.Adaptive(ctx, *scen, []string{"ISDN", "10BaseT", "100BaseT", "ATM", "SAN"})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %10s %14s %14s %9s\n", "Network", "SrvInst", "Predicted", "Default", "Savings")
+	for _, r := range rows {
+		fmt.Printf("%-10s %10d %13.3fs %13.3fs %8.0f%%\n",
+			r.Network, r.ServerInstances, r.PredictedComm.Seconds(),
+			r.DefaultComm.Seconds(), r.Savings*100)
+	}
+	return nil
+}
+
+func cmdOverhead(_ context.Context, args []string) error {
+	fs := flag.NewFlagSet("overhead", flag.ExitOnError)
+	scen := fs.String("scenario", "o_oldwp0", "scenario to measure")
+	reps := fs.Int("reps", 5, "repetitions (best-of)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	row, err := experiments.MeasureOverhead(*scen, *reps)
+	if err != nil {
+		return err
+	}
+	fmt.Println(row)
+	return nil
+}
+
+func cmdDrift(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("drift", flag.ExitOnError)
+	optimized := fs.String("optimized-for", "o_oldwp0", "scenario the distribution was computed from")
+	observed := fs.String("observed", "o_oldbth", "scenario representing actual usage")
+	threshold := fs.Float64("threshold", 0.3, "drift threshold recommending re-profiling")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	info, err := scenario.Lookup(*optimized)
+	if err != nil {
+		return err
+	}
+	if obsInfo, err := scenario.Lookup(*observed); err != nil {
+		return err
+	} else if obsInfo.App != info.App {
+		return fmt.Errorf("scenarios belong to different applications (%s vs %s)", info.App, obsInfo.App)
+	}
+	app, err := scenario.NewApp(info.App)
+	if err != nil {
+		return err
+	}
+	adps := core.New(app)
+	if err := adps.Instrument(); err != nil {
+		return err
+	}
+	baseline, _, err := adps.ProfileScenario(*optimized, false)
+	if err != nil {
+		return err
+	}
+	res, err := adps.Analyze(ctx, baseline)
+	if err != nil {
+		return err
+	}
+	w, err := adapt.NewWatchdog(baseline, *threshold, 50)
+	if err != nil {
+		return err
+	}
+	if _, err := dist.Run(dist.Config{
+		App: app, Scenario: *observed, Mode: dist.ModeCoign,
+		Classifier:   classify.New(adps.ClassifierKind, 0),
+		Distribution: res.Distribution,
+		ExtraLogger:  w.Logger(),
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("distribution optimized for %s, observed usage %s\n", *optimized, *observed)
+	fmt.Printf("  drift: %.3f (threshold %.2f) — re-profile: %v\n",
+		w.Drift(), *threshold, w.ShouldReprofile())
+	for _, d := range w.TopDivergences(5) {
+		fmt.Printf("  %-40s -> %-40s profiled %.1f%% observed %.1f%%\n",
+			d.Src, d.Dst, d.ProfiledShare*100, d.ObservedShare*100)
+	}
+	return nil
+}
+
+func cmdCache(_ context.Context, args []string) error {
+	fs := flag.NewFlagSet("cache", flag.ExitOnError)
+	scen := fs.String("scenario", "o_oldwp7", "scenario to measure")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cmp, err := experiments.CompareCaching(*scen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s with per-interface caching:\n", cmp.Scenario)
+	fmt.Printf("  plain:  %.3fs\n", cmp.Plain.Seconds())
+	fmt.Printf("  cached: %.3fs (%d hits, %.0f%% further savings)\n",
+		cmp.Cached.Seconds(), cmp.CacheHits, cmp.Savings*100)
+	return nil
+}

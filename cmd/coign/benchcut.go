@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -15,7 +16,7 @@ import (
 // table and optionally writing the machine-readable report that CI
 // archives. The run fails when any algorithm disagrees with the oracle,
 // so the benchmark doubles as a correctness gate.
-func cmdBenchCut(args []string) error {
+func cmdBenchCut(_ context.Context, args []string) error {
 	fs := flag.NewFlagSet("bench-cut", flag.ExitOnError)
 	sizes := fs.String("sizes", "1000,3000,10000,30000,100000,300000,1000000", "comma-separated node counts")
 	seed := fs.Int64("seed", 1, "workload seed (same seed, same graphs)")

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/scenario"
+	"repro/internal/staticanal"
+)
+
+func cmdCheck(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	appName := fs.String("app", "all", "application to analyze, or 'all'")
+	verify := fs.Bool("verify", true, "profile the training scenarios and cross-check the static prediction")
+	jsonPath := fs.String("json", "", "write the full reports as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	apps := scenario.Apps()
+	if *appName != "all" {
+		apps = []string{*appName}
+	}
+
+	var rows []*experiments.CheckRow
+	for _, name := range apps {
+		var scenarios []string
+		if *verify {
+			scenarios = scenario.TrainingForApp(name)
+		}
+		row, err := experiments.Check(ctx, name, scenarios)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+
+	violations := 0
+	for _, row := range rows {
+		if err := row.Report.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if len(row.Scenarios) > 0 {
+			fmt.Printf("  verified against %v: %d pinned, %d statically welded, %d warnings, %d violations\n",
+				row.Scenarios, row.Pinned, row.Welded, row.Warnings, row.Violations)
+		}
+		violations += row.Violations
+		fmt.Println()
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		reports := make([]*staticanal.Report, len(rows))
+		for i, row := range rows {
+			reports[i] = row.Report
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d constraint violation(s)", violations)
+	}
+	return nil
+}

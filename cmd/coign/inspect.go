@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/profile"
+	"repro/internal/scenario"
+)
+
+func cmdInstrument(_ context.Context, args []string) error {
+	fs := flag.NewFlagSet("instrument", flag.ExitOnError)
+	appName := fs.String("app", "octarine", "application")
+	out := fs.String("o", "", "output image path (default <app>.img)")
+	classifier := fs.String("classifier", "ifcb", "instance classifier")
+	depth := fs.Int("depth", 0, "classifier stack depth (0 = complete)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, err := scenario.NewApp(*appName)
+	if err != nil {
+		return err
+	}
+	kind, err := classify.KindByName(*classifier)
+	if err != nil {
+		return err
+	}
+	adps := core.New(app)
+	adps.ClassifierKind = kind
+	adps.ClassifierDepth = *depth
+	if err := adps.Instrument(); err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = *appName + ".img"
+	}
+	if err := adps.Image.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote instrumented binary %s (%d bytes of code, %d imports, %s in slot 0)\n",
+		path, adps.Image.CodeBytes(), len(adps.Image.Imports), adps.Image.Imports[0])
+	return nil
+}
+
+// cmdProfile runs one or more profiling scenarios and writes each run's
+// inter-component communication log to a .icc file, the paper's
+// post-profiling artifact.
+func cmdProfile(_ context.Context, args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	scens := fs.String("scenarios", "o_oldwp0", "comma-separated scenarios (one application)")
+	dir := fs.String("dir", ".", "directory for .icc log files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := strings.Split(*scens, ",")
+	first, err := scenario.Lookup(names[0])
+	if err != nil {
+		return err
+	}
+	app, err := scenario.NewApp(first.App)
+	if err != nil {
+		return err
+	}
+	adps := core.New(app)
+	if err := adps.Instrument(); err != nil {
+		return err
+	}
+	for _, name := range names {
+		info, err := scenario.Lookup(name)
+		if err != nil {
+			return err
+		}
+		if info.App != first.App {
+			return fmt.Errorf("scenario %s belongs to %s, not %s", name, info.App, first.App)
+		}
+		p, _, err := adps.ProfileScenario(name, false)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*dir, name+".icc")
+		if err := p.WriteFile(path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d calls, %d classifications\n",
+			path, p.TotalCalls(), len(p.Classifications))
+	}
+	return nil
+}
+
+// cmdAnalyze combines profiling logs and prints the distribution the
+// analysis engine chooses. Unlike cut, it consumes pre-recorded .icc
+// files instead of profiling scenarios itself.
+func cmdAnalyze(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	logs := fs.String("logs", "", "comma-separated .icc log files")
+	network := fs.String("network", "10BaseT", "network model")
+	verbose := fs.Bool("v", false, "list server-side classifications")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logs == "" {
+		return fmt.Errorf("analyze requires -logs")
+	}
+	var combined *profile.Profile
+	for _, path := range strings.Split(*logs, ",") {
+		p, err := profile.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if combined == nil {
+			combined = p
+			continue
+		}
+		p.OffsetInstanceIDs(combined.MaxInstanceID())
+		if err := combined.Merge(p); err != nil {
+			return err
+		}
+	}
+	app, err := scenario.NewApp(combined.App)
+	if err != nil {
+		return err
+	}
+	model, err := netsim.ByName(*network)
+	if err != nil {
+		return err
+	}
+	adps := core.New(app)
+	adps.Network = model
+	res, err := adps.Analyze(ctx, combined)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s from logs of %v on %s\n", combined.App, combined.Scenarios, model.Name)
+	fmt.Printf("  instances:      %d client, %d server\n", res.ClientInstances, res.ServerInstances)
+	fmt.Printf("  predicted comm: %v (default %v, savings %.0f%%)\n",
+		res.PredictedComm, res.DefaultComm, res.Savings()*100)
+	if *verbose {
+		for _, cp := range res.ServerComponents(combined) {
+			fmt.Printf("  server: %-20s x%d\n", cp.Class, cp.Instances)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+func cmdList(_ context.Context, _ []string) error {
+	fmt.Printf("%-10s %-10s %s\n", "Scenario", "App", "Description")
+	for _, s := range scenario.Table1() {
+		fmt.Printf("%-10s %-10s %s\n", s.Name, s.App, s.Description)
+	}
+	return nil
+}

@@ -1,940 +1,91 @@
 // Command coign is the Coign ADPS toolchain driver: it instruments
 // application binaries, runs profiling scenarios, analyzes profiles,
 // writes distributions back into binaries, executes distributed
-// applications, and regenerates every table and figure of the paper's
-// evaluation.
+// applications, regenerates every table and figure of the paper's
+// evaluation, and serves the whole pipeline as a persistent job service.
 //
-// Usage:
-//
-//	coign list                                   print the scenario suite (Table 1)
-//	coign cut -scenario o_oldwp7 [-network N]    profile+analyze one scenario, print the distribution
-//	coign run -scenario o_oldwp7 [-network N]    full experiment: default vs Coign vs prediction
-//	coign table2 [-app octarine]                 classifier accuracy (Table 2)
-//	coign table3 [-app octarine]                 IFCB accuracy vs stack depth (Table 3)
-//	coign table4                                 communication time, all scenarios (Table 4)
-//	coign table5                                 prediction accuracy, all scenarios (Table 5)
-//	coign figures                                distribution figures 4-8
-//	coign chaos -scenario o_oldwp7 [-drop 0.05]  run under injected network faults
-//	coign adapt -scenario o_oldwp7               re-partition across network generations (§4.4)
-//	coign overhead [-scenario o_oldwp0]          instrumentation overhead (§3.2)
-//	coign bench-cut [-sizes 1000,...,100000]     cut-engine benchmark on synthetic ICC graphs
-//	coign check [-app all] [-json out.json]      static constraint analysis + verification
-//	coign coverage [-app all] [-fail-under 70]   activation-reachability scenario coverage
-//	coign purity [-app all] [-fail-on misclassified]  state-mutability analysis + replication grading
-//	coign instrument -app octarine -o app.img    rewrite a binary for profiling
-//	coign synth -family skewed -seed 7 [-o f.img]  generate a synthetic application
-//	coign synth -harness -seeds 20 [-json]       full-pipeline property sweep
+// Every subcommand lives in its own file and ultimately drives
+// internal/pipeline (or the experiments harness built on it), so the CLI
+// and the job service produce identical results for identical specs.
 package main
 
 import (
-	"bytes"
-	"crypto/sha256"
-	"encoding/json"
-	"errors"
-	"flag"
+	"context"
 	"fmt"
 	"os"
-	"path/filepath"
-	"strings"
-	"time"
-
-	"repro/internal/adapt"
-	"repro/internal/binimg"
-	"repro/internal/classify"
-	"repro/internal/com"
-	"repro/internal/core"
-	"repro/internal/dist"
-	"repro/internal/experiments"
-	"repro/internal/fault"
-	"repro/internal/logger"
-	"repro/internal/netsim"
-	"repro/internal/profile"
-	"repro/internal/purity"
-	"repro/internal/reach"
-	"repro/internal/scenario"
-	"repro/internal/staticanal"
-	"repro/internal/synthapp"
+	"os/signal"
+	"syscall"
 )
+
+// command is one coign subcommand. The context is cancelled on SIGINT or
+// SIGTERM, so long experiments and the serve loop shut down cleanly.
+type command struct {
+	name    string
+	summary string
+	run     func(ctx context.Context, args []string) error
+}
+
+var commands = []command{
+	{"list", "print the profiling-scenario suite (Table 1)", cmdList},
+	{"cut", "profile scenarios and print the chosen distribution", cmdCut},
+	{"run", "full experiment for one scenario (Tables 4 and 5 rows)", cmdRun},
+	{"table2", "classifier accuracy (Table 2)", cmdTable2},
+	{"table3", "IFCB accuracy vs stack-walk depth (Table 3)", cmdTable3},
+	{"table4", "communication time for all 23 scenarios (Table 4)", cmdTable4},
+	{"table5", "execution-time prediction accuracy (Table 5)", cmdTable5},
+	{"figures", "distribution figures 4-8", cmdFigures},
+	{"chaos", "run one scenario under injected network faults with retries", cmdChaos},
+	{"adapt", "re-partition one scenario across network generations", cmdAdapt},
+	{"overhead", "instrumentation overhead measurements", cmdOverhead},
+	{"drift", "watchdog: detect usage drift from the profiled scenarios", cmdDrift},
+	{"cache", "per-interface caching (semi-custom marshaling) effect", cmdCache},
+	{"bench-cut", "cut-engine benchmark sweep over synthetic ICC graphs", cmdBenchCut},
+	{"check", "static constraint analysis: remotability, pins, co-location", cmdCheck},
+	{"coverage", "diff static activation reachability against profiled scenarios", cmdCoverage},
+	{"purity", "static state-mutability analysis and the replication-aware cut", cmdPurity},
+	{"instrument", "rewrite an application binary for profiling", cmdInstrument},
+	{"profile", "run profiling scenarios and write .icc log files", cmdProfile},
+	{"analyze", "combine .icc log files and print the chosen distribution", cmdAnalyze},
+	{"synth", "generate a synthetic application, or sweep the property harness", cmdSynth},
+	{"serve", "run the partitioning job service (HTTP API + worker pool)", cmdServe},
+	{"version", "print the build version", cmdVersion},
+}
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	var err error
-	switch cmd {
-	case "list":
-		err = cmdList()
-	case "cut":
-		err = cmdCut(args)
-	case "run":
-		err = cmdRun(args)
-	case "table2":
-		err = cmdTable2(args)
-	case "table3":
-		err = cmdTable3(args)
-	case "table4":
-		err = cmdTables(args, false)
-	case "table5":
-		err = cmdTables(args, true)
-	case "figures":
-		err = cmdFigures()
-	case "chaos":
-		err = cmdChaos(args)
-	case "adapt":
-		err = cmdAdapt(args)
-	case "overhead":
-		err = cmdOverhead(args)
-	case "drift":
-		err = cmdDrift(args)
-	case "cache":
-		err = cmdCache(args)
-	case "profile":
-		err = cmdProfile(args)
-	case "analyze":
-		err = cmdAnalyze(args)
-	case "bench-cut":
-		err = cmdBenchCut(args)
-	case "check":
-		err = cmdCheck(args)
-	case "coverage":
-		err = cmdCoverage(args)
-	case "purity":
-		err = cmdPurity(args)
-	case "instrument":
-		err = cmdInstrument(args)
-	case "synth":
-		err = cmdSynth(args)
-	case "help", "-h", "--help":
+	name, args := os.Args[1], os.Args[2:]
+	if name == "help" || name == "-h" || name == "--help" {
 		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "coign: unknown command %q\n", cmd)
+		return
+	}
+	var cmd *command
+	for i := range commands {
+		if commands[i].name == name {
+			cmd = &commands[i]
+			break
+		}
+	}
+	if cmd == nil {
+		fmt.Fprintf(os.Stderr, "coign: unknown command %q\n", name)
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := cmd.run(ctx, args); err != nil {
 		fmt.Fprintln(os.Stderr, "coign:", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: coign <command> [flags]
-
-commands:
-  list        print the profiling-scenario suite (Table 1)
-  cut         profile one scenario and print the chosen distribution
-  run         full experiment for one scenario (Tables 4 and 5 rows)
-  table2      classifier accuracy (Table 2)
-  table3      IFCB accuracy vs stack-walk depth (Table 3)
-  table4      communication time for all 23 scenarios (Table 4)
-  table5      execution-time prediction accuracy (Table 5)
-  figures     distribution figures 4-8
-  chaos       run one scenario under injected network faults with retries
-  adapt       re-partition one scenario across network generations
-  overhead    instrumentation overhead measurements
-  drift       watchdog: detect usage drift from the profiled scenarios
-  cache       per-interface caching (semi-custom marshaling) effect
-  bench-cut   cut-engine benchmark sweep over synthetic ICC graphs
-  check       static constraint analysis: remotability, pins, co-location
-  coverage    diff static activation reachability against profiled scenarios
-  purity      static state-mutability analysis, component grading, and the
-              replication-aware cut
-  instrument  rewrite an application binary for profiling
-  profile     run profiling scenarios and write .icc log files
-  analyze     combine .icc log files and print the chosen distribution
-  synth       generate a synthetic application, or sweep the pipeline
-              property harness over the generator families`)
-}
-
-func cmdList() error {
-	fmt.Printf("%-10s %-10s %s\n", "Scenario", "App", "Description")
-	for _, s := range scenario.Table1() {
-		fmt.Printf("%-10s %-10s %s\n", s.Name, s.App, s.Description)
+	fmt.Fprintln(os.Stderr, "usage: coign <command> [flags]")
+	fmt.Fprintln(os.Stderr)
+	fmt.Fprintln(os.Stderr, "commands:")
+	for _, c := range commands {
+		fmt.Fprintf(os.Stderr, "  %-11s %s\n", c.name, c.summary)
 	}
-	return nil
-}
-
-func cmdCut(args []string) error {
-	fs := flag.NewFlagSet("cut", flag.ExitOnError)
-	scen := fs.String("scenario", "o_oldwp7", "scenario to partition")
-	network := fs.String("network", "10BaseT", "network model")
-	classifier := fs.String("classifier", "ifcb", "instance classifier")
-	verbose := fs.Bool("v", false, "list server-side classifications")
-	dotPath := fs.String("dot", "", "write the distribution figure as Graphviz DOT")
-	pins := fs.String("pin", "", "programmer constraints, e.g. 'TextProps=client,DocReader=server'")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	info, err := scenario.Lookup(*scen)
-	if err != nil {
-		return err
-	}
-	app, err := scenario.NewApp(info.App)
-	if err != nil {
-		return err
-	}
-	model, err := netsim.ByName(*network)
-	if err != nil {
-		return err
-	}
-	kind, err := classify.KindByName(*classifier)
-	if err != nil {
-		return err
-	}
-	adps := core.New(app)
-	adps.Network = model
-	adps.ClassifierKind = kind
-	if err := adps.Instrument(); err != nil {
-		return err
-	}
-	p, _, err := adps.ProfileScenario(*scen, false)
-	if err != nil {
-		return err
-	}
-	// Programmer-supplied absolute constraints (paper §4.3): pin every
-	// classification of the named classes.
-	if *pins != "" {
-		adps.AnalysisOptions.ExtraPins = map[string]com.Machine{}
-		for _, spec := range strings.Split(*pins, ",") {
-			parts := strings.SplitN(spec, "=", 2)
-			if len(parts) != 2 {
-				return fmt.Errorf("bad -pin entry %q (want Class=client|server)", spec)
-			}
-			var m com.Machine
-			switch parts[1] {
-			case "client":
-				m = com.Client
-			case "server":
-				m = com.Server
-			default:
-				return fmt.Errorf("bad -pin machine %q", parts[1])
-			}
-			matched := 0
-			for id, ci := range p.Classifications {
-				if ci.Class == parts[0] {
-					adps.AnalysisOptions.ExtraPins[id] = m
-					matched++
-				}
-			}
-			if matched == 0 {
-				return fmt.Errorf("-pin %s matched no classifications", parts[0])
-			}
-		}
-	}
-	res, err := adps.Analyze(p)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s on %s (%s classifier)\n", *scen, model.Name, kind)
-	fmt.Printf("  classifications: %d client, %d server (%d constrained, %d non-remotable edges)\n",
-		res.ClientClassifications, res.ServerClassifications, res.Constrained, res.NonRemotableEdges)
-	fmt.Printf("  instances:       %d client, %d server\n", res.ClientInstances, res.ServerInstances)
-	fmt.Printf("  predicted comm:  %v (default %v, savings %.0f%%)\n",
-		res.PredictedComm, res.DefaultComm, res.Savings()*100)
-	if *verbose {
-		for _, cp := range res.ServerComponents(p) {
-			fmt.Printf("  server: %-20s x%d\n", cp.Class, cp.Instances)
-		}
-	}
-	if *dotPath != "" {
-		f, err := os.Create(*dotPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := res.WriteDOT(f, p, *scen+" on "+model.Name); err != nil {
-			return err
-		}
-		fmt.Printf("  wrote %s (render with: neato -Tsvg %s)\n", *dotPath, *dotPath)
-	}
-	return nil
-}
-
-func cmdRun(args []string) error {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	scen := fs.String("scenario", "o_oldwp7", "scenario to run")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	row, err := experiments.RunScenario(*scen)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s (%s)\n", row.Scenario, row.App)
-	fmt.Printf("  components:        %d total, %d on server\n", row.TotalInstances, row.ServerInstances)
-	fmt.Printf("  communication:     default %.3fs, Coign %.3fs (savings %.0f%%)\n",
-		row.DefaultComm.Seconds(), row.CoignComm.Seconds(), row.Savings*100)
-	fmt.Printf("  execution:         predicted %.1fs, measured %.1fs (error %+.1f%%)\n",
-		row.PredictedExec.Seconds(), row.MeasuredExec.Seconds(), row.PredictionErr*100)
-	fmt.Printf("  violations:        %d\n", row.Violations)
-	if row.DefaultViolations > 0 {
-		fmt.Printf("  default infeasible: splits %d co-location constraint(s); default time is a lower bound\n",
-			row.DefaultViolations)
-	}
-	return nil
-}
-
-func cmdTable2(args []string) error {
-	fs := flag.NewFlagSet("table2", flag.ExitOnError)
-	app := fs.String("app", "octarine", "application")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	rows, err := experiments.Table2(*app)
-	if err != nil {
-		return err
-	}
-	experiments.PrintTable2(os.Stdout, rows)
-	return nil
-}
-
-func cmdTable3(args []string) error {
-	fs := flag.NewFlagSet("table3", flag.ExitOnError)
-	app := fs.String("app", "octarine", "application")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	rows, err := experiments.Table3(*app)
-	if err != nil {
-		return err
-	}
-	experiments.PrintTable3(os.Stdout, rows)
-	return nil
-}
-
-func cmdTables(args []string, five bool) error {
-	rows, err := experiments.Tables4And5()
-	if err != nil {
-		return err
-	}
-	if five {
-		experiments.PrintTable5(os.Stdout, rows)
-	} else {
-		experiments.PrintTable4(os.Stdout, rows)
-	}
-	return nil
-}
-
-func cmdFigures() error {
-	rows, err := experiments.Figures()
-	if err != nil {
-		return err
-	}
-	experiments.PrintFigures(os.Stdout, rows)
-	return nil
-}
-
-// cmdChaos runs one scenario in its default distribution over a lossy
-// network: cross-machine messages are dropped/corrupted per the configured
-// (or model-derived) rates and retransmitted with backoff. The same seed
-// always produces the same fault schedule.
-func cmdChaos(args []string) error {
-	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
-	scen := fs.String("scenario", "o_oldwp7", "scenario to run")
-	network := fs.String("network", "10BaseT", "network model")
-	drop := fs.Float64("drop", 0.05, "per-message drop probability")
-	corrupt := fs.Float64("corrupt", 0.05, "per-message corruption probability")
-	timeout := fs.Duration("timeout", 250*time.Millisecond, "virtual wait charged per dropped message")
-	attempts := fs.Int("attempts", 4, "delivery attempts per message (1 disables retries)")
-	backoff := fs.Duration("backoff", 10*time.Millisecond, "initial retransmission backoff (doubles per attempt)")
-	seed := fs.Int64("seed", 1, "fault-schedule seed (same seed, same faults)")
-	fromModel := fs.Bool("from-model", false, "derive drop/corrupt rates from the network model's loss figure")
-	trace := fs.Bool("trace", false, "print every injected fault")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	info, err := scenario.Lookup(*scen)
-	if err != nil {
-		return err
-	}
-	app, err := scenario.NewApp(info.App)
-	if err != nil {
-		return err
-	}
-	model, err := netsim.ByName(*network)
-	if err != nil {
-		return err
-	}
-	pol := &dist.FaultPolicy{
-		Rates:       fault.Rates{Drop: *drop, Corrupt: *corrupt},
-		Timeout:     *timeout,
-		MaxAttempts: *attempts,
-		Backoff:     *backoff,
-	}
-	if *fromModel {
-		pol.Rates = fault.FromModel(model)
-	}
-	var ev *logger.EventLogger
-	if *trace {
-		ev = logger.NewEventLogger(os.Stdout)
-	}
-	cfg := dist.Config{
-		App:        app,
-		Scenario:   *scen,
-		Seed:       *seed,
-		Mode:       dist.ModeDefault,
-		Classifier: classify.New(classify.IFCB, 0),
-		Network:    model,
-		Faults:     pol,
-	}
-	if ev != nil {
-		cfg.ExtraLogger = ev
-	}
-	res, err := dist.Run(cfg)
-	if err != nil {
-		if errors.Is(err, dist.ErrTimeout) {
-			fmt.Printf("%s on %s (drop %.1f%%, corrupt %.1f%%, %d attempt(s), seed %d)\n",
-				*scen, model.Name, pol.Rates.Drop*100, pol.Rates.Corrupt*100, *attempts, *seed)
-			fmt.Printf("  outcome: FAILED — %v\n", err)
-			return nil
-		}
-		return err
-	}
-	fmt.Printf("%s on %s (drop %.1f%%, corrupt %.1f%%, %d attempt(s), seed %d)\n",
-		*scen, model.Name, pol.Rates.Drop*100, pol.Rates.Corrupt*100, *attempts, *seed)
-	fmt.Printf("  outcome:   completed (%d components, %d messages, %d bytes)\n",
-		res.Instances, res.Clock.Messages(), res.Clock.Bytes())
-	fmt.Printf("  comm time: %v (compute %v)\n", res.Clock.CommTime(), res.Clock.ComputeTime())
-	fmt.Printf("  faults:    %d drops, %d corruptions, %d retries, %d giveups\n",
-		res.FaultDrops, res.FaultCorruptions, res.Retries, res.FaultGiveUps)
-	return nil
-}
-
-func cmdAdapt(args []string) error {
-	fs := flag.NewFlagSet("adapt", flag.ExitOnError)
-	scen := fs.String("scenario", "o_oldwp7", "scenario to re-partition")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	rows, err := experiments.Adaptive(*scen, []string{"ISDN", "10BaseT", "100BaseT", "ATM", "SAN"})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-10s %10s %14s %14s %9s\n", "Network", "SrvInst", "Predicted", "Default", "Savings")
-	for _, r := range rows {
-		fmt.Printf("%-10s %10d %13.3fs %13.3fs %8.0f%%\n",
-			r.Network, r.ServerInstances, r.PredictedComm.Seconds(),
-			r.DefaultComm.Seconds(), r.Savings*100)
-	}
-	return nil
-}
-
-func cmdOverhead(args []string) error {
-	fs := flag.NewFlagSet("overhead", flag.ExitOnError)
-	scen := fs.String("scenario", "o_oldwp0", "scenario to measure")
-	reps := fs.Int("reps", 5, "repetitions (best-of)")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	row, err := experiments.MeasureOverhead(*scen, *reps)
-	if err != nil {
-		return err
-	}
-	fmt.Println(row)
-	return nil
-}
-
-func cmdDrift(args []string) error {
-	fs := flag.NewFlagSet("drift", flag.ExitOnError)
-	optimized := fs.String("optimized-for", "o_oldwp0", "scenario the distribution was computed from")
-	observed := fs.String("observed", "o_oldbth", "scenario representing actual usage")
-	threshold := fs.Float64("threshold", 0.3, "drift threshold recommending re-profiling")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	info, err := scenario.Lookup(*optimized)
-	if err != nil {
-		return err
-	}
-	if obsInfo, err := scenario.Lookup(*observed); err != nil {
-		return err
-	} else if obsInfo.App != info.App {
-		return fmt.Errorf("scenarios belong to different applications (%s vs %s)", info.App, obsInfo.App)
-	}
-	app, err := scenario.NewApp(info.App)
-	if err != nil {
-		return err
-	}
-	adps := core.New(app)
-	if err := adps.Instrument(); err != nil {
-		return err
-	}
-	baseline, _, err := adps.ProfileScenario(*optimized, false)
-	if err != nil {
-		return err
-	}
-	res, err := adps.Analyze(baseline)
-	if err != nil {
-		return err
-	}
-	w, err := adapt.NewWatchdog(baseline, *threshold, 50)
-	if err != nil {
-		return err
-	}
-	if _, err := dist.Run(dist.Config{
-		App: app, Scenario: *observed, Mode: dist.ModeCoign,
-		Classifier:   classify.New(adps.ClassifierKind, 0),
-		Distribution: res.Distribution,
-		ExtraLogger:  w.Logger(),
-	}); err != nil {
-		return err
-	}
-	fmt.Printf("distribution optimized for %s, observed usage %s\n", *optimized, *observed)
-	fmt.Printf("  drift: %.3f (threshold %.2f) — re-profile: %v\n",
-		w.Drift(), *threshold, w.ShouldReprofile())
-	for _, d := range w.TopDivergences(5) {
-		fmt.Printf("  %-40s -> %-40s profiled %.1f%% observed %.1f%%\n",
-			d.Src, d.Dst, d.ProfiledShare*100, d.ObservedShare*100)
-	}
-	return nil
-}
-
-func cmdCache(args []string) error {
-	fs := flag.NewFlagSet("cache", flag.ExitOnError)
-	scen := fs.String("scenario", "o_oldwp7", "scenario to measure")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	cmp, err := experiments.CompareCaching(*scen)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s with per-interface caching:\n", cmp.Scenario)
-	fmt.Printf("  plain:  %.3fs\n", cmp.Plain.Seconds())
-	fmt.Printf("  cached: %.3fs (%d hits, %.0f%% further savings)\n",
-		cmp.Cached.Seconds(), cmp.CacheHits, cmp.Savings*100)
-	return nil
-}
-
-// cmdCoverage diffs the static activation-reachability graph of one or
-// all applications against their profiled training scenarios: which
-// statically possible activation sites and ICC edges the scenarios never
-// exercised, and which observations the static metadata failed to
-// predict.
-func cmdCoverage(args []string) error {
-	fs := flag.NewFlagSet("coverage", flag.ExitOnError)
-	appName := fs.String("app", "all", "application to measure, 'quickstart', or 'all'")
-	scens := fs.String("scenarios", "", "comma-separated scenario override (default: the app's training suite)")
-	jsonOut := fs.Bool("json", false, "emit the coverage reports as JSON on stdout")
-	failUnder := fs.Float64("fail-under", 0, "fail (exit nonzero) when combined coverage is below this percentage")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	apps := scenario.Apps()
-	if *appName != "all" {
-		apps = []string{*appName}
-	}
-	var scenarios []string
-	if *scens != "" {
-		if len(apps) != 1 {
-			return fmt.Errorf("-scenarios requires a single -app")
-		}
-		scenarios = strings.Split(*scens, ",")
-	}
-
-	var rows []*experiments.CoverageRow
-	for _, name := range apps {
-		row, err := experiments.Coverage(name, scenarios)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, row)
-	}
-
-	if *jsonOut {
-		reports := make([]*reach.Coverage, len(rows))
-		for i, row := range rows {
-			reports[i] = row.Coverage
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(reports); err != nil {
-			return err
-		}
-	} else {
-		for _, row := range rows {
-			if err := row.Coverage.WriteText(os.Stdout); err != nil {
-				return err
-			}
-			fmt.Printf("  (profiled %v; %d reachable classes; %d uncovered edges installable as co-location constraints)\n\n",
-				row.Scenarios, row.Reachable, row.Installed)
-		}
-	}
-
-	var failed []string
-	for _, row := range rows {
-		if row.Percent < *failUnder {
-			failed = append(failed, fmt.Sprintf("%s %.1f%%", row.App, row.Percent))
-		}
-	}
-	if len(failed) > 0 {
-		return fmt.Errorf("coverage below %.1f%%: %s", *failUnder, strings.Join(failed, ", "))
-	}
-	return nil
-}
-
-// cmdPurity runs the static purity & state-mutability analysis over one
-// or all applications: classify every method from the binary's state
-// records, fold in profiled call/write evidence to grade each component
-// stateless/read-mostly/stateful, verify the static claims against
-// observed mutations, and compare the plain cut with the
-// replication-aware one.
-func cmdPurity(args []string) error {
-	fs := flag.NewFlagSet("purity", flag.ExitOnError)
-	appName := fs.String("app", "all", "application to analyze, 'quickstart', or 'all'")
-	scens := fs.String("scenarios", "", "comma-separated scenario override (default: the app's training suite)")
-	theta := fs.Float64("theta", 0, fmt.Sprintf("read-mostly write-fraction threshold (0 selects %.2f)", purity.DefaultTheta))
-	jsonOut := fs.Bool("json", false, "emit the purity rows as JSON on stdout")
-	failOn := fs.String("fail-on", "", "fail (exit nonzero) on: 'misclassified'")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *failOn != "" && *failOn != "misclassified" {
-		return fmt.Errorf("unknown -fail-on condition %q (supported: misclassified)", *failOn)
-	}
-	apps := experiments.PurityApps()
-	if *appName != "all" {
-		apps = []string{*appName}
-	}
-	var scenarios []string
-	if *scens != "" {
-		if len(apps) != 1 {
-			return fmt.Errorf("-scenarios requires a single -app")
-		}
-		scenarios = strings.Split(*scens, ",")
-	}
-
-	var rows []*experiments.PurityRow
-	for _, name := range apps {
-		row, err := experiments.Purity(name, scenarios, *theta)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, row)
-	}
-
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rows); err != nil {
-			return err
-		}
-	} else {
-		for _, row := range rows {
-			fmt.Printf("%s: %d classes (%d with state descriptors, %d locally pure), theta %.2f\n",
-				row.App, row.Classes, row.WithDescriptor, row.LocallyPure, row.Theta)
-			if g := row.Grading; g != nil {
-				fmt.Printf("  graded %d components: %d stateless, %d read-mostly, %d stateful\n",
-					len(g.Components), g.Stateless, g.ReadMostly, g.Stateful)
-				for _, cg := range g.Components {
-					if cg.Grade != purity.GradeStateful {
-						fmt.Printf("    %-12s %-24s %s (%s)\n", cg.Grade, cg.Classification, cg.Class, cg.Provenance)
-					}
-				}
-				fmt.Printf("  cut %.6fs plain vs %.6fs replicated (%d components cloned)\n",
-					row.CutWeight, row.ReplicatedWeight, len(row.Replicated))
-			}
-			fmt.Printf("  verifier: %d misclassified, %d warnings\n\n", row.Misclassified, row.Warnings)
-		}
-	}
-
-	if *failOn == "misclassified" {
-		var failed []string
-		for _, row := range rows {
-			if row.Misclassified > 0 {
-				failed = append(failed, fmt.Sprintf("%s (%d)", row.App, row.Misclassified))
-			}
-		}
-		if len(failed) > 0 {
-			return fmt.Errorf("purity misclassifications: %s", strings.Join(failed, ", "))
-		}
-	}
-	return nil
-}
-
-func cmdInstrument(args []string) error {
-	fs := flag.NewFlagSet("instrument", flag.ExitOnError)
-	appName := fs.String("app", "octarine", "application")
-	out := fs.String("o", "", "output image path (default <app>.img)")
-	classifier := fs.String("classifier", "ifcb", "instance classifier")
-	depth := fs.Int("depth", 0, "classifier stack depth (0 = complete)")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	app, err := scenario.NewApp(*appName)
-	if err != nil {
-		return err
-	}
-	kind, err := classify.KindByName(*classifier)
-	if err != nil {
-		return err
-	}
-	adps := core.New(app)
-	adps.ClassifierKind = kind
-	adps.ClassifierDepth = *depth
-	if err := adps.Instrument(); err != nil {
-		return err
-	}
-	path := *out
-	if path == "" {
-		path = *appName + ".img"
-	}
-	if err := adps.Image.WriteFile(path); err != nil {
-		return err
-	}
-	fmt.Printf("wrote instrumented binary %s (%d bytes of code, %d imports, %s in slot 0)\n",
-		path, adps.Image.CodeBytes(), len(adps.Image.Imports), adps.Image.Imports[0])
-	return nil
-}
-
-// cmdSynth drives the synthetic-application generator: list the families,
-// emit one generated application (optionally as a binary image), or sweep
-// the full-pipeline property harness over the whole seed matrix — the
-// mode the CI pipeline-property job runs.
-func cmdSynth(args []string) error {
-	fs := flag.NewFlagSet("synth", flag.ExitOnError)
-	list := fs.Bool("list", false, "list the generator families and exit")
-	family := fs.String("family", string(synthapp.ThreeTier), "generator family")
-	seed := fs.Int64("seed", 0, "generator seed")
-	scale := fs.Int("scale", 1, fmt.Sprintf("size multiplier (1..%d)", synthapp.MaxScale))
-	out := fs.String("o", "", "write the generated application's binary image to this path")
-	harness := fs.Bool("harness", false, "run the full-pipeline property harness over every family")
-	seeds := fs.Int("seeds", 20, "harness: seeds per family")
-	jsonOut := fs.Bool("json", false, "harness: emit the matrix summary as JSON on stdout")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *list {
-		fmt.Printf("%-15s %-24s %s\n", "Family", "Training", "Bigone")
-		for _, fam := range synthapp.Families() {
-			sa, err := synthapp.Generate(synthapp.Config{Family: fam})
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%-15s %-24s %s\n", fam, strings.Join(sa.Training, ","), sa.Bigone)
-		}
-		return nil
-	}
-	if *harness {
-		sum, err := experiments.RunPipelineMatrix(*seeds, *scale)
-		if err != nil {
-			return err
-		}
-		if *jsonOut {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(sum); err != nil {
-				return err
-			}
-		} else {
-			fmt.Printf("pipeline property matrix: %d families x %d seeds = %d runs, %d failed\n",
-				len(sum.Families), sum.SeedsPerFamily, sum.Runs, sum.Failed)
-			for _, rep := range sum.Reports {
-				for _, c := range rep.Checks {
-					if !c.OK {
-						fmt.Printf("  FAIL %s seed %d: %s: %s\n", rep.Family, rep.Seed, c.Name, c.Detail)
-					}
-				}
-			}
-		}
-		if sum.Failed > 0 {
-			return fmt.Errorf("%d of %d pipeline property runs failed", sum.Failed, sum.Runs)
-		}
-		return nil
-	}
-
-	sa, err := synthapp.Generate(synthapp.Config{
-		Family: synthapp.Family(*family), Seed: *seed, Scale: *scale,
-	})
-	if err != nil {
-		return err
-	}
-	if err := synthapp.Validate(sa.App); err != nil {
-		return err
-	}
-	img := binimg.BuildImage(sa.App)
-	var buf bytes.Buffer
-	if err := img.Encode(&buf); err != nil {
-		return err
-	}
-	fmt.Printf("%s: %d classes, %d interfaces, training %s, bigone %s\n",
-		sa.App.Name, sa.App.Classes.Len(), len(sa.App.Interfaces.IIDs()),
-		strings.Join(sa.Training, ","), sa.Bigone)
-	fmt.Printf("image: %d bytes, sha256 %x\n", buf.Len(), sha256.Sum256(buf.Bytes()))
-	if sa.PlantsInfeasibleDefault {
-		fmt.Println("plants: infeasible default distribution (expect DefaultViolations > 0)")
-	}
-	for _, pair := range sa.LatentPairs {
-		fmt.Printf("plants: latent activation %s -> %s (uncovered by training scenarios)\n",
-			pair[0], pair[1])
-	}
-	if *out != "" {
-		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
-			return fmt.Errorf("writing image: %w", err)
-		}
-		fmt.Printf("wrote %s\n", *out)
-	}
-	return nil
-}
-
-// cmdProfile runs one or more profiling scenarios and writes each run's
-// inter-component communication log to a .icc file, the paper's
-// post-profiling artifact.
-func cmdProfile(args []string) error {
-	fs := flag.NewFlagSet("profile", flag.ExitOnError)
-	scens := fs.String("scenarios", "o_oldwp0", "comma-separated scenarios (one application)")
-	dir := fs.String("dir", ".", "directory for .icc log files")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	names := strings.Split(*scens, ",")
-	first, err := scenario.Lookup(names[0])
-	if err != nil {
-		return err
-	}
-	app, err := scenario.NewApp(first.App)
-	if err != nil {
-		return err
-	}
-	adps := core.New(app)
-	if err := adps.Instrument(); err != nil {
-		return err
-	}
-	for _, name := range names {
-		info, err := scenario.Lookup(name)
-		if err != nil {
-			return err
-		}
-		if info.App != first.App {
-			return fmt.Errorf("scenario %s belongs to %s, not %s", name, info.App, first.App)
-		}
-		p, _, err := adps.ProfileScenario(name, false)
-		if err != nil {
-			return err
-		}
-		path := filepath.Join(*dir, name+".icc")
-		if err := p.WriteFile(path); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s: %d calls, %d classifications\n",
-			path, p.TotalCalls(), len(p.Classifications))
-	}
-	return nil
-}
-
-// cmdAnalyze combines profiling logs and prints the distribution the
-// analysis engine chooses.
-func cmdAnalyze(args []string) error {
-	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
-	logs := fs.String("logs", "", "comma-separated .icc log files")
-	network := fs.String("network", "10BaseT", "network model")
-	verbose := fs.Bool("v", false, "list server-side classifications")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *logs == "" {
-		return fmt.Errorf("analyze requires -logs")
-	}
-	var combined *profile.Profile
-	for _, path := range strings.Split(*logs, ",") {
-		p, err := profile.ReadFile(path)
-		if err != nil {
-			return err
-		}
-		if combined == nil {
-			combined = p
-			continue
-		}
-		p.OffsetInstanceIDs(combined.MaxInstanceID())
-		if err := combined.Merge(p); err != nil {
-			return err
-		}
-	}
-	app, err := scenario.NewApp(combined.App)
-	if err != nil {
-		return err
-	}
-	model, err := netsim.ByName(*network)
-	if err != nil {
-		return err
-	}
-	adps := core.New(app)
-	adps.Network = model
-	res, err := adps.Analyze(combined)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s from logs of %v on %s\n", combined.App, combined.Scenarios, model.Name)
-	fmt.Printf("  instances:      %d client, %d server\n", res.ClientInstances, res.ServerInstances)
-	fmt.Printf("  predicted comm: %v (default %v, savings %.0f%%)\n",
-		res.PredictedComm, res.DefaultComm, res.Savings()*100)
-	if *verbose {
-		for _, cp := range res.ServerComponents(combined) {
-			fmt.Printf("  server: %-20s x%d\n", cp.Class, cp.Instances)
-		}
-	}
-	return nil
-}
-
-func cmdCheck(args []string) error {
-	fs := flag.NewFlagSet("check", flag.ExitOnError)
-	appName := fs.String("app", "all", "application to analyze, or 'all'")
-	verify := fs.Bool("verify", true, "profile the training scenarios and cross-check the static prediction")
-	jsonPath := fs.String("json", "", "write the full reports as JSON to this file")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	apps := scenario.Apps()
-	if *appName != "all" {
-		apps = []string{*appName}
-	}
-
-	var rows []*experiments.CheckRow
-	for _, name := range apps {
-		var scenarios []string
-		if *verify {
-			scenarios = scenario.TrainingForApp(name)
-		}
-		row, err := experiments.Check(name, scenarios)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, row)
-	}
-
-	violations := 0
-	for _, row := range rows {
-		if err := row.Report.WriteText(os.Stdout); err != nil {
-			return err
-		}
-		if len(row.Scenarios) > 0 {
-			fmt.Printf("  verified against %v: %d pinned, %d statically welded, %d warnings, %d violations\n",
-				row.Scenarios, row.Pinned, row.Welded, row.Warnings, row.Violations)
-		}
-		violations += row.Violations
-		fmt.Println()
-	}
-	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		reports := make([]*staticanal.Report, len(rows))
-		for i, row := range rows {
-			reports[i] = row.Report
-		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(reports); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", *jsonPath)
-	}
-	if violations > 0 {
-		return fmt.Errorf("%d constraint violation(s)", violations)
-	}
-	return nil
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func cmdTable2(_ context.Context, args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	app := fs.String("app", "octarine", "application")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := experiments.Table2(*app)
+	if err != nil {
+		return err
+	}
+	experiments.PrintTable2(os.Stdout, rows)
+	return nil
+}
+
+func cmdTable3(_ context.Context, args []string) error {
+	fs := flag.NewFlagSet("table3", flag.ExitOnError)
+	app := fs.String("app", "octarine", "application")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows, err := experiments.Table3(*app)
+	if err != nil {
+		return err
+	}
+	experiments.PrintTable3(os.Stdout, rows)
+	return nil
+}
+
+func cmdTable4(ctx context.Context, args []string) error { return cmdTables(ctx, args, false) }
+func cmdTable5(ctx context.Context, args []string) error { return cmdTables(ctx, args, true) }
+
+func cmdTables(ctx context.Context, _ []string, five bool) error {
+	rows, err := experiments.Tables4And5(ctx)
+	if err != nil {
+		return err
+	}
+	if five {
+		experiments.PrintTable5(os.Stdout, rows)
+	} else {
+		experiments.PrintTable4(os.Stdout, rows)
+	}
+	return nil
+}
+
+func cmdFigures(ctx context.Context, _ []string) error {
+	rows, err := experiments.Figures(ctx)
+	if err != nil {
+		return err
+	}
+	experiments.PrintFigures(os.Stdout, rows)
+	return nil
+}

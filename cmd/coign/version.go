@@ -1,0 +1,13 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/version"
+)
+
+func cmdVersion(_ context.Context, _ []string) error {
+	fmt.Printf("coign %s (%s)\n", version.String(), version.Go())
+	return nil
+}

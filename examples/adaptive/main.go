@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func main() {
 	networks := []string{"ISDN", "10BaseT", "100BaseT", "ATM", "SAN", "loopback"}
 	for _, scen := range []string{octarine.ScenOldWp7, octarine.ScenOldBth} {
 		fmt.Printf("=== %s ===\n", scen)
-		rows, err := experiments.Adaptive(scen, networks)
+		rows, err := experiments.Adaptive(context.Background(), scen, networks)
 		if err != nil {
 			log.Fatal(err)
 		}

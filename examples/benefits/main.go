@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -19,7 +20,7 @@ import (
 
 func main() {
 	adps := core.New(benefits.New())
-	rep, err := adps.ScenarioExperiment(benefits.ScenBigone)
+	rep, err := adps.ScenarioExperiment(context.Background(), benefits.ScenBigone)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := adps.Analyze(p)
+	res, err := adps.Analyze(context.Background(), p)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -37,7 +38,7 @@ func main() {
 		"scenario", "total", "server", "default", "coign", "savings")
 	for _, c := range cases {
 		adps := core.New(octarine.New())
-		rep, err := adps.ScenarioExperiment(c.scenario)
+		rep, err := adps.ScenarioExperiment(context.Background(), c.scenario)
 		if err != nil {
 			log.Fatalf("%s: %v", c.scenario, err)
 		}
@@ -57,7 +58,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := adps.Analyze(p)
+	res, err := adps.Analyze(context.Background(), p)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package adapt
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/apps/octarine"
@@ -101,7 +102,7 @@ func TestWatchdogDetectsUsageShift(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := adps.Analyze(baseline)
+	res, err := adps.Analyze(context.Background(), baseline)
 	if err != nil {
 		t.Fatal(err)
 	}

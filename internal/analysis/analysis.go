@@ -7,6 +7,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -197,13 +198,18 @@ func BuildGraph(p *profile.Profile, np *netsim.Profile, classes *com.ClassRegist
 }
 
 // Analyze runs the complete engine: graph construction, minimum cut, and
-// distribution extraction.
-func Analyze(p *profile.Profile, np *netsim.Profile, app *com.App, opts Options) (*Result, error) {
+// distribution extraction. The context is threaded into the push-relabel
+// core, so a cancelled or expired job aborts mid-cut instead of running
+// the flow to completion.
+func Analyze(ctx context.Context, p *profile.Profile, np *netsim.Profile, app *com.App, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if p == nil || np == nil || app == nil {
 		return nil, fmt.Errorf("analysis: profile, network profile, and application are required")
 	}
 	g, st := BuildGraph(p, np, app.Classes, opts)
-	cut, err := g.MinCut()
+	cut, err := g.MinCutCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: %s: %w", p.App, err)
 	}
@@ -276,7 +282,7 @@ func Analyze(p *profile.Profile, np *netsim.Profile, app *com.App, opts Options)
 		res.Findings = append(res.Findings, opts.Purity.Verify(p)...)
 		if opts.Replicate {
 			rg, replicated := g.Replicate(res.Purity.Replication.Classifications)
-			rcut, err := rg.MinCut()
+			rcut, err := rg.MinCutCtx(ctx)
 			if err != nil {
 				return nil, fmt.Errorf("analysis: %s: replicated cut: %w", p.App, err)
 			}

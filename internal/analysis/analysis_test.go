@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -90,7 +91,7 @@ func TestInferConstraint(t *testing.T) {
 
 func TestAnalyzeMovesReaderToServer(t *testing.T) {
 	t.Parallel()
-	res, err := Analyze(benchProfile(), np(), benchApp(), Options{})
+	res, err := Analyze(context.Background(), benchProfile(), np(), benchApp(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestAnalyzeNonRemotableForcesColocation(t *testing.T) {
 	// traffic dominates; use a heavier opaque edge weight scenario: mark
 	// the reader->gui edge non-remotable.
 	p.Edge("reader@1", "gui@1").NonRemotable = true
-	res, err := Analyze(p, np(), benchApp(), Options{})
+	res, err := Analyze(context.Background(), p, np(), benchApp(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestAnalyzeDefaultCommSurvivesSplitCoLocation(t *testing.T) {
 	// worker at its server home) splits it.
 	p.Edge("gui@1", "worker@1").NonRemotable = true
 
-	res, err := Analyze(p, np(), app, Options{})
+	res, err := Analyze(context.Background(), p, np(), app, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestAnalyzeDefaultCommSurvivesSplitCoLocation(t *testing.T) {
 		t.Errorf("Savings = %v, want > 0", s)
 	}
 	// A feasible default reports zero violations.
-	res2, err := Analyze(benchProfile(), np(), benchApp(), Options{})
+	res2, err := Analyze(context.Background(), benchProfile(), np(), benchApp(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestAnalyzeDefaultCommSurvivesSplitCoLocation(t *testing.T) {
 
 func TestAnalyzeExtraConstraints(t *testing.T) {
 	t.Parallel()
-	res, err := Analyze(benchProfile(), np(), benchApp(), Options{
+	res, err := Analyze(context.Background(), benchProfile(), np(), benchApp(), Options{
 		ExtraPins: map[string]com.Machine{"reader@1": com.Client},
 	})
 	if err != nil {
@@ -225,7 +226,7 @@ func TestAnalyzeExtraConstraints(t *testing.T) {
 	if res.Distribution["reader@1"] != com.Client {
 		t.Error("absolute constraint ignored")
 	}
-	res2, err := Analyze(benchProfile(), np(), benchApp(), Options{
+	res2, err := Analyze(context.Background(), benchProfile(), np(), benchApp(), Options{
 		ExtraCoLocate: [][2]string{{"reader@1", "gui@1"}},
 	})
 	if err != nil {
@@ -238,11 +239,11 @@ func TestAnalyzeExtraConstraints(t *testing.T) {
 
 func TestAnalyzeExactPricing(t *testing.T) {
 	t.Parallel()
-	a, err := Analyze(benchProfile(), np(), benchApp(), Options{})
+	a, err := Analyze(context.Background(), benchProfile(), np(), benchApp(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Analyze(benchProfile(), np(), benchApp(), Options{ExactPricing: true})
+	b, err := Analyze(context.Background(), benchProfile(), np(), benchApp(), Options{ExactPricing: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,13 +259,13 @@ func TestAnalyzeExactPricing(t *testing.T) {
 
 func TestAnalyzeArgumentErrors(t *testing.T) {
 	t.Parallel()
-	if _, err := Analyze(nil, np(), benchApp(), Options{}); err == nil {
+	if _, err := Analyze(context.Background(), nil, np(), benchApp(), Options{}); err == nil {
 		t.Error("nil profile accepted")
 	}
-	if _, err := Analyze(benchProfile(), nil, benchApp(), Options{}); err == nil {
+	if _, err := Analyze(context.Background(), benchProfile(), nil, benchApp(), Options{}); err == nil {
 		t.Error("nil network profile accepted")
 	}
-	if _, err := Analyze(benchProfile(), np(), nil, Options{}); err == nil {
+	if _, err := Analyze(context.Background(), benchProfile(), np(), nil, Options{}); err == nil {
 		t.Error("nil app accepted")
 	}
 }
@@ -273,7 +274,7 @@ func TestAnalyzeUnsatisfiableConstraints(t *testing.T) {
 	t.Parallel()
 	p := benchProfile()
 	p.Edge("gui@1", "storage@1").Record(10, 10, true) // colocate GUI & storage
-	if _, err := Analyze(p, np(), benchApp(), Options{}); err == nil {
+	if _, err := Analyze(context.Background(), p, np(), benchApp(), Options{}); err == nil {
 		t.Error("contradictory constraints not reported")
 	}
 }
@@ -356,7 +357,7 @@ func TestSavingsEdgeCases(t *testing.T) {
 func TestWriteDOT(t *testing.T) {
 	t.Parallel()
 	p := benchProfile()
-	res, err := Analyze(p, np(), benchApp(), Options{})
+	res, err := Analyze(context.Background(), p, np(), benchApp(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +378,7 @@ func TestWriteDOT(t *testing.T) {
 	}
 	// A non-remotable edge draws as a heavy black line.
 	p.Edge("reader@1", "gui@1").NonRemotable = true
-	res2, err := Analyze(p, np(), benchApp(), Options{})
+	res2, err := Analyze(context.Background(), p, np(), benchApp(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package benefits
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/classify"
@@ -68,7 +69,7 @@ func TestFigure6DistributionShape(t *testing.T) {
 	// placed ~187 on the middle tier; Coign keeps ~135 there, moving the
 	// caching components to the client and reducing communication ~35%.
 	adps := core.New(New())
-	rep, err := adps.ScenarioExperiment(ScenBigone)
+	rep, err := adps.ScenarioExperiment(context.Background(), ScenBigone)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestCachesMoveBusinessLogicStays(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := adps.Analyze(p)
+	res, err := adps.Analyze(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestCachesMoveBusinessLogicStays(t *testing.T) {
 func TestViewSavingsApproximatePaper(t *testing.T) {
 	t.Parallel()
 	adps := core.New(New())
-	rep, err := adps.ScenarioExperiment(ScenVueOne)
+	rep, err := adps.ScenarioExperiment(context.Background(), ScenVueOne)
 	if err != nil {
 		t.Fatal(err)
 	}

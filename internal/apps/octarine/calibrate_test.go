@@ -1,6 +1,7 @@
 package octarine
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/com"
@@ -18,7 +19,7 @@ func TestCalibrationPrintout(t *testing.T) {
 	t.Logf("classes: %d", app.Classes.Len())
 	adps := core.New(app)
 	for _, scen := range Scenarios() {
-		rep, err := adps.ScenarioExperiment(scen)
+		rep, err := adps.ScenarioExperiment(context.Background(), scen)
 		if err != nil {
 			t.Fatalf("%s: %v", scen, err)
 		}

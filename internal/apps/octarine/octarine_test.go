@@ -2,6 +2,7 @@ package octarine
 
 import (
 	bytes2 "bytes"
+	"context"
 	"testing"
 
 	"repro/internal/classify"
@@ -81,7 +82,7 @@ func TestFigure5TextDocumentShape(t *testing.T) {
 	// Coign distribution only the reader and the text-properties
 	// component belong on the server (paper Figure 5).
 	adps := core.New(New())
-	rep, err := adps.ScenarioExperiment(ScenOldWp0)
+	rep, err := adps.ScenarioExperiment(context.Background(), ScenOldWp0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestFigure5TextDocumentShape(t *testing.T) {
 		t.Errorf("o_oldwp0 savings = %v, want ~0", rep.Savings)
 	}
 	// The big document moves exactly the reader and text properties.
-	rep7, err := adps.ScenarioExperiment(ScenOldWp7)
+	rep7, err := adps.ScenarioExperiment(context.Background(), ScenOldWp7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestFigure5TextDocumentShape(t *testing.T) {
 func TestFigure7TableDocumentShape(t *testing.T) {
 	t.Parallel()
 	adps := core.New(New())
-	rep, err := adps.ScenarioExperiment(ScenOldTb0)
+	rep, err := adps.ScenarioExperiment(context.Background(), ScenOldTb0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestFigure7TableDocumentShape(t *testing.T) {
 		t.Errorf("o_oldtb0 savings = %v, want small", rep.Savings)
 	}
 	// The 150-page table is dominated by the scan: huge savings.
-	rep3, err := adps.ScenarioExperiment(ScenOldTb3)
+	rep3, err := adps.ScenarioExperiment(context.Background(), ScenOldTb3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestFigure8MixedDocumentShape(t *testing.T) {
 	// Embedded tables flip the optimal distribution: the page-placement
 	// negotiation cluster (hundreds of components) moves to the server.
 	adps := core.New(New())
-	rep, err := adps.ScenarioExperiment(ScenOldBth)
+	rep, err := adps.ScenarioExperiment(context.Background(), ScenOldBth)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestCoignNeverWorseThanDefault(t *testing.T) {
 	t.Parallel()
 	adps := core.New(New())
 	for _, scen := range []string{ScenNewDoc, ScenNewMus, ScenNewTbl, ScenOldWp0, ScenOldWp3, ScenOldTb0} {
-		rep, err := adps.ScenarioExperiment(scen)
+		rep, err := adps.ScenarioExperiment(context.Background(), scen)
 		if err != nil {
 			t.Fatalf("%s: %v", scen, err)
 		}
@@ -261,7 +262,7 @@ func TestTextServicesStayWithDisplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := adps.Analyze(p)
+	res, err := adps.Analyze(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package photodraw
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/classify"
@@ -63,7 +64,7 @@ func TestFigure4CompositionShape(t *testing.T) {
 	// Of ~295 components viewing a composition, Coign places eight on the
 	// server: the file reader and seven property sets (paper Figure 4).
 	adps := core.New(New())
-	rep, err := adps.ScenarioExperiment(ScenOldMsr)
+	rep, err := adps.ScenarioExperiment(context.Background(), ScenOldMsr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestServerComponentsAreReaderAndPropertySets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := adps.Analyze(p)
+	res, err := adps.Analyze(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,11 +122,11 @@ func TestVectorDocumentSavesMoreThanBitmap(t *testing.T) {
 	// Line drawings (vector-heavy, proportionally more property data) save
 	// more than pixel-heavy compositions: 32% vs 21% in Table 4.
 	adps := core.New(New())
-	cur, err := adps.ScenarioExperiment(ScenOldCur)
+	cur, err := adps.ScenarioExperiment(context.Background(), ScenOldCur)
 	if err != nil {
 		t.Fatal(err)
 	}
-	msr, err := adps.ScenarioExperiment(ScenOldMsr)
+	msr, err := adps.ScenarioExperiment(context.Background(), ScenOldMsr)
 	if err != nil {
 		t.Fatal(err)
 	}

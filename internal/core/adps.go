@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -208,14 +209,16 @@ func (a *ADPS) ProfileScenarios(scenarios []string, instanceDetail bool) (*profi
 }
 
 // Analyze runs the profile analysis engine over a profile, using the
-// sampled network profile (running the network profiler on demand).
-func (a *ADPS) Analyze(p *profile.Profile) (*analysis.Result, error) {
+// sampled network profile (running the network profiler on demand). The
+// context is threaded into the cut engine: a cancelled analysis job
+// aborts mid-cut with the context's error.
+func (a *ADPS) Analyze(ctx context.Context, p *profile.Profile) (*analysis.Result, error) {
 	if a.NetProfile == nil {
 		if err := a.ProfileNetwork(); err != nil {
 			return nil, err
 		}
 	}
-	return analysis.Analyze(p, a.NetProfile, a.App, a.AnalysisOptions)
+	return analysis.Analyze(ctx, p, a.NetProfile, a.App, a.AnalysisOptions)
 }
 
 // WriteDistribution rewrites the binary's configuration record with the
@@ -315,7 +318,7 @@ type ScenarioReport struct {
 // the default and the Coign-chosen distribution and compare against the
 // prediction. The application is optimized for the chosen scenario before
 // execution, as in paper §4.5.
-func (a *ADPS) ScenarioExperiment(scenario string) (*ScenarioReport, error) {
+func (a *ADPS) ScenarioExperiment(ctx context.Context, scenario string) (*ScenarioReport, error) {
 	if !a.Image.Instrumented() {
 		if err := a.Instrument(); err != nil {
 			return nil, err
@@ -325,7 +328,7 @@ func (a *ADPS) ScenarioExperiment(scenario string) (*ScenarioReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	ares, err := a.Analyze(prof)
+	ares, err := a.Analyze(ctx, prof)
 	if err != nil {
 		return nil, err
 	}

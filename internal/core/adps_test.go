@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/analysis"
@@ -52,7 +53,7 @@ func TestPipelineStages(t *testing.T) {
 	}
 
 	// Analyze and write the distribution into the binary.
-	res, err := adps.Analyze(p)
+	res, err := adps.Analyze(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestNetworkProfileOnDemand(t *testing.T) {
 	if adps.NetProfile != nil {
 		t.Fatal("network profile exists before analysis")
 	}
-	if _, err := adps.Analyze(p); err != nil {
+	if _, err := adps.Analyze(context.Background(), p); err != nil {
 		t.Fatal(err)
 	}
 	if adps.NetProfile == nil {
@@ -125,7 +126,7 @@ func TestNetworkProfileOnDemand(t *testing.T) {
 func TestScenarioExperimentReport(t *testing.T) {
 	t.Parallel()
 	adps := New(octarine.New())
-	rep, err := adps.ScenarioExperiment(octarine.ScenOldTb3)
+	rep, err := adps.ScenarioExperiment(context.Background(), octarine.ScenOldTb3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestSTPlacementIsDebilitating(t *testing.T) {
 	commUnder := func(kind classify.Kind) float64 {
 		adps := New(octarine.New())
 		adps.ClassifierKind = kind
-		rep, err := adps.ScenarioExperiment(octarine.ScenOffTb3)
+		rep, err := adps.ScenarioExperiment(context.Background(), octarine.ScenOffTb3)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -268,7 +269,7 @@ func TestImageRoundTripThroughDisk(t *testing.T) {
 	// The pipeline state survives writing the binary to disk and loading
 	// it back — the "end user without source code" workflow.
 	adps := New(octarine.New())
-	rep, err := adps.ScenarioExperiment(octarine.ScenOldWp7)
+	rep, err := adps.ScenarioExperiment(context.Background(), octarine.ScenOldWp7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestImageRoundTripThroughDisk(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := adps.Analyze(p)
+	res, err := adps.Analyze(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

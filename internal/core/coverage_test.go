@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestCoverageGateQuickstart(t *testing.T) {
 
 	// And the chosen distribution honors it: every Crunch and View
 	// classification lands on the same machine.
-	res, err := a.Analyze(prof)
+	res, err := a.Analyze(context.Background(), prof)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestCoverageGateQuickstart(t *testing.T) {
 	if _, _, err := b.CoverageReport([]string{"default"}, false); err != nil {
 		t.Fatal(err)
 	}
-	base, err := b.Analyze(prof)
+	base, err := b.Analyze(context.Background(), prof)
 	if err != nil {
 		t.Fatal(err)
 	}

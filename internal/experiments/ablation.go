@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -107,12 +108,12 @@ func CompareBucketing(scenName string) (*BucketingComparison, error) {
 	if err != nil {
 		return nil, err
 	}
-	bucketed, err := adps.Analyze(p)
+	bucketed, err := adps.Analyze(context.Background(), p)
 	if err != nil {
 		return nil, err
 	}
 	adps.AnalysisOptions.ExactPricing = true
-	exact, err := adps.Analyze(p)
+	exact, err := adps.Analyze(context.Background(), p)
 	if err != nil {
 		return nil, err
 	}
@@ -165,12 +166,12 @@ func CompareNetworkProfile(scenName string, samples int) (*NetProfileComparison,
 	if err != nil {
 		return nil, err
 	}
-	sampled, err := adps.Analyze(p)
+	sampled, err := adps.Analyze(context.Background(), p)
 	if err != nil {
 		return nil, err
 	}
 	adps.NetProfile = netsim.ExactProfile(netsim.TenBaseT, netsim.DefaultSampleSizes)
-	oracle, err := adps.Analyze(p)
+	oracle, err := adps.Analyze(context.Background(), p)
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +245,7 @@ func CompareCaching(scenName string) (*CachingComparison, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := adps.Analyze(p)
+	res, err := adps.Analyze(context.Background(), p)
 	if err != nil {
 		return nil, err
 	}

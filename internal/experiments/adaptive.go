@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -27,7 +28,7 @@ type AdaptiveRow struct {
 }
 
 // Adaptive re-partitions one scenario for each named network model.
-func Adaptive(scenName string, networks []string) ([]AdaptiveRow, error) {
+func Adaptive(ctx context.Context, scenName string, networks []string) ([]AdaptiveRow, error) {
 	info, err := scenario.Lookup(scenName)
 	if err != nil {
 		return nil, err
@@ -52,7 +53,7 @@ func Adaptive(scenName string, networks []string) ([]AdaptiveRow, error) {
 		}
 		adps.Network = model
 		adps.NetProfile = nil // re-profile the new network
-		res, err := adps.Analyze(p)
+		res, err := adps.Analyze(ctx, p)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: adaptive %s: %w", name, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -36,7 +37,7 @@ type CheckRow struct {
 // scenarios is non-empty) profiles the scenarios, cuts the graph under the
 // derived constraints, and cross-checks prediction against observation.
 // The verifier's findings accumulate into the returned row's report.
-func Check(appName string, scenarios []string) (*CheckRow, error) {
+func Check(ctx context.Context, appName string, scenarios []string) (*CheckRow, error) {
 	app, err := scenario.NewApp(appName)
 	if err != nil {
 		return nil, err
@@ -65,7 +66,7 @@ func Check(appName string, scenarios []string) (*CheckRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := adps.Analyze(p)
+	res, err := adps.Analyze(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -79,8 +80,8 @@ func Check(appName string, scenarios []string) (*CheckRow, error) {
 
 // CheckAll runs Check over every application with its full training
 // scenario suite, one application per worker on a bounded pool.
-func CheckAll() ([]*CheckRow, error) {
-	return parallelMap(scenario.Apps(), func(appName string) (*CheckRow, error) {
-		return Check(appName, scenario.TrainingForApp(appName))
+func CheckAll(ctx context.Context) ([]*CheckRow, error) {
+	return parallelMap(ctx, scenario.Apps(), func(ctx context.Context, appName string) (*CheckRow, error) {
+		return Check(ctx, appName, scenario.TrainingForApp(appName))
 	})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 )
 
@@ -10,7 +11,7 @@ import (
 // contains no statically unexplained non-remotable communication.
 func TestCheckAllApps(t *testing.T) {
 	t.Parallel()
-	rows, err := CheckAll()
+	rows, err := CheckAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestCheckAllApps(t *testing.T) {
 // complete without any execution at all.
 func TestCheckStaticOnly(t *testing.T) {
 	t.Parallel()
-	row, err := Check("photodraw", nil)
+	row, err := Check(context.Background(), "photodraw", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

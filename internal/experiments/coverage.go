@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -85,8 +86,8 @@ func Coverage(appName string, scenarios []string) (*CoverageRow, error) {
 
 // CoverageAll measures scenario coverage for every suite application with
 // its full training suite, one application per worker on a bounded pool.
-func CoverageAll() ([]*CoverageRow, error) {
-	return parallelMap(scenario.Apps(), func(appName string) (*CoverageRow, error) {
+func CoverageAll(ctx context.Context) ([]*CoverageRow, error) {
+	return parallelMap(ctx, scenario.Apps(), func(ctx context.Context, appName string) (*CoverageRow, error) {
 		return Coverage(appName, nil)
 	})
 }

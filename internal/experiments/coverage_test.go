@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 )
 
@@ -10,7 +11,7 @@ import (
 // static graph must be non-trivial.
 func TestCoverageAllApps(t *testing.T) {
 	t.Parallel()
-	rows, err := CoverageAll()
+	rows, err := CoverageAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestDefaultViolationsSurfaced(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
-	row, err := ScenarioRowFor(planted.App, planted.App.Name, planted.Bigone)
+	row, err := ScenarioRowFor(context.Background(), planted.App, planted.App.Name, planted.Bigone)
 	if err != nil {
 		t.Fatalf("ScenarioRowFor: %v", err)
 	}
@@ -29,7 +30,7 @@ func TestDefaultViolationsSurfaced(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
-	cleanRow, err := ScenarioRowFor(clean.App, clean.App.Name, clean.Bigone)
+	cleanRow, err := ScenarioRowFor(context.Background(), clean.App, clean.App.Name, clean.Bigone)
 	if err != nil {
 		t.Fatalf("ScenarioRowFor: %v", err)
 	}

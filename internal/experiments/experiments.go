@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -132,7 +133,7 @@ type ScenarioRow struct {
 
 // RunScenario performs the full pipeline experiment for one scenario of
 // the Table 1 suite.
-func RunScenario(name string) (*ScenarioRow, error) {
+func RunScenario(ctx context.Context, name string) (*ScenarioRow, error) {
 	info, err := scenario.Lookup(name)
 	if err != nil {
 		return nil, err
@@ -141,15 +142,15 @@ func RunScenario(name string) (*ScenarioRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ScenarioRowFor(app, info.App, name)
+	return ScenarioRowFor(ctx, app, info.App, name)
 }
 
 // ScenarioRowFor performs the full pipeline experiment for one scenario
 // of an arbitrary application — the Table 1 suite or a generated
 // synthetic app.
-func ScenarioRowFor(app *com.App, appName, scenarioName string) (*ScenarioRow, error) {
+func ScenarioRowFor(ctx context.Context, app *com.App, appName, scenarioName string) (*ScenarioRow, error) {
 	adps := core.New(app)
-	rep, err := adps.ScenarioExperiment(scenarioName)
+	rep, err := adps.ScenarioExperiment(ctx, scenarioName)
 	if err != nil {
 		return nil, err
 	}
@@ -177,9 +178,9 @@ func ScenarioRowFor(app *com.App, appName, scenarioName string) (*ScenarioRow, e
 // time prediction accuracy (Table 5). Scenarios run concurrently on a
 // bounded worker pool — each builds an independent pipeline — and the rows
 // come back in Table 1 order.
-func Tables4And5() ([]ScenarioRow, error) {
-	return parallelMap(scenario.Table1(), func(s scenario.Info) (ScenarioRow, error) {
-		row, err := RunScenario(s.Name)
+func Tables4And5(ctx context.Context) ([]ScenarioRow, error) {
+	return parallelMap(ctx, scenario.Table1(), func(ctx context.Context, s scenario.Info) (ScenarioRow, error) {
+		row, err := RunScenario(ctx, s.Name)
 		if err != nil {
 			return ScenarioRow{}, fmt.Errorf("experiments: %s: %w", s.Name, err)
 		}
@@ -212,8 +213,8 @@ var figureSpecs = []figureSpec{
 
 // Figures regenerates the five distribution figures, one figure per
 // worker on a bounded pool, in the paper's figure order.
-func Figures() ([]FigureRow, error) {
-	return parallelMap(figureSpecs, func(spec figureSpec) (FigureRow, error) {
+func Figures(ctx context.Context) ([]FigureRow, error) {
+	return parallelMap(ctx, figureSpecs, func(ctx context.Context, spec figureSpec) (FigureRow, error) {
 		info, err := scenario.Lookup(spec.scenario)
 		if err != nil {
 			return FigureRow{}, err
@@ -230,13 +231,13 @@ func Figures() ([]FigureRow, error) {
 		if err != nil {
 			return FigureRow{}, err
 		}
-		res, err := adps.Analyze(p)
+		res, err := adps.Analyze(ctx, p)
 		if err != nil {
 			return FigureRow{}, err
 		}
 		coign, err2 := func() (*core.ScenarioReport, error) {
 			adps2 := core.New(app)
-			return adps2.ScenarioExperiment(spec.scenario)
+			return adps2.ScenarioExperiment(ctx, spec.scenario)
 		}()
 		if err2 != nil {
 			return FigureRow{}, err2
@@ -253,19 +254,19 @@ func Figures() ([]FigureRow, error) {
 }
 
 // Figure4 runs only the PhotoDraw distribution experiment.
-func Figure4() (*ScenarioRow, error) { return RunScenario("p_oldmsr") }
+func Figure4() (*ScenarioRow, error) { return RunScenario(context.Background(), "p_oldmsr") }
 
 // Figure5 runs only the Octarine text-document distribution experiment.
-func Figure5() (*ScenarioRow, error) { return RunScenario("o_oldwp7") }
+func Figure5() (*ScenarioRow, error) { return RunScenario(context.Background(), "o_oldwp7") }
 
 // Figure6 runs only the Benefits distribution experiment.
-func Figure6() (*ScenarioRow, error) { return RunScenario("b_bigone") }
+func Figure6() (*ScenarioRow, error) { return RunScenario(context.Background(), "b_bigone") }
 
 // Figure7 runs only the Octarine table-document distribution experiment.
-func Figure7() (*ScenarioRow, error) { return RunScenario("o_oldtb0") }
+func Figure7() (*ScenarioRow, error) { return RunScenario(context.Background(), "o_oldtb0") }
 
 // Figure8 runs only the Octarine mixed-document distribution experiment.
-func Figure8() (*ScenarioRow, error) { return RunScenario("o_oldbth") }
+func Figure8() (*ScenarioRow, error) { return RunScenario(context.Background(), "o_oldbth") }
 
 // PrintTable2 renders Table 2 in the paper's layout, with the purity
 // grade counts appended (stateless/read-mostly/stateful).
@@ -326,7 +327,7 @@ func PrintFigures(w io.Writer, rows []FigureRow) {
 
 // Distribution returns the full analysis for one scenario, for figure
 // drill-down (which classifications landed where).
-func Distribution(name string) (*analysis.Result, error) {
+func Distribution(ctx context.Context, name string) (*analysis.Result, error) {
 	info, err := scenario.Lookup(name)
 	if err != nil {
 		return nil, err
@@ -343,5 +344,5 @@ func Distribution(name string) (*analysis.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return adps.Analyze(p)
+	return adps.Analyze(ctx, p)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -72,7 +73,7 @@ func TestTable3Shape(t *testing.T) {
 
 func TestRunScenarioAndPrinters(t *testing.T) {
 	t.Parallel()
-	row, err := RunScenario("b_vueone")
+	row, err := RunScenario(context.Background(), "b_vueone")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestRunScenarioAndPrinters(t *testing.T) {
 	if !strings.Contains(sb.String(), "b_vueone") {
 		t.Error("printers dropped the scenario")
 	}
-	if _, err := RunScenario("nope"); err == nil {
+	if _, err := RunScenario(context.Background(), "nope"); err == nil {
 		t.Error("unknown scenario ran")
 	}
 }
@@ -135,7 +136,7 @@ func TestMeasureOverheadOrdering(t *testing.T) {
 
 func TestAdaptiveRepartitioning(t *testing.T) {
 	t.Parallel()
-	rows, err := Adaptive("o_oldwp7", []string{"ISDN", "10BaseT", "ATM"})
+	rows, err := Adaptive(context.Background(), "o_oldwp7", []string{"ISDN", "10BaseT", "ATM"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,10 +155,10 @@ func TestAdaptiveRepartitioning(t *testing.T) {
 			t.Errorf("%s: no savings", r.Network)
 		}
 	}
-	if _, err := Adaptive("o_oldwp7", []string{"smoke-signals"}); err == nil {
+	if _, err := Adaptive(context.Background(), "o_oldwp7", []string{"smoke-signals"}); err == nil {
 		t.Error("unknown network accepted")
 	}
-	if _, err := Adaptive("nope", nil); err == nil {
+	if _, err := Adaptive(context.Background(), "nope", nil); err == nil {
 		t.Error("unknown scenario accepted")
 	}
 }
@@ -226,7 +227,7 @@ func TestFiguresBundleAndPrinter(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs all five figures")
 	}
-	rows, err := Figures()
+	rows, err := Figures(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,21 +246,21 @@ func TestFiguresBundleAndPrinter(t *testing.T) {
 
 func TestDistributionDrillDown(t *testing.T) {
 	t.Parallel()
-	res, err := Distribution("p_oldmsr")
+	res, err := Distribution(context.Background(), "p_oldmsr")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.ServerInstances == 0 {
 		t.Error("no server instances in PhotoDraw distribution")
 	}
-	if _, err := Distribution("nope"); err == nil {
+	if _, err := Distribution(context.Background(), "nope"); err == nil {
 		t.Error("unknown scenario analyzed")
 	}
 }
 
 func TestThreeTierEndToEnd(t *testing.T) {
 	t.Parallel()
-	res, err := ThreeTier()
+	res, err := ThreeTier(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +339,7 @@ func TestTable2OtherApplications(t *testing.T) {
 
 func TestWhatIfCoignNearOptimalOnTrace(t *testing.T) {
 	t.Parallel()
-	res, err := WhatIf("o_oldwp7", 60, 3)
+	res, err := WhatIf(context.Background(), "o_oldwp7", 60, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +356,7 @@ func TestWhatIfCoignNearOptimalOnTrace(t *testing.T) {
 		t.Errorf("no random assignment was worse: worst=%v coign=%v",
 			res.WorstRandom, res.CoignComm)
 	}
-	if _, err := WhatIf("nope", 1, 1); err == nil {
+	if _, err := WhatIf(context.Background(), "nope", 1, 1); err == nil {
 		t.Error("unknown scenario analyzed")
 	}
 }

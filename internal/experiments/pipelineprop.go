@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
@@ -65,7 +66,7 @@ const propEps = 1e-6
 
 // RunPipelineProperty generates the application for cfg and drives it
 // through the complete pipeline, recording every invariant verdict.
-func RunPipelineProperty(cfg synthapp.Config) (*PipelineReport, error) {
+func RunPipelineProperty(ctx context.Context, cfg synthapp.Config) (*PipelineReport, error) {
 	a, err := synthapp.Generate(cfg)
 	if err != nil {
 		return nil, err
@@ -126,7 +127,7 @@ func RunPipelineProperty(cfg synthapp.Config) (*PipelineReport, error) {
 	// Cut the combined training profile, with the replication-aware cut
 	// alongside so its monotonicity invariant is swept on every topology.
 	adps.AnalysisOptions.Replicate = true
-	ares, err := adps.Analyze(prof)
+	ares, err := adps.Analyze(ctx, prof)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: analyzing %s: %w", a.App.Name, err)
 	}
@@ -369,7 +370,7 @@ type MatrixSummary struct {
 
 // RunPipelineMatrix sweeps every generator family over seeds 0..seeds-1
 // on the worker pool.
-func RunPipelineMatrix(seeds int, scale int) (*MatrixSummary, error) {
+func RunPipelineMatrix(ctx context.Context, seeds int, scale int) (*MatrixSummary, error) {
 	if seeds < 1 {
 		return nil, fmt.Errorf("experiments: matrix needs >= 1 seed per family, got %d", seeds)
 	}
@@ -381,7 +382,7 @@ func RunPipelineMatrix(seeds int, scale int) (*MatrixSummary, error) {
 			cfgs = append(cfgs, synthapp.Config{Family: fam, Seed: int64(s), Scale: scale})
 		}
 	}
-	reports, err := parallelMap(cfgs, RunPipelineProperty)
+	reports, err := parallelMap(ctx, cfgs, RunPipelineProperty)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestPipelinePropertyAllFamilies(t *testing.T) {
 			fam, seed := fam, seed
 			t.Run(fmt.Sprintf("%s/seed%d", fam, seed), func(t *testing.T) {
 				t.Parallel()
-				rep, err := RunPipelineProperty(synthapp.Config{Family: fam, Seed: seed})
+				rep, err := RunPipelineProperty(context.Background(), synthapp.Config{Family: fam, Seed: seed})
 				if err != nil {
 					t.Fatalf("pipeline: %v", err)
 				}
@@ -39,7 +40,7 @@ func TestPipelinePropertyAllFamilies(t *testing.T) {
 // minimal matrix.
 func TestPipelineMatrixSummary(t *testing.T) {
 	t.Parallel()
-	sum, err := RunPipelineMatrix(1, 1)
+	sum, err := RunPipelineMatrix(context.Background(), 1, 1)
 	if err != nil {
 		t.Fatalf("matrix: %v", err)
 	}

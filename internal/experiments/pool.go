@@ -1,14 +1,20 @@
 package experiments
 
-import "repro/internal/par"
+import (
+	"context"
+
+	"repro/internal/par"
+)
 
 // parallelMap is the package-local alias for the shared worker pool in
 // internal/par (extracted from here so the graph package can fan out the
-// multiway heuristic's per-terminal cuts on the same pool).
+// multiway heuristic's per-terminal cuts on the same pool). The context
+// reaches every item's fn, and through it the cut engine, so cancelling
+// a sweep stops mid-cut rather than at the next item boundary.
 //
 // Every fn call builds its own scenario.NewApp plus core.New pipeline, and
 // the package registries behind them are read-only after init, so items
 // share no mutable state.
-func parallelMap[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
-	return par.Map(items, fn)
+func parallelMap[T, R any](ctx context.Context, items []T, fn func(context.Context, T) (R, error)) ([]R, error) {
+	return par.Map(ctx, items, fn)
 }

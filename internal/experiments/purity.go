@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -48,7 +49,7 @@ type PurityRow struct {
 // scenarios, grade every component, verify the static claims against the
 // observed mutations, and cut both the plain and the replication-aware
 // networks. theta <= 0 selects purity.DefaultTheta.
-func Purity(appName string, scenarios []string, theta float64) (*PurityRow, error) {
+func Purity(ctx context.Context, appName string, scenarios []string, theta float64) (*PurityRow, error) {
 	app, err := scenario.NewApp(appName)
 	if err != nil {
 		return nil, err
@@ -93,7 +94,7 @@ func Purity(appName string, scenarios []string, theta float64) (*PurityRow, erro
 	}
 	adps.AnalysisOptions.PurityTheta = theta
 	adps.AnalysisOptions.Replicate = true
-	res, err := adps.Analyze(p)
+	res, err := adps.Analyze(ctx, p)
 	if err != nil {
 		return nil, err
 	}
@@ -120,8 +121,8 @@ func PurityApps() []string { return append(scenario.Apps(), "quickstart") }
 
 // PurityAll runs Purity over every gate application with its training
 // suite, one application per worker on a bounded pool.
-func PurityAll(theta float64) ([]*PurityRow, error) {
-	return parallelMap(PurityApps(), func(appName string) (*PurityRow, error) {
-		return Purity(appName, nil, theta)
+func PurityAll(ctx context.Context, theta float64) ([]*PurityRow, error) {
+	return parallelMap(ctx, PurityApps(), func(ctx context.Context, appName string) (*PurityRow, error) {
+		return Purity(ctx, appName, nil, theta)
 	})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -37,7 +38,7 @@ type ThreeTierResult struct {
 
 // ThreeTier partitions and executes the Benefits bigone scenario across
 // three machines.
-func ThreeTier() (*ThreeTierResult, error) {
+func ThreeTier(ctx context.Context) (*ThreeTierResult, error) {
 	app, err := scenario.NewApp("benefits")
 	if err != nil {
 		return nil, err
@@ -82,7 +83,7 @@ func ThreeTier() (*ThreeTierResult, error) {
 			g.CoLocate(k.Src, k.Dst)
 		}
 	}
-	assign, weight, err := g.MultiwayCut([]graph.MultiwayTerminal{
+	assign, weight, err := g.MultiwayCutCtx(ctx, []graph.MultiwayTerminal{
 		{Machine: "client", Pinned: clientPins},
 		{Machine: "middle", Pinned: middlePins},
 		{Machine: "dbserver", Pinned: dbPins},
@@ -119,7 +120,7 @@ func ThreeTier() (*ThreeTierResult, error) {
 
 	// Two-way comparison: the exact cut between client and a merged
 	// middle+database side.
-	twoWay, err := RunScenario(big)
+	twoWay, err := RunScenario(ctx, big)
 	if err != nil {
 		return nil, err
 	}

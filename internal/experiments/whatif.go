@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"time"
@@ -36,7 +37,7 @@ type WhatIfResult struct {
 // `samples` random distributions that respect the hard constraints
 // (client-pinned, server-pinned, and co-located classifications keep their
 // Coign sides; only unconstrained classifications are shuffled).
-func WhatIf(scenName string, samples int, seed int64) (*WhatIfResult, error) {
+func WhatIf(ctx context.Context, scenName string, samples int, seed int64) (*WhatIfResult, error) {
 	info, err := scenario.Lookup(scenName)
 	if err != nil {
 		return nil, err
@@ -53,7 +54,7 @@ func WhatIf(scenName string, samples int, seed int64) (*WhatIfResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := Distribution(scenName)
+	res, err := Distribution(ctx, scenName)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,9 @@
 package graph
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // Highest-label push-relabel (the hi_pr family of Cherkassky and
 // Goldberg) over the CSR network. Three things distinguish it from the
@@ -26,13 +29,21 @@ import "math"
 // excess-return phase the full max-flow algorithm needs is skipped
 // entirely.
 
+// cancelCheckMask paces the cancellation poll in the discharge loop: one
+// channel select per 1024 node pops is invisible next to the discharge
+// work itself, yet bounds the latency of a cancelled cut to a few
+// thousand pushes.
+const cancelCheckMask = 1<<10 - 1
+
 // maxFlowHighestLabel runs phase-1 highest-label push-relabel and returns
-// the max-flow value (the preflow accumulated at t).
-func (f *csrNet) maxFlowHighestLabel() float64 {
+// the max-flow value (the preflow accumulated at t). A cancelled context
+// aborts the run between discharge batches with the context's error.
+func (f *csrNet) maxFlowHighestLabel(ctx context.Context) (float64, error) {
 	n := f.n
 	if n == 0 || f.s == f.t {
-		return 0
+		return 0, nil
 	}
+	done := ctx.Done()
 	m := len(f.to)
 	height := make([]int32, n)
 	excess := make([]float64, n)
@@ -194,7 +205,16 @@ func (f *csrNet) maxFlowHighestLabel() float64 {
 		activate(v)
 	}
 
+	var pops uint
 	for {
+		if pops&cancelCheckMask == 0 && done != nil {
+			select {
+			case <-done:
+				return 0, ctx.Err()
+			default:
+			}
+		}
+		pops++
 		if work > workLimit {
 			globalRelabel()
 		}
@@ -271,5 +291,5 @@ func (f *csrNet) maxFlowHighestLabel() float64 {
 			}
 		}
 	}
-	return excess[f.t]
+	return excess[f.t], nil
 }

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -277,11 +278,22 @@ func (g *Graph) build() (*flowNet, float64) {
 // Unpinned nodes in components touching neither terminal carry no
 // crossing cost; they land on the source side.
 func (g *Graph) MinCut() (*Cut, error) {
+	return g.MinCutCtx(context.Background())
+}
+
+// MinCutCtx is MinCut under a context: the push-relabel core polls
+// ctx.Done() between discharge batches, so a cancelled or expired
+// context aborts a long cut mid-run with the context's error instead of
+// burning the worker to completion.
+func (g *Graph) MinCutCtx(ctx context.Context) (*Cut, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	f, inf := g.buildCSR()
-	flow := f.maxFlowHighestLabel()
+	flow, err := f.maxFlowHighestLabel(ctx)
+	if err != nil {
+		return nil, err
+	}
 	return g.extractCutSides(f.sourceSide(), flow, inf)
 }
 

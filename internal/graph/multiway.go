@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -26,6 +27,12 @@ type MultiwayTerminal struct {
 // the isolation heuristic. It requires at least two terminals; with
 // exactly two it reduces to the exact minimum cut.
 func (g *Graph) MultiwayCut(terminals []MultiwayTerminal) (map[string]string, float64, error) {
+	return g.MultiwayCutCtx(context.Background(), terminals)
+}
+
+// MultiwayCutCtx is MultiwayCut under a context: the per-terminal
+// isolating cuts poll it, so a cancelled job aborts mid-heuristic.
+func (g *Graph) MultiwayCutCtx(ctx context.Context, terminals []MultiwayTerminal) (map[string]string, float64, error) {
 	if len(terminals) < 2 {
 		return nil, 0, fmt.Errorf("graph: multiway cut needs >= 2 terminals, got %d", len(terminals))
 	}
@@ -42,7 +49,7 @@ func (g *Graph) MultiwayCut(terminals []MultiwayTerminal) (map[string]string, fl
 	for i := range terminals {
 		terms[i] = i
 	}
-	cuts, err := par.Map(terms, func(ti int) (isoCut, error) {
+	cuts, err := par.Map(ctx, terms, func(ctx context.Context, ti int) (isoCut, error) {
 		iso := g.cloneUnpinned()
 		for _, n := range terminals[ti].Pinned {
 			iso.Pin(n, SourceSide)
@@ -55,7 +62,7 @@ func (g *Graph) MultiwayCut(terminals []MultiwayTerminal) (map[string]string, fl
 				iso.Pin(n, SinkSide)
 			}
 		}
-		c, err := iso.MinCut()
+		c, err := iso.MinCutCtx(ctx)
 		if err != nil {
 			return isoCut{}, fmt.Errorf("graph: isolating cut for %s: %w", terminals[ti].Machine, err)
 		}

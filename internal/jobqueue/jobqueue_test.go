@@ -1,0 +1,236 @@
+package jobqueue
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openT(t *testing.T, path string) *Queue {
+	t.Helper()
+	q, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	t.Cleanup(func() { q.Close() })
+	return q
+}
+
+func TestEnqueueLeaseFinish(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	q := openT(t, path)
+	j, err := q.Enqueue([]byte(`{"n":1}`))
+	if err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if j.State != StatePending {
+		t.Fatalf("state = %s, want pending", j.State)
+	}
+	l, err := q.TryLease()
+	if err != nil || l == nil {
+		t.Fatalf("TryLease = (%v, %v)", l, err)
+	}
+	if l.ID != j.ID || l.Attempt != 1 {
+		t.Fatalf("lease = %+v", l)
+	}
+	if err := q.Finish(l.ID, l.Attempt, []byte(`{"ok":true}`)); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	got, ok := q.Get(j.ID)
+	if !ok || got.State != StateDone || string(got.Result) != `{"ok":true}` {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if c := q.Stats(); c.Done != 1 || c.Pending != 0 {
+		t.Fatalf("Stats = %+v", c)
+	}
+}
+
+func TestLeaseFIFO(t *testing.T) {
+	t.Parallel()
+	q := openT(t, filepath.Join(t.TempDir(), "jobs.jsonl"))
+	var ids []string
+	for i := 0; i < 3; i++ {
+		j, err := q.Enqueue([]byte(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	for _, want := range ids {
+		l, err := q.TryLease()
+		if err != nil || l == nil || l.ID != want {
+			t.Fatalf("TryLease = (%v, %v), want id %s", l, err, want)
+		}
+	}
+	if l, _ := q.TryLease(); l != nil {
+		t.Fatalf("TryLease on drained queue = %+v", l)
+	}
+}
+
+// TestEnqueueDurableBeforeAck: by the time Enqueue returns, the record is
+// a complete line on disk — the caller's acknowledgment is never ahead of
+// the journal.
+func TestEnqueueDurableBeforeAck(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	q := openT(t, path)
+	j, err := q.Enqueue([]byte(`{"payload":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), j.ID) || !strings.HasSuffix(string(raw), "\n") {
+		t.Fatalf("journal after ack does not hold the complete record: %q", raw)
+	}
+}
+
+// TestRecoveryRequeuesRunning: a job that was running when the process
+// died comes back pending with a bumped attempt, and the stale worker's
+// Finish is rejected.
+func TestRecoveryRequeuesRunning(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	q := openT(t, path)
+	j, err := q.Enqueue([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := q.TryLease()
+	if err != nil || l == nil {
+		t.Fatal(err)
+	}
+	q.Close() // crash: worker never finished
+
+	q2 := openT(t, path)
+	got, ok := q2.Get(j.ID)
+	if !ok || got.State != StatePending || got.Attempt != 2 {
+		t.Fatalf("after recovery: %+v, %v (want pending, attempt 2)", got, ok)
+	}
+	l2, err := q2.TryLease()
+	if err != nil || l2 == nil || l2.Attempt != 3 {
+		t.Fatalf("re-lease = (%+v, %v), want attempt 3", l2, err)
+	}
+	// The pre-crash worker's lease (attempt 1) must not settle the retry.
+	if err := q2.Finish(j.ID, 1, []byte(`stale`)); err == nil {
+		t.Fatal("stale Finish accepted")
+	}
+	if err := q2.Finish(j.ID, l2.Attempt, []byte(`"fresh"`)); err != nil {
+		t.Fatalf("fresh Finish: %v", err)
+	}
+}
+
+// TestRecoveryTornTail: a crash mid-append leaves a partial trailing
+// line. Open must drop exactly that record — it was never acknowledged —
+// and keep every earlier job.
+func TestRecoveryTornTail(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	q := openT(t, path)
+	j1, err := q.Enqueue([]byte(`{"n":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Enqueue([]byte(`{"n":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: the second record's append was cut short.
+	torn := raw[:len(raw)-7]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	q2 := openT(t, path)
+	if _, ok := q2.Get(j1.ID); !ok {
+		t.Fatalf("job %s lost to an unrelated torn tail", j1.ID)
+	}
+	if c := q2.Stats(); c.Pending != 1 {
+		t.Fatalf("Stats after torn-tail recovery = %+v, want exactly the 1 acknowledged job", c)
+	}
+	// New enqueues must not collide with the surviving id space.
+	j3, err := q2.Enqueue([]byte(`{"n":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.ID == j1.ID {
+		t.Fatalf("id collision after recovery: %s", j3.ID)
+	}
+}
+
+// TestRecoveryMidJournalCorruption: a malformed line that is NOT the torn
+// tail is real corruption and must fail the open loudly.
+func TestRecoveryMidJournalCorruption(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	q := openT(t, path)
+	if _, err := q.Enqueue([]byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	raw, _ := os.ReadFile(path)
+	bad := append([]byte("garbage not json\n"), raw...)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a corrupt mid-journal line")
+	}
+}
+
+// TestRecoveryPreservesResults: done and failed jobs replay with their
+// outcome intact.
+func TestRecoveryPreservesResults(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	q := openT(t, path)
+	a, _ := q.Enqueue([]byte(`{}`))
+	b, _ := q.Enqueue([]byte(`{}`))
+	la, _ := q.TryLease()
+	if err := q.Finish(la.ID, la.Attempt, []byte(`{"v":42}`)); err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := q.TryLease()
+	if err := q.Fail(lb.ID, lb.Attempt, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+
+	q2 := openT(t, path)
+	ga, _ := q2.Get(a.ID)
+	if ga.State != StateDone || string(ga.Result) != `{"v":42}` {
+		t.Fatalf("done job after replay: %+v", ga)
+	}
+	gb, _ := q2.Get(b.ID)
+	if gb.State != StateFailed || gb.Error != "boom" {
+		t.Fatalf("failed job after replay: %+v", gb)
+	}
+}
+
+func TestRequeueGraceful(t *testing.T) {
+	t.Parallel()
+	q := openT(t, filepath.Join(t.TempDir(), "jobs.jsonl"))
+	j, _ := q.Enqueue([]byte(`{}`))
+	l, _ := q.TryLease()
+	if err := q.Requeue(l.ID, l.Attempt); err != nil {
+		t.Fatalf("Requeue: %v", err)
+	}
+	got, _ := q.Get(j.ID)
+	if got.State != StatePending || got.Attempt != 2 {
+		t.Fatalf("after requeue: %+v", got)
+	}
+	select {
+	case <-q.Wake():
+	default:
+		t.Fatal("requeue did not pulse the wake channel")
+	}
+}

@@ -1,0 +1,331 @@
+// Package pipeline is the single entry point for a complete Coign ADPS
+// run: resolve the application, apply programmer constraints, profile the
+// requested scenarios, cut the concrete graph, and summarize the chosen
+// distribution. The coign CLI subcommands and the job service both build a
+// Spec and call Run, so one partitioning request produces byte-identical
+// results no matter which surface submitted it.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/classify"
+	"repro/internal/com"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/profile"
+	"repro/internal/scenario"
+	"repro/internal/version"
+)
+
+// Spec is one partitioning request. The zero value plus at least one
+// scenario is a valid request; Normalized fills the defaults. Specs are
+// plain data — they arrive as CLI flags or as an HTTP job body.
+type Spec struct {
+	// App is the application name ("octarine", ..., or
+	// "synth:<family>:<seed>[:<scale>]"). Empty means: inferred from the
+	// first scenario via the Table 1 catalog.
+	App string `json:"app,omitempty"`
+	// Scenarios are the profiling scenarios whose merged profile feeds the
+	// cut. At least one is required.
+	Scenarios []string `json:"scenarios"`
+	// Network is the network model name; default 10BaseT.
+	Network string `json:"network,omitempty"`
+	// Classifier is the instance classifier name; default ifcb.
+	Classifier string `json:"classifier,omitempty"`
+	// Depth is the classifier stack-walk depth (0 = complete).
+	Depth int `json:"depth,omitempty"`
+	// Pins are programmer-supplied absolute constraints: class name to
+	// "client" or "server". Every profiled classification of the class is
+	// pinned; a pin matching no classification is an error.
+	Pins map[string]string `json:"pins,omitempty"`
+	// Coverage additionally diffs the profile against the static
+	// reachability graph and welds every uncovered edge before cutting.
+	Coverage bool `json:"coverage,omitempty"`
+	// Replicate additionally cuts the replication-aware network.
+	Replicate bool `json:"replicate,omitempty"`
+	// Theta is the read-mostly purity threshold (0 selects the default).
+	Theta float64 `json:"theta,omitempty"`
+	// ExactPricing prices edges from exact byte totals instead of bucket
+	// representatives.
+	ExactPricing bool `json:"exactPricing,omitempty"`
+	// Compare runs the full end-to-end experiment — write the distribution
+	// into the binary, execute default and Coign placements, measure — and
+	// fills Result.Experiment. Requires exactly one scenario and no
+	// Coverage.
+	Compare bool `json:"compare,omitempty"`
+	// Seed drives all stochastic components; default 1.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Normalized returns the spec with defaults filled in and cross-field
+// rules enforced. Run normalizes internally; callers normalize early only
+// when they want the canonical spec (e.g. to persist it with a job).
+func (s Spec) Normalized() (Spec, error) {
+	if len(s.Scenarios) == 0 {
+		return s, fmt.Errorf("pipeline: spec needs at least one scenario")
+	}
+	if s.App == "" {
+		info, err := scenario.Lookup(s.Scenarios[0])
+		if err != nil {
+			return s, fmt.Errorf("pipeline: cannot infer app: %w", err)
+		}
+		s.App = info.App
+	}
+	if s.Network == "" {
+		s.Network = "10BaseT"
+	}
+	if s.Classifier == "" {
+		s.Classifier = "ifcb"
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	for class, m := range s.Pins {
+		if m != "client" && m != "server" {
+			return s, fmt.Errorf("pipeline: pin %s=%q: machine must be client or server", class, m)
+		}
+	}
+	if s.Compare {
+		if len(s.Scenarios) != 1 {
+			return s, fmt.Errorf("pipeline: compare mode needs exactly one scenario, got %d", len(s.Scenarios))
+		}
+		if s.Coverage {
+			return s, fmt.Errorf("pipeline: compare mode does not support coverage constraints")
+		}
+	}
+	return s, nil
+}
+
+// Sides is a client/server pair of counts.
+type Sides struct {
+	Client int64 `json:"client"`
+	Server int64 `json:"server"`
+}
+
+// Placement is one server-side class with its profiled instance count.
+type Placement struct {
+	Classification string `json:"classification"`
+	Class          string `json:"class"`
+	Instances      int64  `json:"instances"`
+}
+
+// Experiment is the end-to-end comparison of Compare mode: the measured
+// default and Coign communication times and the prediction accuracy (the
+// Tables 4 and 5 columns).
+type Experiment struct {
+	DefaultComm     time.Duration `json:"defaultCommNs"`
+	CoignComm       time.Duration `json:"coignCommNs"`
+	Savings         float64       `json:"savings"`
+	PredictedExec   time.Duration `json:"predictedExecNs"`
+	MeasuredExec    time.Duration `json:"measuredExecNs"`
+	PredictionErr   float64       `json:"predictionErr"`
+	TotalInstances  int           `json:"totalInstances"`
+	ServerInstances int           `json:"serverInstances"`
+	Violations      int           `json:"violations"`
+}
+
+// Result is one run's canonical outcome. Every exported JSON field is
+// deterministic for a given spec: slices are sorted or catalog-ordered and
+// durations marshal as integer nanoseconds, so two runs of the same
+// normalized spec — CLI or service, today or after a restart — encode to
+// identical bytes. Wall-clock measurements and internal handles carry
+// `json:"-"` and never enter the canonical encoding.
+type Result struct {
+	Spec    Spec   `json:"spec"`
+	Version string `json:"version"`
+
+	Classifications Sides `json:"classifications"`
+	Instances       Sides `json:"instances"`
+
+	PredictedComm     time.Duration `json:"predictedCommNs"`
+	DefaultComm       time.Duration `json:"defaultCommNs"`
+	Savings           float64       `json:"savings"`
+	DefaultViolations int           `json:"defaultViolations"`
+
+	Constrained         int `json:"constrained"`
+	NonRemotableEdges   int `json:"nonRemotableEdges"`
+	StaticCoLocations   int `json:"staticCoLocations"`
+	CoverageCoLocations int `json:"coverageCoLocations"`
+	Findings            int `json:"findings"`
+
+	// ServerPlacements lists every server-side classification, sorted by
+	// class then classification id.
+	ServerPlacements []Placement `json:"serverPlacements,omitempty"`
+
+	// Replicated lists replication-eligible nodes actually cloned by the
+	// replication-aware cut (only with Spec.Replicate).
+	Replicated     []string      `json:"replicated,omitempty"`
+	ReplicatedComm time.Duration `json:"replicatedCommNs,omitempty"`
+
+	// Experiment is only set in Compare mode.
+	Experiment *Experiment `json:"experiment,omitempty"`
+
+	// CutDuration is how long the analysis engine ran (profiling through
+	// cut). Excluded from the canonical encoding — it is telemetry, not
+	// part of the result.
+	CutDuration time.Duration `json:"-"`
+
+	// Internal handles for callers that drill further (DOT rendering,
+	// distribution maps, drift watchdogs). Never serialized.
+	Analysis *analysis.Result `json:"-"`
+	Profile  *profile.Profile `json:"-"`
+	ADPS     *core.ADPS       `json:"-"`
+}
+
+// Run executes one partitioning request end to end. The context reaches
+// the cut engine: cancelling it aborts the run mid-cut.
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	spec, err := spec.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	app, err := scenario.NewApp(spec.App)
+	if err != nil {
+		return nil, err
+	}
+	model, err := netsim.ByName(spec.Network)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := classify.KindByName(spec.Classifier)
+	if err != nil {
+		return nil, err
+	}
+	adps := core.New(app)
+	adps.Network = model
+	adps.ClassifierKind = kind
+	adps.ClassifierDepth = spec.Depth
+	adps.Seed = spec.Seed
+	adps.AnalysisOptions.ExactPricing = spec.ExactPricing
+	adps.AnalysisOptions.PurityTheta = spec.Theta
+	adps.AnalysisOptions.Replicate = spec.Replicate
+
+	res := &Result{Spec: spec, Version: version.String(), ADPS: adps}
+	start := time.Now()
+
+	if spec.Compare {
+		rep, err := adps.ScenarioExperiment(ctx, spec.Scenarios[0])
+		if err != nil {
+			return nil, err
+		}
+		res.CutDuration = time.Since(start)
+		res.fillAnalysis(rep.Analysis, nil)
+		res.Experiment = &Experiment{
+			DefaultComm:     rep.DefaultComm,
+			CoignComm:       rep.CoignComm,
+			Savings:         rep.Savings,
+			PredictedExec:   rep.PredictedExec,
+			MeasuredExec:    rep.MeasuredExec,
+			PredictionErr:   rep.PredictionErr,
+			TotalInstances:  rep.TotalInstances,
+			ServerInstances: rep.ServerInstances,
+			Violations:      rep.Violations,
+		}
+		return res, nil
+	}
+
+	var prof *profile.Profile
+	if spec.Coverage {
+		// CoverageReport instruments, profiles, and installs uncovered
+		// edges as conservative co-location welds in one pass.
+		_, prof, err = adps.CoverageReport(spec.Scenarios, true)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if err := adps.Instrument(); err != nil {
+			return nil, err
+		}
+		prof, err = adps.ProfileScenarios(spec.Scenarios, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := applyPins(adps, prof, spec.Pins); err != nil {
+		return nil, err
+	}
+	ares, err := adps.Analyze(ctx, prof)
+	if err != nil {
+		return nil, err
+	}
+	res.CutDuration = time.Since(start)
+	res.fillAnalysis(ares, prof)
+	return res, nil
+}
+
+// applyPins installs programmer-supplied absolute constraints: every
+// profiled classification of a pinned class goes to the named machine.
+func applyPins(adps *core.ADPS, prof *profile.Profile, pins map[string]string) error {
+	if len(pins) == 0 {
+		return nil
+	}
+	adps.AnalysisOptions.ExtraPins = map[string]com.Machine{}
+	// Sorted class order so error reporting is deterministic.
+	classes := make([]string, 0, len(pins))
+	for class := range pins {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		var m com.Machine
+		switch pins[class] {
+		case "client":
+			m = com.Client
+		case "server":
+			m = com.Server
+		default:
+			return fmt.Errorf("pipeline: pin %s=%q: machine must be client or server", class, pins[class])
+		}
+		matched := 0
+		for id, ci := range prof.Classifications {
+			if ci.Class == class {
+				adps.AnalysisOptions.ExtraPins[id] = m
+				matched++
+			}
+		}
+		if matched == 0 {
+			return fmt.Errorf("pipeline: pin %s matched no profiled classifications", class)
+		}
+	}
+	return nil
+}
+
+// fillAnalysis copies the analysis engine's outcome into the canonical
+// result fields. prof may be nil (Compare mode reuses the experiment's
+// internal profile only for placements when available).
+func (r *Result) fillAnalysis(ares *analysis.Result, prof *profile.Profile) {
+	r.Analysis = ares
+	r.Profile = prof
+	r.Classifications = Sides{
+		Client: int64(ares.ClientClassifications),
+		Server: int64(ares.ServerClassifications),
+	}
+	r.Instances = Sides{Client: ares.ClientInstances, Server: ares.ServerInstances}
+	r.PredictedComm = ares.PredictedComm
+	r.DefaultComm = ares.DefaultComm
+	r.Savings = ares.Savings()
+	r.DefaultViolations = ares.DefaultViolations
+	r.Constrained = ares.Constrained
+	r.NonRemotableEdges = ares.NonRemotableEdges
+	r.StaticCoLocations = ares.StaticCoLocations
+	r.CoverageCoLocations = ares.CoverageCoLocations
+	r.Findings = len(ares.Findings)
+	r.Replicated = ares.Replicated
+	if ares.ReplicatedCut != nil {
+		r.ReplicatedComm = ares.ReplicatedComm
+	}
+	if prof != nil {
+		for _, cp := range ares.ServerComponents(prof) {
+			r.ServerPlacements = append(r.ServerPlacements, Placement{
+				Classification: cp.Classification,
+				Class:          cp.Class,
+				Instances:      cp.Instances,
+			})
+		}
+	}
+}

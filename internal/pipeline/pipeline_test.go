@@ -1,0 +1,147 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func TestNormalizedDefaults(t *testing.T) {
+	t.Parallel()
+	s, err := Spec{Scenarios: []string{"o_oldwp0"}}.Normalized()
+	if err != nil {
+		t.Fatalf("Normalized: %v", err)
+	}
+	if s.App != "octarine" || s.Network != "10BaseT" || s.Classifier != "ifcb" || s.Seed != 1 {
+		t.Fatalf("defaults not filled: %+v", s)
+	}
+}
+
+func TestNormalizedRejects(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"no scenarios", Spec{}},
+		{"unknown scenario for inference", Spec{Scenarios: []string{"nope"}}},
+		{"bad pin machine", Spec{Scenarios: []string{"o_oldwp0"}, Pins: map[string]string{"X": "middle"}}},
+		{"compare with two scenarios", Spec{Scenarios: []string{"o_oldwp0", "o_oldwp3"}, Compare: true}},
+		{"compare with coverage", Spec{Scenarios: []string{"o_oldwp0"}, Compare: true, Coverage: true}},
+	}
+	for _, c := range cases {
+		if _, err := c.spec.Normalized(); err == nil {
+			t.Errorf("%s: Normalized accepted %+v", c.name, c.spec)
+		}
+	}
+}
+
+// TestRunDeterministic: two runs of one normalized spec must produce
+// byte-identical canonical JSON — the contract that makes the CLI and the
+// job service interchangeable.
+func TestRunDeterministic(t *testing.T) {
+	t.Parallel()
+	spec := Spec{App: "synth:three-tier:1", Scenarios: scenario.TrainingForApp("synth:three-tier:1")}
+	if len(spec.Scenarios) == 0 {
+		t.Fatal("no training scenarios for synth:three-tier:1")
+	}
+	a, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("Run (second): %v", err)
+	}
+	ab, err := MarshalResult(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := MarshalResult(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("two runs of the same spec diverge:\n%s\nvs\n%s", ab, bb)
+	}
+	if a.Analysis == nil || a.ADPS == nil || a.Profile == nil {
+		t.Fatal("internal handles not populated")
+	}
+	if bytes.Contains(ab, []byte("cutDuration")) {
+		t.Fatal("telemetry leaked into the canonical encoding")
+	}
+}
+
+// TestRunCompare: compare mode fills the experiment block and matches the
+// historical experiments.RunScenario numbers by construction.
+func TestRunCompare(t *testing.T) {
+	t.Parallel()
+	res, err := Run(context.Background(), Spec{Scenarios: []string{"b_vueone"}, Compare: true})
+	if err != nil {
+		t.Fatalf("Run(compare): %v", err)
+	}
+	if res.Experiment == nil {
+		t.Fatal("compare run produced no experiment block")
+	}
+	if res.Experiment.TotalInstances <= 0 {
+		t.Fatalf("experiment reports %d total instances", res.Experiment.TotalInstances)
+	}
+}
+
+func TestRunPins(t *testing.T) {
+	t.Parallel()
+	res, err := Run(context.Background(), Spec{
+		Scenarios: []string{"o_oldwp0"},
+		Pins:      map[string]string{"DocReader": "server"},
+	})
+	if err != nil {
+		t.Fatalf("Run with pin: %v", err)
+	}
+	found := false
+	for _, p := range res.ServerPlacements {
+		if p.Class == "DocReader" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pinned class DocReader not on the server side")
+	}
+	if _, err := Run(context.Background(), Spec{
+		Scenarios: []string{"o_oldwp0"},
+		Pins:      map[string]string{"NoSuchClass": "server"},
+	}); err == nil || !strings.Contains(err.Error(), "matched no profiled classifications") {
+		t.Fatalf("unmatched pin err = %v", err)
+	}
+}
+
+// TestRunCancelled: a cancelled context aborts the run with its error.
+func TestRunCancelled(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Spec{Scenarios: []string{"o_oldwp0"}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run(cancelled) err = %v, want context.Canceled", err)
+	}
+}
+
+func TestWriteTextRenders(t *testing.T) {
+	t.Parallel()
+	res, err := Run(context.Background(), Spec{Scenarios: []string{"o_oldwp0"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"classifications:", "predicted comm:", "o_oldwp0 on 10BaseT"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -91,29 +92,60 @@ func newSynthApp(name string) (*com.App, error) {
 	return sa.App, nil
 }
 
+// ErrBadSpec is the sentinel every synthetic-app spec rejection matches:
+// errors.Is(err, ErrBadSpec) reports whether an error came from parsing
+// or generating a "synth:..." application name.
+var ErrBadSpec = errors.New("bad synthetic app spec")
+
+// SpecError is the typed rejection of a "synth:<family>:<seed>[:<scale>]"
+// application name. Field names the part that failed ("form", "seed",
+// "scale", or "generate" for generator-level rejections such as an
+// unknown family or an out-of-range scale); Err holds the underlying
+// cause when there is one.
+type SpecError struct {
+	Spec   string // the application name as given
+	Field  string
+	Reason string
+	Err    error
+}
+
+func (e *SpecError) Error() string {
+	msg := fmt.Sprintf("scenario: synthetic app name %q: %s", e.Spec, e.Reason)
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *SpecError) Unwrap() error { return e.Err }
+
+// Is matches ErrBadSpec, so callers can test the class without carrying
+// the concrete type.
+func (e *SpecError) Is(target error) bool { return target == ErrBadSpec }
+
 // generateSynth parses a "synth:<family>:<seed>[:<scale>]" name and runs
 // the generator, returning the full generation record (app, training
-// suite, planted ground truths).
+// suite, planted ground truths). Every rejection is a *SpecError.
 func generateSynth(name string) (*synthapp.App, error) {
 	parts := strings.Split(name, ":")
 	if len(parts) != 3 && len(parts) != 4 {
-		return nil, fmt.Errorf("scenario: synthetic app name %q: want synth:<family>:<seed>[:<scale>]", name)
+		return nil, &SpecError{Spec: name, Field: "form", Reason: "want synth:<family>:<seed>[:<scale>]"}
 	}
 	seed, err := strconv.ParseInt(parts[2], 10, 64)
 	if err != nil {
-		return nil, fmt.Errorf("scenario: synthetic app name %q: bad seed: %w", name, err)
+		return nil, &SpecError{Spec: name, Field: "seed", Reason: "bad seed", Err: err}
 	}
 	cfg := synthapp.Config{Family: synthapp.Family(parts[1]), Seed: seed}
 	if len(parts) == 4 {
 		scale, err := strconv.Atoi(parts[3])
 		if err != nil {
-			return nil, fmt.Errorf("scenario: synthetic app name %q: bad scale: %w", name, err)
+			return nil, &SpecError{Spec: name, Field: "scale", Reason: "bad scale", Err: err}
 		}
 		cfg.Scale = scale
 	}
 	sa, err := synthapp.Generate(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("scenario: synthetic app %q: %w", name, err)
+		return nil, &SpecError{Spec: name, Field: "generate", Reason: "generating", Err: err}
 	}
 	return sa, nil
 }

@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestNewAppSpecErrors: every malformed "synth:..." name yields a typed
+// *SpecError naming the offending field — never a panic, and always
+// matching the ErrBadSpec sentinel.
+func TestNewAppSpecErrors(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name      string
+		spec      string
+		wantField string
+	}{
+		{"no parts", "synth:", "form"},
+		{"family only", "synth:skewed", "form"},
+		{"too many parts", "synth:skewed:1:2:3", "form"},
+		{"non-numeric seed", "synth:skewed:x", "seed"},
+		{"float seed", "synth:skewed:1.5", "seed"},
+		{"huge seed", "synth:skewed:99999999999999999999999999", "seed"},
+		{"non-numeric scale", "synth:skewed:1:y", "scale"},
+		{"unknown family", "synth:nope:1", "generate"},
+		{"scale out of range", "synth:skewed:1:9999", "generate"},
+		{"empty family", "synth::1", "generate"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			app, err := NewApp(c.spec)
+			if err == nil {
+				t.Fatalf("NewApp(%q) accepted a malformed spec (app %v)", c.spec, app)
+			}
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("NewApp(%q) error %T %v is not a *SpecError", c.spec, err, err)
+			}
+			if se.Field != c.wantField {
+				t.Errorf("NewApp(%q) rejected field %q, want %q", c.spec, se.Field, c.wantField)
+			}
+			if se.Spec != c.spec {
+				t.Errorf("SpecError.Spec = %q, want %q", se.Spec, c.spec)
+			}
+			if !errors.Is(err, ErrBadSpec) {
+				t.Errorf("NewApp(%q) error does not match ErrBadSpec", c.spec)
+			}
+			if !strings.Contains(err.Error(), c.spec) {
+				t.Errorf("error %q does not quote the spec", err)
+			}
+		})
+	}
+}
+
+// TestNewAppSpecErrorUnwrap: parse-level failures carry the underlying
+// strconv error for callers that want the precise cause.
+func TestNewAppSpecErrorUnwrap(t *testing.T) {
+	t.Parallel()
+	_, err := NewApp("synth:skewed:notanumber")
+	var se *SpecError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T is not a *SpecError", err)
+	}
+	if se.Unwrap() == nil {
+		t.Fatal("seed parse failure lost its underlying error")
+	}
+	if !strings.Contains(err.Error(), "bad seed") {
+		t.Errorf("error %q does not say bad seed", err)
+	}
+}
+
+// TestNewAppValidSynthSpecs: well-formed specs for every family still
+// construct, with and without the scale suffix.
+func TestNewAppValidSynthSpecs(t *testing.T) {
+	t.Parallel()
+	for _, spec := range []string{"synth:three-tier:1", "synth:skewed:7:2"} {
+		app, err := NewApp(spec)
+		if err != nil {
+			t.Fatalf("NewApp(%q): %v", spec, err)
+		}
+		if app == nil || app.Classes.Len() == 0 {
+			t.Fatalf("NewApp(%q) returned an empty application", spec)
+		}
+	}
+}
+
+// TestErrBadSpecDoesNotMatchOtherErrors: unknown non-synth application
+// names are plain errors, not spec errors.
+func TestErrBadSpecDoesNotMatchOtherErrors(t *testing.T) {
+	t.Parallel()
+	_, err := NewApp("no-such-app")
+	if err == nil {
+		t.Fatal("NewApp accepted an unknown application")
+	}
+	if errors.Is(err, ErrBadSpec) {
+		t.Fatalf("unknown app error %v wrongly matches ErrBadSpec", err)
+	}
+}

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Metrics is a minimal Prometheus-text-format registry: counters and one
+// cut-duration histogram, hand-rolled on the standard library. The
+// exposition format is stable and sorted, so scrapes are deterministic
+// for a given state.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]float64
+
+	// Cut-duration histogram (seconds).
+	bucketBounds []float64
+	bucketCounts []uint64
+	histSum      float64
+	histCount    uint64
+}
+
+// defaultBuckets spans the observed cut-engine range: sub-millisecond
+// synthetic graphs through multi-second suite sweeps.
+var defaultBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters:     make(map[string]float64),
+		bucketBounds: defaultBuckets,
+		bucketCounts: make([]uint64, len(defaultBuckets)),
+	}
+}
+
+// Inc bumps a counter by one.
+func (m *Metrics) Inc(name string) { m.Add(name, 1) }
+
+// Add bumps a counter by v.
+func (m *Metrics) Add(name string, v float64) {
+	m.mu.Lock()
+	m.counters[name] += v
+	m.mu.Unlock()
+}
+
+// ObserveCutSeconds records one pipeline run's duration.
+func (m *Metrics) ObserveCutSeconds(sec float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, b := range m.bucketBounds {
+		if sec <= b {
+			m.bucketCounts[i]++
+		}
+	}
+	m.histSum += sec
+	m.histCount++
+}
+
+// Write renders the registry in Prometheus text exposition format. gauges
+// carries point-in-time values (queue depths) computed by the caller at
+// scrape time.
+func (m *Metrics) Write(w io.Writer, gauges map[string]float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	names := make([]string, 0, len(m.counters))
+	for name := range m.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %g\n", name, name, m.counters[name]); err != nil {
+			return err
+		}
+	}
+
+	gnames := make([]string, 0, len(gauges))
+	for name := range gauges {
+		gnames = append(gnames, name)
+	}
+	sort.Strings(gnames)
+	for _, name := range gnames {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	const hist = "coign_cut_duration_seconds"
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", hist); err != nil {
+		return err
+	}
+	for i, b := range m.bucketBounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", hist, trimFloat(b), m.bucketCounts[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", hist, m.histCount); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", hist, m.histSum, hist, m.histCount)
+	return err
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients do: no
+// trailing zeros, no scientific notation for these magnitudes.
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

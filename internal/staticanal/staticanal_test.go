@@ -2,6 +2,7 @@ package staticanal_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -321,7 +322,7 @@ func TestVerifierOnSeedScenarios(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		res, err := adps.Analyze(p)
+		res, err := adps.Analyze(context.Background(), p)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -364,7 +365,7 @@ func TestVerifierOctarineWithCoverageConstraints(t *testing.T) {
 		t.Error("Toolbar/ToolButton coverage weld missing")
 	}
 
-	res, err := adps.Analyze(prof)
+	res, err := adps.Analyze(context.Background(), prof)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,48 @@
+// Package version reports the toolchain build version from the binary's
+// embedded module metadata, so every surface — the coign CLI, the service
+// health endpoint, and persisted job results — states exactly which build
+// produced it.
+package version
+
+import (
+	"runtime/debug"
+)
+
+// String returns the best available version identifier: the module version
+// when built from a tagged release, otherwise the VCS revision (with a
+// "-dirty" suffix for modified trees), otherwise "devel".
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + dirty
+	}
+	return "devel"
+}
+
+// Go returns the Go toolchain version the binary was built with.
+func Go() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		return bi.GoVersion
+	}
+	return ""
+}

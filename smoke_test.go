@@ -4,6 +4,7 @@ package coign
 // the reproduction without running the full benchmark harness.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/experiments"
@@ -42,7 +43,7 @@ func TestHeadlineNeverWorseAndPredictionEnvelope(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs all 23 scenarios")
 	}
-	rows, err := experiments.Tables4And5()
+	rows, err := experiments.Tables4And5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

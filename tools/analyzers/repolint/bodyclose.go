@@ -1,0 +1,179 @@
+package repolint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// BodyClose reports http.Response values whose Body is never closed in
+// the function that obtained them. An unclosed body leaks the underlying
+// connection and, against a keep-alive server, eventually starves the
+// client's connection pool — the failure only shows up under sustained
+// load, long after the leaking call.
+//
+// Detection is file-local and syntactic, erring toward silence: a
+// response is a variable assigned from http.Get/Post/PostForm/Head or
+// from a .Do/.Get/.Post call on a receiver whose name ends in "client"
+// or "Client" (http.DefaultClient included). The variable is compliant
+// when the function calls <v>.Body.Close() (directly or deferred), or
+// when ownership escapes — the variable is returned, passed whole to
+// another call, stashed in an assignment, or sent on a channel.
+var BodyClose = &Analyzer{
+	Name: "bodyclose",
+	Doc:  "close http.Response.Body on every response obtained in-function",
+	Run: func(f *File) []Diagnostic {
+		var out []Diagnostic
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			for _, rv := range responseVars(fn.Body) {
+				if closesBody(fn.Body, rv.name) || respEscapes(fn.Body, rv.name) {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Pos:  f.Fset.Position(rv.pos),
+					Rule: "bodyclose",
+					Message: fmt.Sprintf(
+						"response %s.Body is never closed; defer %s.Body.Close() after the error check", rv.name, rv.name),
+				})
+			}
+		}
+		return out
+	},
+}
+
+type respVar struct {
+	name string
+	pos  token.Pos
+}
+
+// responseVars collects variables assigned from recognized
+// response-producing calls, first assignment wins.
+func responseVars(body *ast.BlockStmt) []respVar {
+	var out []respVar
+	seen := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isResponseCall(call) {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" || seen[id.Name] {
+			return true
+		}
+		seen[id.Name] = true
+		out = append(out, respVar{name: id.Name, pos: as.Pos()})
+		return true
+	})
+	return out
+}
+
+// isResponseCall recognizes the stdlib calls that hand the caller an
+// *http.Response it must close.
+func isResponseCall(call *ast.CallExpr) bool {
+	for _, fun := range []string{"Get", "Post", "PostForm", "Head"} {
+		if isPkgFunc(call.Fun, "http", fun) {
+			return true
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Do", "Get", "Post", "PostForm", "Head":
+	default:
+		return false
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		return strings.HasSuffix(x.Name, "client") || strings.HasSuffix(x.Name, "Client")
+	case *ast.SelectorExpr:
+		// http.DefaultClient.Do(...), s.httpClient.Do(...)
+		return x.Sel.Name == "DefaultClient" ||
+			strings.HasSuffix(x.Sel.Name, "client") || strings.HasSuffix(x.Sel.Name, "Client")
+	}
+	return false
+}
+
+// closesBody reports whether the body contains <name>.Body.Close(),
+// direct or deferred.
+func closesBody(body *ast.BlockStmt, name string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		closeSel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || closeSel.Sel.Name != "Close" {
+			return true
+		}
+		bodySel, ok := closeSel.X.(*ast.SelectorExpr)
+		if !ok || bodySel.Sel.Name != "Body" {
+			return true
+		}
+		if id, ok := bodySel.X.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// respEscapes reports whether the whole response variable leaves the
+// function: returned, passed bare as a call argument, re-assigned
+// somewhere else, address taken, or sent on a channel. Reading
+// <name>.Body does NOT count — the reader still owes the Close.
+func respEscapes(body *ast.BlockStmt, name string) bool {
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				if isIdent(r, name) {
+					escaped = true
+				}
+			}
+		case *ast.CallExpr:
+			for _, a := range v.Args {
+				if isIdent(a, name) {
+					escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range v.Rhs {
+				if _, isCall := r.(*ast.CallExpr); isCall {
+					continue // the defining assignment itself
+				}
+				if isIdent(r, name) {
+					escaped = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.AND && isIdent(v.X, name) {
+				escaped = true
+			}
+		case *ast.SendStmt:
+			if isIdent(v.Value, name) {
+				escaped = true
+			}
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,143 @@
+package repolint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBodyCloseLeakFlagged(t *testing.T) {
+	t.Parallel()
+	src := `package p
+import ("io"; "net/http")
+func fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	return io.ReadAll(resp.Body)
+}
+`
+	ds := check(t, "internal/x/x.go", src)
+	if len(ds) != 1 || ds[0].Rule != "bodyclose" || !strings.Contains(ds[0].Message, "resp") {
+		t.Fatalf("diagnostics = %v, want one bodyclose naming resp", ds)
+	}
+}
+
+func TestBodyCloseDeferredCloseIsClean(t *testing.T) {
+	t.Parallel()
+	src := `package p
+import ("io"; "net/http")
+func fetch(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+`
+	if ds := check(t, "internal/x/x.go", src); len(ds) != 0 {
+		t.Fatalf("deferred Close flagged: %v", ds)
+	}
+}
+
+func TestBodyCloseDirectCloseIsClean(t *testing.T) {
+	t.Parallel()
+	src := `package p
+import "net/http"
+func ping(url string) error {
+	resp, err := http.Head(url)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+`
+	if ds := check(t, "internal/x/x.go", src); len(ds) != 0 {
+		t.Fatalf("direct Close flagged: %v", ds)
+	}
+}
+
+func TestBodyCloseClientDoFlagged(t *testing.T) {
+	t.Parallel()
+	src := `package p
+import "net/http"
+func do(client *http.Client, req *http.Request) error {
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	_ = resp.StatusCode
+	return nil
+}
+`
+	ds := check(t, "internal/x/x.go", src)
+	if len(ds) != 1 || ds[0].Rule != "bodyclose" {
+		t.Fatalf("diagnostics = %v, want one bodyclose for client.Do", ds)
+	}
+}
+
+func TestBodyCloseEscapeIsClean(t *testing.T) {
+	t.Parallel()
+	// Returning the response transfers Close ownership to the caller.
+	returned := `package p
+import "net/http"
+func open(url string) (*http.Response, error) {
+	resp, err := http.Get(url)
+	return resp, err
+}
+`
+	if ds := check(t, "internal/x/x.go", returned); len(ds) != 0 {
+		t.Fatalf("returned response flagged: %v", ds)
+	}
+	// Passing the whole response to a helper does too.
+	passed := `package p
+import "net/http"
+func handle(*http.Response) {}
+func run(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	handle(resp)
+	return nil
+}
+`
+	if ds := check(t, "internal/x/x.go", passed); len(ds) != 0 {
+		t.Fatalf("passed-on response flagged: %v", ds)
+	}
+}
+
+func TestBodyCloseUnrelatedCallsIgnored(t *testing.T) {
+	t.Parallel()
+	// .Get on a non-client receiver must not be mistaken for a request.
+	src := `package p
+type store struct{}
+func (store) Get(k string) (string, error) { return "", nil }
+func read(s store) error {
+	v, err := s.Get("k")
+	_ = v
+	return err
+}
+`
+	if ds := check(t, "internal/x/x.go", src); len(ds) != 0 {
+		t.Fatalf("non-http Get flagged: %v", ds)
+	}
+}
+
+func TestBodyCloseWaiver(t *testing.T) {
+	t.Parallel()
+	src := `package p
+import "net/http"
+func probe(url string) error {
+	//lint:allow bodyclose the process exits immediately after
+	resp, err := http.Get(url)
+	_ = resp
+	return err
+}
+`
+	if ds := check(t, "internal/x/x.go", src); len(ds) != 0 {
+		t.Fatalf("waived finding still reported: %v", ds)
+	}
+}

@@ -17,6 +17,9 @@
 //	maporder     no range over a map feeding ordered output (stream
 //	             writes, or slice appends never sorted afterwards) —
 //	             map iteration order is randomized per run
+//	bodyclose    every http.Response obtained in a function must have
+//	             its Body closed there (or ownership must visibly
+//	             escape) — unclosed bodies leak connections
 //
 // A finding is waived by a comment on the same or the preceding line:
 //
@@ -60,7 +63,7 @@ type Analyzer struct {
 }
 
 // Analyzers is the repository rule set.
-var Analyzers = []*Analyzer{ErrWrap, WallClock, ParallelTest, TypeAssert, CtxThread, MapOrder}
+var Analyzers = []*Analyzer{ErrWrap, WallClock, ParallelTest, TypeAssert, CtxThread, MapOrder, BodyClose}
 
 // ErrWrap reports fmt.Errorf calls that pass an error value without
 // wrapping it via %w, which breaks errors.Is/errors.As up the call chain.
