@@ -43,6 +43,7 @@ var commands = []command{
 	{"check", "static constraint analysis: remotability, pins, co-location", cmdCheck},
 	{"coverage", "diff static activation reachability against profiled scenarios", cmdCoverage},
 	{"purity", "static state-mutability analysis and the replication-aware cut", cmdPurity},
+	{"alias", "points-to analysis over opaque payloads: shared state, refined constraints", cmdAlias},
 	{"instrument", "rewrite an application binary for profiling", cmdInstrument},
 	{"profile", "run profiling scenarios and write .icc log files", cmdProfile},
 	{"analyze", "combine .icc log files and print the chosen distribution", cmdAnalyze},

@@ -27,11 +27,12 @@ func cmdServe(ctx context.Context, args []string) error {
 	queuePath := fs.String("queue", "coign-jobs.jsonl", "job journal path")
 	workers := fs.Int("workers", 2, "worker-pool width")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown grace for in-flight jobs")
+	maxAttempts := fs.Int("max-attempts", 5, "dead-letter a job after this many attempts (0 = retry forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	q, err := jobqueue.Open(*queuePath)
+	q, err := jobqueue.Open(*queuePath, jobqueue.WithMaxAttempts(*maxAttempts))
 	if err != nil {
 		return err
 	}

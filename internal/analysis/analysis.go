@@ -62,6 +62,12 @@ type Options struct {
 	// the replicated cut is reported alongside the plain one, with an
 	// invariant finding if it ever costs more.
 	Replicate bool
+	// Alias, when set, is the points-to refiner backing
+	// Constraints.Refined: its zero-miss verifier cross-checks the
+	// prediction against the profile (findings land in Result.Findings).
+	// Supplying it does not refine Constraints — pass an already-refined
+	// set for that.
+	Alias staticanal.OpaqueRefiner
 }
 
 // Result is the analysis engine's output.
@@ -105,6 +111,14 @@ type Result struct {
 	// statically reachable ICC edge was never exercised by the training
 	// scenarios (see reach.Coverage.InstallConstraints).
 	CoverageCoLocations int
+	// AliasCoLocations counts classification pairs welded by the
+	// points-to refinement's alias pairs (classes sharing mutable state
+	// through an intermediary).
+	AliasCoLocations int
+	// NonRemotableCleared counts profile edges whose dynamic
+	// non-remotable evidence the points-to refinement explained away as
+	// immutable payload exchange (the weld was skipped).
+	NonRemotableCleared int
 	// Findings is the static/dynamic verifier's output: cross-check
 	// divergences and (never expected) cut-constraint violations.
 	Findings []staticanal.Finding
@@ -134,6 +148,11 @@ type BuildStats struct {
 	// CoverageCoLocations counts pairs welded by scenario-coverage
 	// constraints.
 	CoverageCoLocations int
+	// AliasCoLocations counts pairs welded by points-to alias pairs.
+	AliasCoLocations int
+	// NonRemotableCleared counts dynamic non-remotable welds the
+	// points-to refinement cleared.
+	NonRemotableCleared int
 }
 
 // BuildGraph constructs the concrete communication graph for a profile:
@@ -158,6 +177,7 @@ func BuildGraph(p *profile.Profile, np *netsim.Profile, classes *com.ClassRegist
 		st.Constrained = applied.Pins
 		st.StaticCoLocations = applied.CoLocations
 		st.CoverageCoLocations = applied.CoverageCoLocations
+		st.AliasCoLocations = applied.AliasCoLocations
 	} else {
 		for id, ci := range p.Classifications {
 			if m, ok := InferConstraint(classes.LookupName(ci.Class)); ok {
@@ -187,6 +207,14 @@ func BuildGraph(p *profile.Profile, np *netsim.Profile, classes *com.ClassRegist
 		}
 		g.AddEdge(k.Src, k.Dst, t.Seconds())
 		if e.NonRemotable {
+			// A refined constraint set (see staticanal.Refined) may explain
+			// the dynamic evidence away as an immutable payload exchange; an
+			// unrefined set always welds.
+			if cs := opts.Constraints; cs != nil &&
+				!cs.ObservedNonRemotableWeld(classNameOf(p, k.Src), classNameOf(p, k.Dst)) {
+				st.NonRemotableCleared++
+				continue
+			}
 			st.NonRemotable++
 			g.CoLocate(k.Src, k.Dst)
 		}
@@ -223,6 +251,8 @@ func Analyze(ctx context.Context, p *profile.Profile, np *netsim.Profile, app *c
 		Constrained:         st.Constrained,
 		StaticCoLocations:   st.StaticCoLocations,
 		CoverageCoLocations: st.CoverageCoLocations,
+		AliasCoLocations:    st.AliasCoLocations,
+		NonRemotableCleared: st.NonRemotableCleared,
 	}
 	for id, side := range cut.Assignment {
 		if id == profile.MainProgram {
@@ -272,6 +302,12 @@ func Analyze(ctx context.Context, p *profile.Profile, np *netsim.Profile, app *c
 		res.Findings = append(res.Findings, cs.CrossCheck(p)...)
 		res.Findings = append(res.Findings, cs.CheckCut(p, res.Distribution)...)
 	}
+	// The points-to refiner's zero-miss check: every profile-observed
+	// non-remotable transfer must be statically predicted, or refining
+	// welds on its say-so would be unsound.
+	if opts.Alias != nil {
+		res.Findings = append(res.Findings, opts.Alias.Verify(p)...)
+	}
 
 	// Purity grading and the replication-aware cut. Replication only ever
 	// removes edges, so the replicated cut can never cost more than the
@@ -298,6 +334,15 @@ func Analyze(ctx context.Context, p *profile.Profile, np *netsim.Profile, app *c
 		}
 	}
 	return res, nil
+}
+
+// classNameOf maps a classification id to its class name ("" for the
+// main program and unknown classifications).
+func classNameOf(p *profile.Profile, id string) string {
+	if ci := p.Classifications[id]; ci != nil {
+		return ci.Class
+	}
+	return ""
 }
 
 // ServerComponents returns the classifications the cut placed on the

@@ -31,6 +31,12 @@ type ClassifierEval struct {
 	Stateless  int
 	ReadMostly int
 	Stateful   int
+	// AliasEligible counts the profiled classifications graded
+	// replication-eligible (stateless or read-mostly) under the
+	// alias-refined purity closure, where transitive impurity propagates
+	// only across may-alias edges. Always >= Stateless + ReadMostly;
+	// zero when the alias analysis is unavailable.
+	AliasEligible int
 }
 
 // EvaluateClassifier compares an evaluation profile against the combined

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/alias"
 	"repro/internal/analysis"
 	"repro/internal/binimg"
 	"repro/internal/classify"
@@ -55,6 +56,9 @@ type ADPS struct {
 	// construction; it feeds component grading and the purity verifier in
 	// the analysis engine.
 	Purity *purity.Report
+	// Alias is the points-to analysis over opaque payloads, derived on
+	// demand by EnableAlias (nil until then).
+	Alias *alias.Result
 	// Samples is the number of observations per message size in network
 	// profiling.
 	Samples int
@@ -91,6 +95,38 @@ func New(app *com.App) *ADPS {
 		a.AnalysisOptions.Purity = pr
 	}
 	return a
+}
+
+// EnableAlias runs the points-to analysis over opaque payloads and
+// installs its refinement into the pipeline: the constraint set is
+// replaced by its alias-refined copy (opaque cliques give way to
+// truly-aliasing pairs, see staticanal.Refined), the purity closure is
+// recomputed so impurity propagates only across may-alias edges (see
+// purity.ScanAliased), and the refiner's zero-miss verifier joins the
+// analysis findings. Call it before CoverageReport so coverage pairs
+// land in the refined set. Idempotent.
+func (a *ADPS) EnableAlias() error {
+	if a.Alias != nil {
+		return nil
+	}
+	ar, err := alias.Scan(binimg.BuildImage(a.App), a.App, a.Reach)
+	if err != nil {
+		return fmt.Errorf("core: alias analysis: %w", err)
+	}
+	a.Alias = ar
+	a.AnalysisOptions.Alias = ar
+	if a.AnalysisOptions.Constraints != nil {
+		a.AnalysisOptions.Constraints = a.AnalysisOptions.Constraints.Refined(ar)
+	}
+	may := func(x, y string) bool {
+		_, ok := ar.SharedMutable(x, y)
+		return ok
+	}
+	if pr, perr := purity.ScanAliased(binimg.BuildImage(a.App), a.App, a.Reach, may); perr == nil {
+		a.Purity = pr
+		a.AnalysisOptions.Purity = pr
+	}
+	return nil
 }
 
 // CoverageReport instruments the binary if needed, profiles the given
@@ -430,6 +466,19 @@ func ClassifierAccuracy(app *com.App, kind classify.Kind, depth int,
 		ev.Stateless = grading.Stateless
 		ev.ReadMostly = grading.ReadMostly
 		ev.Stateful = grading.Stateful
+	}
+	// The alias-refined closure frees components whose only impurity was
+	// transitive through non-aliasing calls; report how much of the
+	// population it adds to the replication-eligible pool.
+	if ar, aerr := alias.Scan(binimg.BuildImage(app), app, nil); aerr == nil {
+		may := func(x, y string) bool {
+			_, ok := ar.SharedMutable(x, y)
+			return ok
+		}
+		if pr, perr := purity.ScanAliased(binimg.BuildImage(app), app, nil, may); perr == nil {
+			grading := pr.Grade(combined, 0)
+			ev.AliasEligible = grading.Stateless + grading.ReadMostly
+		}
 	}
 	return ev, nil
 }

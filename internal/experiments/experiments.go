@@ -30,6 +30,9 @@ type Table2Row struct {
 	Stateless               int
 	ReadMostly              int
 	Stateful                int
+	// AliasEligible counts classifications replication-eligible under the
+	// alias-refined purity closure (see analysis.ClassifierEval).
+	AliasEligible int
 }
 
 // Table2 evaluates all seven instance classifiers on an application:
@@ -60,6 +63,7 @@ func Table2(app string) ([]Table2Row, error) {
 			Stateless:               res.Stateless,
 			ReadMostly:              res.ReadMostly,
 			Stateful:                res.Stateful,
+			AliasEligible:           res.AliasEligible,
 		})
 	}
 	return rows, nil
@@ -75,6 +79,7 @@ type Table3Row struct {
 	Stateless               int
 	ReadMostly              int
 	Stateful                int
+	AliasEligible           int
 }
 
 // Table3Depths are the stack-walk depths of paper Table 3.
@@ -105,6 +110,7 @@ func Table3(app string) ([]Table3Row, error) {
 			Stateless:               res.Stateless,
 			ReadMostly:              res.ReadMostly,
 			Stateful:                res.Stateful,
+			AliasEligible:           res.AliasEligible,
 		})
 	}
 	return rows, nil
@@ -271,27 +277,27 @@ func Figure8() (*ScenarioRow, error) { return RunScenario(context.Background(), 
 // PrintTable2 renders Table 2 in the paper's layout, with the purity
 // grade counts appended (stateless/read-mostly/stateful).
 func PrintTable2(w io.Writer, rows []Table2Row) {
-	fmt.Fprintf(w, "%-24s %10s %8s %12s %12s %14s\n",
-		"Instance Classifier", "Profiled", "New", "Inst/Class", "Avg Corr", "SL/RM/SF")
+	fmt.Fprintf(w, "%-24s %10s %8s %12s %12s %14s %8s\n",
+		"Instance Classifier", "Profiled", "New", "Inst/Class", "Avg Corr", "SL/RM/SF", "Alias+")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-24s %10d %8d %12.1f %12.3f %14s\n",
+		fmt.Fprintf(w, "%-24s %10d %8d %12.1f %12.3f %14s %8d\n",
 			r.Classifier, r.ProfiledClassifications, r.NewClassifications,
 			r.AvgInstances, r.AvgCorrelation,
-			fmt.Sprintf("%d/%d/%d", r.Stateless, r.ReadMostly, r.Stateful))
+			fmt.Sprintf("%d/%d/%d", r.Stateless, r.ReadMostly, r.Stateful), r.AliasEligible)
 	}
 }
 
 // PrintTable3 renders Table 3, with the purity grade counts appended.
 func PrintTable3(w io.Writer, rows []Table3Row) {
-	fmt.Fprintf(w, "%-12s %10s %12s %12s %14s\n", "Stack Depth", "Profiled", "Inst/Class", "Avg Corr", "SL/RM/SF")
+	fmt.Fprintf(w, "%-12s %10s %12s %12s %14s %8s\n", "Stack Depth", "Profiled", "Inst/Class", "Avg Corr", "SL/RM/SF", "Alias+")
 	for _, r := range rows {
 		depth := fmt.Sprintf("%d", r.Depth)
 		if r.Depth == 0 {
 			depth = "complete"
 		}
-		fmt.Fprintf(w, "%-12s %10d %12.1f %12.3f %14s\n",
+		fmt.Fprintf(w, "%-12s %10d %12.1f %12.3f %14s %8d\n",
 			depth, r.ProfiledClassifications, r.AvgInstances, r.AvgCorrelation,
-			fmt.Sprintf("%d/%d/%d", r.Stateless, r.ReadMostly, r.Stateful))
+			fmt.Sprintf("%d/%d/%d", r.Stateless, r.ReadMostly, r.Stateful), r.AliasEligible)
 	}
 }
 

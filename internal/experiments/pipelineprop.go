@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/alias"
 	"repro/internal/binimg"
 	"repro/internal/classify"
 	"repro/internal/com"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/profile"
 	"repro/internal/purity"
+	"repro/internal/staticanal"
 	"repro/internal/synthapp"
 )
 
@@ -48,6 +50,15 @@ type PipelineReport struct {
 	Replicated        int     `json:"replicated"`
 	DefaultViolations int     `json:"defaultViolations"`
 	UncoveredEdges    int     `json:"uncoveredEdges"`
+
+	// Alias-refined pipeline pass (see the alias stage of
+	// RunPipelineProperty): the refined cut weight, the aliasing pairs the
+	// refiner installed, and the welded-class-pair footprint before and
+	// after refinement.
+	RefinedCutWeight float64 `json:"refinedCutWeight"`
+	AliasPairs       int     `json:"aliasPairs"`
+	BaselineWelds    int     `json:"baselineWelds"`
+	RefinedWelds     int     `json:"refinedWelds"`
 
 	Checks []PipelineCheck `json:"checks"`
 	Failed int             `json:"failed"`
@@ -227,6 +238,144 @@ func RunPipelineProperty(ctx context.Context, cfg synthapp.Config) (*PipelineRep
 		ok, detail := classesCoLocated(ares.Distribution, prof, pair[0], pair[1])
 		rep.check("uncovered-endpoints-co-located", ok, detail)
 	}
+
+	// Alias refinement stage: run the pipeline a second time with the
+	// points-to analysis enabled and sweep the refinement's invariants —
+	// the refined cut must stay sound (zero-miss verifier, no error
+	// findings, never below the fully relaxed floor, Edmonds-Karp exact
+	// on small graphs), the refined replication set must contain the
+	// plain one, and the planted aliasing/decoy pairs must come out the
+	// way the generator seeded them.
+	adpsA := core.New(a.App)
+	adpsA.Seed = cfg.Seed + 1
+	if err := adpsA.EnableAlias(); err != nil {
+		return nil, fmt.Errorf("experiments: alias analysis of %s: %w", a.App.Name, err)
+	}
+	_, profA, err := adpsA.CoverageReport(a.Training, true)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: refined coverage of %s: %w", a.App.Name, err)
+	}
+	adpsA.AnalysisOptions.Replicate = true
+	aresA, err := adpsA.Analyze(ctx, profA)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: refined analysis of %s: %w", a.App.Name, err)
+	}
+	rep.RefinedCutWeight = aresA.Cut.Weight
+	refinedCS := adpsA.AnalysisOptions.Constraints
+	if refinedCS != nil {
+		rep.AliasPairs = len(refinedCS.AliasPairs)
+	}
+
+	misses, errors := 0, 0
+	for _, f := range aresA.Findings {
+		if f.Kind == alias.KindAliasMiss {
+			misses++
+		}
+		if f.Severity == staticanal.SeverityError {
+			errors++
+		}
+	}
+	rep.check("alias-verifier-zero-miss", misses == 0,
+		fmt.Sprintf("%d unpredicted non-remotable call(s): %v", misses, aresA.Findings))
+	rep.check("alias-refined-no-errors", errors == 0,
+		fmt.Sprintf("%d error finding(s) on the refined cut: %v", errors, aresA.Findings))
+
+	relaxedA, err := aresA.Graph.WithoutCoLocations().MinCut()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: relaxed refined cut of %s: %w", a.App.Name, err)
+	}
+	rep.check("alias-refined-not-cheaper-than-relaxed",
+		aresA.Cut.Weight >= relaxedA.Weight-propEps*(1+relaxedA.Weight),
+		fmt.Sprintf("refined cut %.9g < relaxed cut %.9g", aresA.Cut.Weight, relaxedA.Weight))
+	if aresA.Graph.Len() <= 80 {
+		ek, err := aresA.Graph.MinCutEdmondsKarp()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: refined oracle cut of %s: %w", a.App.Name, err)
+		}
+		diff := aresA.Cut.Weight - ek.Weight
+		if diff < 0 {
+			diff = -diff
+		}
+		rep.check("alias-cut-matches-edmonds-karp",
+			diff <= propEps*(1+ek.Weight),
+			fmt.Sprintf("refined push-relabel %.9g vs Edmonds-Karp %.9g", aresA.Cut.Weight, ek.Weight))
+	}
+
+	// The alias-refined purity closure may only free components: the
+	// refined replication set must contain every plain-eligible
+	// classification, and on the three-tier family — whose stateless view
+	// chain the plain closure wrongly drags into statefulness — it must
+	// strictly grow.
+	if ares.Purity != nil && aresA.Purity != nil {
+		refEligible := make(map[string]bool, len(aresA.Purity.Replication.Classifications))
+		for _, id := range aresA.Purity.Replication.Classifications {
+			refEligible[id] = true
+		}
+		superset, lost := true, ""
+		for _, id := range ares.Purity.Replication.Classifications {
+			if !refEligible[id] {
+				superset, lost = false, id
+				break
+			}
+		}
+		rep.check("alias-replication-superset", superset,
+			fmt.Sprintf("refined replication set lost %s", lost))
+		if cfg.Family == synthapp.ThreeTier {
+			rep.check("alias-replication-strictly-grows",
+				len(refEligible) > len(ares.Purity.Replication.Classifications),
+				fmt.Sprintf("refined set %v no larger than plain %v",
+					aresA.Purity.Replication.Classifications, ares.Purity.Replication.Classifications))
+		}
+	}
+
+	// Pin-clique shrinkage: count the distinct profiled class pairs still
+	// welded to one machine. The families planting aliasing decoys must
+	// shrink strictly; everywhere else the counts are recorded for the
+	// matrix artifact.
+	rep.BaselineWelds = len(WeldedClassPairs(adps.AnalysisOptions.Constraints, prof))
+	rep.RefinedWelds = len(WeldedClassPairs(refinedCS, profA))
+	if cfg.Family == synthapp.SharedState || cfg.Family == synthapp.ThreeTier {
+		rep.check("alias-welds-strictly-reduced", rep.RefinedWelds < rep.BaselineWelds,
+			fmt.Sprintf("welded class pairs %d -> %d, want a strict reduction", rep.BaselineWelds, rep.RefinedWelds))
+	}
+
+	// Planted aliasing pairs must be proven shared-mutable; decoy pairs
+	// exchange immutable payloads and must end up neither shared-mutable
+	// nor welded by the refined constraints.
+	if ar := adpsA.Alias; ar != nil {
+		for _, pair := range a.AliasPlantPairs {
+			_, shared := ar.SharedMutable(pair[0], pair[1])
+			rep.check("alias-plant-shared-mutable", shared,
+				fmt.Sprintf("planted pair %s/%s not proven to share mutable state", pair[0], pair[1]))
+		}
+		for _, pair := range a.AliasDecoyPairs {
+			if _, shared := ar.SharedMutable(pair[0], pair[1]); shared {
+				rep.check("alias-decoy-immutable", false,
+					fmt.Sprintf("decoy pair %s/%s wrongly proven shared-mutable", pair[0], pair[1]))
+				continue
+			}
+			_, weldAB := refinedCS.MustCoLocate(pair[0], pair[1])
+			_, weldBA := refinedCS.MustCoLocate(pair[1], pair[0])
+			rep.check("alias-decoy-immutable", !weldAB && !weldBA,
+				fmt.Sprintf("decoy pair %s/%s still welded by the refined constraints", pair[0], pair[1]))
+		}
+	}
+
+	// The canonical shared-state report must be byte-stable: scanning the
+	// same application twice encodes identically.
+	var j1, j2 bytes.Buffer
+	if err := adpsA.Alias.WriteJSON(&j1); err != nil {
+		return nil, err
+	}
+	ar2, err := alias.Scan(binimg.BuildImage(a.App), a.App, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: alias re-scan of %s: %w", a.App.Name, err)
+	}
+	if err := ar2.WriteJSON(&j2); err != nil {
+		return nil, err
+	}
+	rep.check("alias-json-byte-stable", bytes.Equal(j1.Bytes(), j2.Bytes()),
+		"re-scanning produced different canonical bytes")
 
 	// Write the distribution into the binary and replay it: two identical
 	// fault-free runs, then two identical chaos runs (same fault seed), so

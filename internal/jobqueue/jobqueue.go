@@ -25,6 +25,11 @@ const (
 	StateRunning State = "running"
 	StateDone    State = "done"
 	StateFailed  State = "failed"
+	// StateDead marks a job dead-lettered: requeued so often — crash
+	// recovery or drain, a poison payload killing its worker each time —
+	// that the queue refuses to lease it again. Terminal like failed, but
+	// distinguishable: failed jobs ran to a verdict, dead jobs never did.
+	StateDead State = "dead"
 )
 
 // Job is one queued unit of work.
@@ -46,7 +51,7 @@ type Job struct {
 
 // record is one journal line.
 type record struct {
-	Op      string          `json:"op"` // enqueue | lease | requeue | done | fail
+	Op      string          `json:"op"` // enqueue | lease | requeue | done | fail | dead
 	ID      string          `json:"id"`
 	Attempt int             `json:"attempt,omitempty"`
 	Payload json.RawMessage `json:"payload,omitempty"`
@@ -60,6 +65,7 @@ type Counts struct {
 	Running int `json:"running"`
 	Done    int `json:"done"`
 	Failed  int `json:"failed"`
+	Dead    int `json:"dead"`
 }
 
 // Queue is the journal-backed queue. All methods are safe for concurrent
@@ -71,22 +77,44 @@ type Queue struct {
 	order  []string // enqueue order; pending jobs lease FIFO
 	seq    int      // highest numeric id issued
 	closed bool
+	// maxAttempts dead-letters a job instead of requeuing it once the next
+	// lease would exceed this count; 0 means retry forever.
+	maxAttempts int
 
 	// wake is pulsed whenever a job becomes leasable, so blocked workers
 	// re-check without polling.
 	wake chan struct{}
 }
 
+// Option tweaks a Queue at Open time.
+type Option func(*Queue)
+
+// WithMaxAttempts bounds how often one job may be leased. A requeue —
+// crash recovery or drain — that would push the job past n attempts
+// dead-letters it instead, so a poison payload cannot crash-loop the
+// worker pool forever. n <= 0 keeps the default of retrying forever.
+func WithMaxAttempts(n int) Option {
+	return func(q *Queue) {
+		if n > 0 {
+			q.maxAttempts = n
+		}
+	}
+}
+
 // Open replays the journal at path (creating it if absent) and returns
 // the live queue. Jobs that were running when the journal was last
-// written go back to pending — their worker is gone.
-func Open(path string) (*Queue, error) {
+// written go back to pending — their worker is gone — unless their
+// attempts are exhausted, in which case they are dead-lettered.
+func Open(path string, opts ...Option) (*Queue, error) {
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("jobqueue: %w", err)
 		}
 	}
 	q := &Queue{jobs: make(map[string]*Job), wake: make(chan struct{}, 1)}
+	for _, o := range opts {
+		o(q)
+	}
 	raw, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
 		return nil, fmt.Errorf("jobqueue: reading journal: %w", err)
@@ -103,16 +131,39 @@ func Open(path string) (*Queue, error) {
 	// process died. Requeue it durably so the journal states the truth.
 	for _, id := range q.order {
 		j := q.jobs[id]
-		if j.State == StateRunning {
-			j.State = StatePending
-			j.Attempt++
-			if err := q.append(record{Op: "requeue", ID: j.ID, Attempt: j.Attempt}); err != nil {
-				f.Close()
-				return nil, err
-			}
+		if j.State != StateRunning {
+			continue
+		}
+		if err := q.requeueOrDeadLetter(j); err != nil {
+			f.Close()
+			return nil, err
 		}
 	}
 	return q, nil
+}
+
+// requeueOrDeadLetter durably moves a running job back to pending, or to
+// dead once another lease would exceed maxAttempts. Callers hold q.mu (or
+// own the queue exclusively, as Open does). The attempt token advances on
+// both lease and requeue, so a running job's lease count — the number the
+// budget is spent in — is (Attempt+1)/2.
+func (q *Queue) requeueOrDeadLetter(j *Job) error {
+	if leases := (j.Attempt + 1) / 2; q.maxAttempts > 0 && leases >= q.maxAttempts {
+		msg := fmt.Sprintf("dead-lettered after %d attempt(s): retry budget %d exhausted", leases, q.maxAttempts)
+		if err := q.append(record{Op: "dead", ID: j.ID, Attempt: j.Attempt, Error: msg}); err != nil {
+			return err
+		}
+		j.State = StateDead
+		j.Error = msg
+		return nil
+	}
+	if err := q.append(record{Op: "requeue", ID: j.ID, Attempt: j.Attempt + 1}); err != nil {
+		return err
+	}
+	j.State = StatePending
+	j.Attempt++
+	q.notify()
+	return nil
 }
 
 // replay folds journal lines into memory. A torn trailing line — no final
@@ -188,6 +239,13 @@ func (q *Queue) apply(rec record) error {
 			return fmt.Errorf("fail for unknown job %s", rec.ID)
 		}
 		j.State = StateFailed
+		j.Error = rec.Error
+	case "dead":
+		j := q.jobs[rec.ID]
+		if j == nil {
+			return fmt.Errorf("dead-letter for unknown job %s", rec.ID)
+		}
+		j.State = StateDead
 		j.Error = rec.Error
 	default:
 		return fmt.Errorf("unknown op %q", rec.Op)
@@ -308,7 +366,9 @@ func (q *Queue) settle(id string, attempt int, rec record, to State, fill func(*
 }
 
 // Requeue durably returns a running job to pending (graceful shutdown:
-// the worker is draining, not dead). The attempt token must match.
+// the worker is draining, not dead). The attempt token must match. A job
+// whose retry budget is exhausted is dead-lettered instead of requeued;
+// Get tells the two outcomes apart.
 func (q *Queue) Requeue(id string, attempt int) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -319,13 +379,7 @@ func (q *Queue) Requeue(id string, attempt int) error {
 	if j.State != StateRunning || j.Attempt != attempt {
 		return fmt.Errorf("jobqueue: job %s not running at attempt %d", id, attempt)
 	}
-	if err := q.append(record{Op: "requeue", ID: id, Attempt: attempt + 1}); err != nil {
-		return err
-	}
-	j.State = StatePending
-	j.Attempt++
-	q.notify()
-	return nil
+	return q.requeueOrDeadLetter(j)
 }
 
 // Get returns a snapshot of one job.
@@ -365,6 +419,8 @@ func (q *Queue) Stats() Counts {
 			c.Done++
 		case StateFailed:
 			c.Failed++
+		case StateDead:
+			c.Dead++
 		}
 	}
 	return c

@@ -7,9 +7,9 @@ import (
 	"testing"
 )
 
-func openT(t *testing.T, path string) *Queue {
+func openT(t *testing.T, path string, opts ...Option) *Queue {
 	t.Helper()
-	q, err := Open(path)
+	q, err := Open(path, opts...)
 	if err != nil {
 		t.Fatalf("Open(%s): %v", path, err)
 	}
@@ -232,5 +232,98 @@ func TestRequeueGraceful(t *testing.T) {
 	case <-q.Wake():
 	default:
 		t.Fatal("requeue did not pulse the wake channel")
+	}
+}
+
+// TestDeadLetterOnRequeue: with a retry budget, the requeue that would
+// exceed it dead-letters the job instead — terminal, never leased again,
+// counted separately from failures.
+func TestDeadLetterOnRequeue(t *testing.T) {
+	t.Parallel()
+	q := openT(t, filepath.Join(t.TempDir(), "jobs.jsonl"), WithMaxAttempts(2))
+	j, _ := q.Enqueue([]byte(`{}`))
+
+	l, _ := q.TryLease() // attempt 1
+	if err := q.Requeue(l.ID, l.Attempt); err != nil {
+		t.Fatalf("first Requeue: %v", err)
+	}
+	l, _ = q.TryLease() // attempt 2, the budget
+	if err := q.Requeue(l.ID, l.Attempt); err != nil {
+		t.Fatalf("budget-exhausting Requeue: %v", err)
+	}
+	got, _ := q.Get(j.ID)
+	if got.State != StateDead || !strings.Contains(got.Error, "dead-lettered after 2 attempt(s)") {
+		t.Fatalf("after exhausted requeue: %+v, want dead", got)
+	}
+	if l, _ := q.TryLease(); l != nil {
+		t.Fatalf("dead job leased: %+v", l)
+	}
+	if c := q.Stats(); c.Dead != 1 || c.Failed != 0 || c.Pending != 0 {
+		t.Fatalf("Stats = %+v, want exactly one dead job", c)
+	}
+}
+
+// TestDeadLetterOnRecovery: crash-loop protection — a job found running at
+// Open with its attempts spent goes to dead, not back to pending.
+func TestDeadLetterOnRecovery(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	q := openT(t, path, WithMaxAttempts(1))
+	j, _ := q.Enqueue([]byte(`{}`))
+	if l, _ := q.TryLease(); l == nil {
+		t.Fatal("lease failed")
+	}
+	q.Close() // crash mid-attempt 1: the sole permitted attempt
+
+	q2 := openT(t, path, WithMaxAttempts(1))
+	got, ok := q2.Get(j.ID)
+	if !ok || got.State != StateDead {
+		t.Fatalf("after recovery: %+v, %v (want dead)", got, ok)
+	}
+	if l, _ := q2.TryLease(); l != nil {
+		t.Fatalf("dead job leased after recovery: %+v", l)
+	}
+}
+
+// TestDeadLetterDurable: the dead verdict is a journal record and replays
+// even when the next Open sets no retry budget at all.
+func TestDeadLetterDurable(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	q := openT(t, path, WithMaxAttempts(1))
+	j, _ := q.Enqueue([]byte(`{}`))
+	l, _ := q.TryLease()
+	if err := q.Requeue(l.ID, l.Attempt); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+
+	q2 := openT(t, path)
+	got, _ := q2.Get(j.ID)
+	if got.State != StateDead || got.Error == "" {
+		t.Fatalf("dead verdict lost on replay: %+v", got)
+	}
+	if c := q2.Stats(); c.Dead != 1 {
+		t.Fatalf("Stats = %+v", c)
+	}
+}
+
+// TestNoBudgetRetriesForever: the default queue never dead-letters.
+func TestNoBudgetRetriesForever(t *testing.T) {
+	t.Parallel()
+	q := openT(t, filepath.Join(t.TempDir(), "jobs.jsonl"))
+	j, _ := q.Enqueue([]byte(`{}`))
+	for i := 0; i < 10; i++ {
+		l, _ := q.TryLease()
+		if l == nil {
+			t.Fatalf("lease %d failed", i)
+		}
+		if err := q.Requeue(l.ID, l.Attempt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := q.Get(j.ID)
+	if got.State != StatePending || got.Attempt != 20 {
+		t.Fatalf("after 10 requeues without a budget: %+v", got)
 	}
 }

@@ -48,6 +48,10 @@ type Spec struct {
 	Coverage bool `json:"coverage,omitempty"`
 	// Replicate additionally cuts the replication-aware network.
 	Replicate bool `json:"replicate,omitempty"`
+	// Alias additionally runs the points-to analysis over opaque payloads
+	// and refines the static constraint set and purity closure with it
+	// before cutting (see core.EnableAlias).
+	Alias bool `json:"alias,omitempty"`
 	// Theta is the read-mostly purity threshold (0 selects the default).
 	Theta float64 `json:"theta,omitempty"`
 	// ExactPricing prices edges from exact byte totals instead of bucket
@@ -153,6 +157,14 @@ type Result struct {
 	CoverageCoLocations int `json:"coverageCoLocations"`
 	Findings            int `json:"findings"`
 
+	// Alias-refinement outcome (only with Spec.Alias): pair-wise aliasing
+	// constraints installed in place of opaque cliques, alias welds applied
+	// to the cut graph, and profiled non-remotable edges cleared of their
+	// conservative dynamic weld by the points-to refiner.
+	AliasPairs          int `json:"aliasPairs,omitempty"`
+	AliasCoLocations    int `json:"aliasCoLocations,omitempty"`
+	NonRemotableCleared int `json:"nonRemotableCleared,omitempty"`
+
 	// ServerPlacements lists every server-side classification, sorted by
 	// class then classification id.
 	ServerPlacements []Placement `json:"serverPlacements,omitempty"`
@@ -204,8 +216,16 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	adps.AnalysisOptions.ExactPricing = spec.ExactPricing
 	adps.AnalysisOptions.PurityTheta = spec.Theta
 	adps.AnalysisOptions.Replicate = spec.Replicate
+	if spec.Alias {
+		if err := adps.EnableAlias(); err != nil {
+			return nil, err
+		}
+	}
 
 	res := &Result{Spec: spec, Version: version.String(), ADPS: adps}
+	if cs := adps.AnalysisOptions.Constraints; spec.Alias && cs != nil {
+		res.AliasPairs = len(cs.AliasPairs)
+	}
 	start := time.Now()
 
 	if spec.Compare {
@@ -314,6 +334,8 @@ func (r *Result) fillAnalysis(ares *analysis.Result, prof *profile.Profile) {
 	r.NonRemotableEdges = ares.NonRemotableEdges
 	r.StaticCoLocations = ares.StaticCoLocations
 	r.CoverageCoLocations = ares.CoverageCoLocations
+	r.AliasCoLocations = ares.AliasCoLocations
+	r.NonRemotableCleared = ares.NonRemotableCleared
 	r.Findings = len(ares.Findings)
 	r.Replicated = ares.Replicated
 	if ares.ReplicatedCut != nil {

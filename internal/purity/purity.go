@@ -114,6 +114,21 @@ func (r *Report) Class(name string) *ClassInfo { return r.index[name] }
 // analysis runs internally. Malformed images produce errors, never
 // panics.
 func Scan(img *binimg.Image, app *com.App, rg *reach.Graph) (*Report, error) {
+	return ScanAliased(img, app, rg, nil)
+}
+
+// ScanAliased is Scan with an alias-refined impurity closure: when may is
+// non-nil, transitive impurity propagates across an ICC edge only when
+// may(src, dst) reports the two classes may hold pointers into shared
+// mutable state. The justification is replication with call routing:
+// replicas serve read traffic and route downstream calls to the single
+// authoritative callee instance, so a replica calling an impure component
+// does not duplicate the mutation — the replication hazard is raw
+// pointers into memory the callee mutates, which is exactly the may-alias
+// relation. may == nil propagates across every edge (Scan's behavior).
+// Because the refinement only removes propagation edges, the resulting
+// replication set is always a superset of the unrefined one.
+func ScanAliased(img *binimg.Image, app *com.App, rg *reach.Graph, may func(a, b string) bool) (*Report, error) {
 	if img == nil {
 		return nil, fmt.Errorf("purity: nil image")
 	}
@@ -228,7 +243,7 @@ func Scan(img *binimg.Image, app *com.App, rg *reach.Graph) (*Report, error) {
 	}
 	sort.Slice(r.Classes, func(i, j int) bool { return r.Classes[i].Class < r.Classes[j].Class })
 
-	r.propagate(rg)
+	r.propagate(rg, may)
 	return r, nil
 }
 
@@ -237,9 +252,10 @@ func Scan(img *binimg.Image, app *com.App, rg *reach.Graph) (*Report, error) {
 // method on it, so the holder is impure too — the provider-scoped
 // propagation dual of reach's interface flows. Edges sourced at the main
 // program are skipped (the main program is not a component and is never
-// replicated). Iteration is deterministic: the edge list is sorted and
-// the worklist runs to a fixed point.
-func (r *Report) propagate(rg *reach.Graph) {
+// replicated). A non-nil may filter confines propagation to may-alias
+// edges (see ScanAliased). Iteration is deterministic: the edge list is
+// sorted and the worklist runs to a fixed point.
+func (r *Report) propagate(rg *reach.Graph, may func(a, b string) bool) {
 	impure := make(map[string]bool)
 	for _, ci := range r.Classes {
 		if !ci.LocallyPure {
@@ -255,6 +271,9 @@ func (r *Report) propagate(rg *reach.Graph) {
 			}
 			dst := r.index[e.Dst]
 			if dst == nil || !impure[e.Dst] {
+				continue
+			}
+			if may != nil && !may(e.Src, e.Dst) {
 				continue
 			}
 			ci.ReachesImpure = true

@@ -289,3 +289,59 @@ func FuzzPurityScan(f *testing.F) {
 		}
 	})
 }
+
+func TestScanAliasedShrinksImpurityClosure(t *testing.T) {
+	t.Parallel()
+	// Pure reaches impure Store, so the plain closure drags Pure (and
+	// Cache, which calls Pure) into statefulness. An alias oracle proving
+	// the Pure->Store edge carries no shared mutable state must free both
+	// — and the refined replication set must be a superset of the plain
+	// one.
+	rg := &reach.Graph{Edges: []reach.Edge{
+		{Src: "Pure", Dst: "Store", IID: "IStore"},
+		{Src: "Cache", Dst: "Pure", IID: "IPure"},
+	}}
+	app := testApp()
+	plain := mustScan(t, app, rg)
+
+	may := func(a, b string) bool { return !(a == "Pure" && b == "Store") }
+	refined, err := ScanAliased(binimg.BuildImage(app), app, rg, may)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci := refined.Class("Pure"); ci.ReachesImpure || ci.Impure {
+		t.Fatalf("Pure = %+v, want freed by the alias oracle", ci)
+	}
+	if ci := refined.Class("Cache"); ci.ReachesImpure {
+		t.Fatalf("Cache = %+v, want freed transitively", ci)
+	}
+	// Store stays locally impure regardless of aliasing.
+	if ci := refined.Class("Store"); ci.LocallyPure {
+		t.Fatalf("Store = %+v, want locally impure", ci)
+	}
+
+	p := gradeProfile(98, 2)
+	plainSet := plain.Grade(p, 0).Replication.Classifications
+	refinedSet := refined.Grade(p, 0).Replication.Classifications
+	eligible := make(map[string]bool, len(refinedSet))
+	for _, id := range refinedSet {
+		eligible[id] = true
+	}
+	for _, id := range plainSet {
+		if !eligible[id] {
+			t.Fatalf("refined replication set %v lost %s from plain set %v", refinedSet, id, plainSet)
+		}
+	}
+	if len(refinedSet) <= len(plainSet) {
+		t.Fatalf("refined set %v did not grow over plain %v", refinedSet, plainSet)
+	}
+
+	// A nil oracle must reproduce the plain closure exactly.
+	same, err := ScanAliased(binimg.BuildImage(app), app, rg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := same.Class("Pure").ReachesImpure, plain.Class("Pure").ReachesImpure; got != want {
+		t.Fatalf("nil-oracle ScanAliased diverges from Scan: %v vs %v", got, want)
+	}
+}

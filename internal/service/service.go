@@ -150,6 +150,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Write(job.Result) //nolint:errcheck // streaming to client
 	case jobqueue.StateFailed:
 		writeError(w, http.StatusConflict, "job %s failed: %s", job.ID, job.Error)
+	case jobqueue.StateDead:
+		writeError(w, http.StatusConflict, "job %s is dead: %s", job.ID, job.Error)
 	default:
 		writeError(w, http.StatusConflict, "job %s is %s; result not ready", job.ID, job.State)
 	}
@@ -173,6 +175,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"coign_jobs_running": float64(c.Running),
 		"coign_jobs_done":    float64(c.Done),
 		"coign_jobs_failed":  float64(c.Failed),
+		"coign_jobs_dead":    float64(c.Dead),
 	})
 }
 
@@ -249,8 +252,12 @@ func (s *Server) execute(ctx context.Context, job *jobqueue.Job) {
 	res, err := pipeline.Run(ctx, spec)
 	if err != nil {
 		if ctx.Err() != nil {
-			// Drain cancellation, not a bad job: put it back.
+			// Drain cancellation, not a bad job: put it back. The queue may
+			// dead-letter it instead if the retry budget is spent.
 			if rqErr := s.queue.Requeue(job.ID, job.Attempt); rqErr == nil {
+				if j, ok := s.queue.Get(job.ID); ok && j.State == jobqueue.StateDead {
+					s.metrics.Inc("coign_jobs_dead_total")
+				}
 				return
 			}
 			// Requeue can only fail if the lease is already stale; fall

@@ -299,6 +299,64 @@ func TestDrainRequeuesInFlight(t *testing.T) {
 	}
 }
 
+// TestDrainDeadLettersExhaustedJob: with a single-attempt budget, the
+// drain requeue dead-letters the in-flight job, and the dead verdict is
+// visible in the status view, the result endpoint, and the metrics.
+func TestDrainDeadLettersExhaustedJob(t *testing.T) {
+	t.Parallel()
+	q, err := jobqueue.Open(filepath.Join(t.TempDir(), "jobs.jsonl"), jobqueue.WithMaxAttempts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	srv := New(q, WithWorkers(1), WithDrainTimeout(time.Millisecond))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	spec, _ := json.Marshal(pipeline.Spec{Scenarios: []string{"o_bigone"}, Seed: 1})
+	job, err := q.Enqueue(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { srv.RunWorkers(ctx); close(done) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if j, _ := q.Get(job.ID); j != nil && j.State == jobqueue.StateRunning {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker pool did not stop")
+	}
+	j, _ := q.Get(job.ID)
+	if j.State == jobqueue.StateDone {
+		t.Skip("fast machine finished the job before the drain cut in")
+	}
+	if j.State != jobqueue.StateDead {
+		t.Fatalf("in-flight job after exhausted drain = %s (error %q), want dead", j.State, j.Error)
+	}
+
+	code, body := getBody(t, ts.URL+"/v1/jobs/"+job.ID)
+	if code != http.StatusOK || !strings.Contains(string(body), `"state": "dead"`) {
+		t.Fatalf("status view = %d: %s", code, body)
+	}
+	code, body = getBody(t, ts.URL+"/v1/jobs/"+job.ID+"/result")
+	if code != http.StatusConflict || !strings.Contains(string(body), "dead") {
+		t.Fatalf("result of dead job = %d: %s", code, body)
+	}
+	code, body = getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK ||
+		!strings.Contains(string(body), "coign_jobs_dead 1") ||
+		!strings.Contains(string(body), "coign_jobs_dead_total 1") {
+		t.Fatalf("metrics after dead-letter = %d:\n%s", code, body)
+	}
+}
+
 func TestMetricsWriteDeterministic(t *testing.T) {
 	t.Parallel()
 	m := NewMetrics()

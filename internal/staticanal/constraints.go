@@ -99,6 +99,12 @@ type ConstraintSet struct {
 	// remotability — crossing them is legal, just unpriced — so they weld
 	// graph edges but are not enforced by CheckCut.
 	CoveragePairs []Pair `json:"coveragePairs,omitempty"`
+	// AliasPairs lists co-location pairs added by the points-to
+	// refinement (see Refined): class pairs that share mutable state
+	// without a common non-remotable interface — the payload travelled
+	// through an intermediary — and therefore must co-locate even though
+	// the clique rule never saw them.
+	AliasPairs []Pair `json:"aliasPairs,omitempty"`
 
 	model *Model
 	// fullyNonRemotable marks classes whose entire interface surface is
@@ -108,6 +114,17 @@ type ConstraintSet struct {
 	pairIndex map[[2]string]string
 	// coverageIndex indexes CoveragePairs (unordered class pairs).
 	coverageIndex map[[2]string]bool
+
+	// refiner, conditional, and aliasIndex are set by Refined: the
+	// points-to refinement that replaces opaque-payload cliques with
+	// truly-aliasing pairs.
+	refiner OpaqueRefiner
+	// conditional marks classes whose fullyNonRemotable verdict is
+	// attributable entirely to opaque payloads: calls into them weld only
+	// when caller and callee truly share mutable state.
+	conditional map[string]bool
+	// aliasIndex indexes AliasPairs (ordered class pairs -> reason).
+	aliasIndex map[[2]string]string
 }
 
 // Derive runs the constraint-derivation pass over the scanned model and
@@ -233,7 +250,8 @@ func (cs *ConstraintSet) AddCoveragePair(a, b, iid, reason string) bool {
 
 // Empty reports whether the set constrains nothing.
 func (cs *ConstraintSet) Empty() bool {
-	return cs == nil || (len(cs.Pins) == 0 && len(cs.Pairs) == 0 && len(cs.CoveragePairs) == 0)
+	return cs == nil || (len(cs.Pins) == 0 && len(cs.Pairs) == 0 &&
+		len(cs.CoveragePairs) == 0 && len(cs.AliasPairs) == 0)
 }
 
 // NonRemotableInterfaces returns the sorted IIDs classified non-remotable.
@@ -265,12 +283,23 @@ func (cs *ConstraintSet) MustCoLocate(src, dst string) (string, bool) {
 	if cs.fullyNonRemotable[dst] {
 		return fmt.Sprintf("every interface of %s is non-remotable", dst), true
 	}
+	// A conditional callee's non-remotability is attributable entirely to
+	// its opaque payloads: the refiner decides whether this caller truly
+	// shares mutable state with it.
+	if cs.conditional[dst] {
+		if reason, ok := cs.refiner.SharedMutable(src, dst); ok {
+			return reason, true
+		}
+	}
 	key := [2]string{src, dst}
 	if src > dst {
 		key = [2]string{dst, src}
 	}
 	if iid, ok := cs.pairIndex[key]; ok {
 		return fmt.Sprintf("pair-wise constraint over non-remotable interface %s", iid), true
+	}
+	if reason, ok := cs.aliasIndex[key]; ok {
+		return reason, true
 	}
 	return "", false
 }
@@ -313,6 +342,8 @@ type ApplyStats struct {
 	CoLocations         int // profile edges welded by static constraints
 	CoverageCoLocations int // classification pairs welded by coverage pairs
 	CoverageUnsatisfied int // coverage pairs skipped: endpoints pinned apart
+	AliasCoLocations    int // classification pairs welded by alias pairs
+	AliasUnsatisfied    int // alias pairs skipped: endpoints pinned apart
 }
 
 // ApplyToGraph installs the constraint set into a communication graph
@@ -374,6 +405,34 @@ func (cs *ConstraintSet) ApplyToGraph(g *graph.Graph, p *profile.Profile) ApplyS
 				for _, b := range byClass[pair.B] {
 					g.CoLocate(a, b)
 					st.CoverageCoLocations++
+				}
+			}
+		}
+	}
+
+	// Alias pairs weld classes that share mutable state even when no
+	// profile edge connects them directly (the payload travelled through
+	// an intermediary): weld the cross-product of their classifications,
+	// with the same pinned-apart escape hatch as coverage pairs.
+	if len(cs.AliasPairs) > 0 {
+		byClass := make(map[string][]string)
+		for id, ci := range p.Classifications {
+			byClass[ci.Class] = append(byClass[ci.Class], id)
+		}
+		for _, cls := range byClass {
+			sort.Strings(cls)
+		}
+		for _, pair := range cs.AliasPairs {
+			pa, oka := cs.Pins[pair.A]
+			pb, okb := cs.Pins[pair.B]
+			if oka && okb && pa.Machine != pb.Machine {
+				st.AliasUnsatisfied++
+				continue
+			}
+			for _, a := range byClass[pair.A] {
+				for _, b := range byClass[pair.B] {
+					g.CoLocate(a, b)
+					st.AliasCoLocations++
 				}
 			}
 		}

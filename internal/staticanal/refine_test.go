@@ -1,0 +1,255 @@
+package staticanal_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/com"
+	"repro/internal/idl"
+	"repro/internal/profile"
+	"repro/internal/staticanal"
+)
+
+func refineNullObject() com.Object {
+	return com.ObjectFunc(func(c *com.Call) ([]idl.Value, error) { return nil, nil })
+}
+
+// refineApp builds a six-class application covering every refinement
+// verdict:
+//
+//	CondOnly  ICond: conditional via an untyped interface pointer, no opaque
+//	OpqBox    IOpq: fully non-remotable, attributable to opaque payloads
+//	PartnerA  IOpq+IOpq2: ditto, pair-constrained with PartnerB twice over
+//	PartnerB  IOpq+IOpq2
+//	LocalBox  ILoc: bare [local] with clean signatures — unrefinable
+//	Mixed     IMix: conditionally remotable with one opaque method
+func refineApp() *com.App {
+	ifaces := idl.NewRegistry()
+	ifaces.Register(&idl.InterfaceDesc{
+		IID: "ICond", Name: "ICond", Remotable: true,
+		Methods: []idl.MethodDesc{
+			{Name: "Hook", Params: []idl.ParamDesc{{Name: "sink", Dir: idl.In, Type: &idl.TypeDesc{Kind: idl.KindInterface}}}, Result: idl.TInt32},
+		},
+	})
+	ifaces.Register(&idl.InterfaceDesc{
+		IID: "IOpq", Name: "IOpq", Remotable: true,
+		Methods: []idl.MethodDesc{{Name: "Work", Result: idl.TOpaque}},
+	})
+	ifaces.Register(&idl.InterfaceDesc{
+		IID: "IOpq2", Name: "IOpq2", Remotable: true,
+		Methods: []idl.MethodDesc{
+			{Name: "Swap", Params: []idl.ParamDesc{{Name: "p", Dir: idl.In, Type: idl.TOpaque}}, Result: idl.TVoid},
+		},
+	})
+	ifaces.Register(&idl.InterfaceDesc{
+		IID: "ILoc", Name: "ILoc", Remotable: false,
+		Methods: []idl.MethodDesc{{Name: "Pump", Result: idl.TInt32}},
+	})
+	ifaces.Register(&idl.InterfaceDesc{
+		IID: "IMix", Name: "IMix", Remotable: true,
+		Methods: []idl.MethodDesc{
+			{Name: "Draw", Params: []idl.ParamDesc{{Name: "dc", Dir: idl.In, Type: idl.TOpaque}}, Result: idl.TVoid},
+			{Name: "Stat", Result: idl.TInt32},
+		},
+	})
+
+	classes := com.NewClassRegistry()
+	for _, c := range []struct {
+		name   string
+		ifaces []string
+	}{
+		{"CondOnly", []string{"ICond"}},
+		{"OpqBox", []string{"IOpq"}},
+		{"PartnerA", []string{"IOpq", "IOpq2"}},
+		{"PartnerB", []string{"IOpq", "IOpq2"}},
+		{"LocalBox", []string{"ILoc"}},
+		{"Mixed", []string{"IMix"}},
+	} {
+		classes.Register(&com.Class{
+			ID: com.CLSID("CLSID_" + c.name), Name: c.name, Interfaces: c.ifaces,
+			New: refineNullObject,
+		})
+	}
+	return &com.App{
+		Name:       "refinetest",
+		Classes:    classes,
+		Interfaces: ifaces,
+		Main:       func(env *com.Env, scenario string, seed int64) error { return nil },
+	}
+}
+
+func mustConstraints(t *testing.T) *staticanal.ConstraintSet {
+	t.Helper()
+	rep, err := staticanal.Analyze(refineApp(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Constraints
+}
+
+// fakeRefiner answers from fixed tables; pair lookups are unordered.
+type fakeRefiner struct {
+	predicts map[[2]string]bool
+	shared   map[[2]string]string
+	pairs    [][2]string
+}
+
+func (f *fakeRefiner) PredictsTransfer(src, dst string) bool {
+	return f.predicts[[2]string{src, dst}]
+}
+
+func (f *fakeRefiner) SharedMutable(a, b string) (string, bool) {
+	key := [2]string{a, b}
+	if a > b {
+		key = [2]string{b, a}
+	}
+	reason, ok := f.shared[key]
+	return reason, ok
+}
+
+func (f *fakeRefiner) MutablePairs() [][2]string { return f.pairs }
+
+func (f *fakeRefiner) Verify(p *profile.Profile) []staticanal.Finding { return nil }
+
+func TestClassMayPassOpaque(t *testing.T) {
+	t.Parallel()
+	cs := mustConstraints(t)
+	cases := []struct {
+		class string
+		want  bool
+	}{
+		// The conditional-remotable-without-opaque edge: CondOnly's only
+		// interface is demoted for an untyped interface pointer, not a
+		// payload, so dynamic non-remotable evidence there is NOT
+		// statically anticipated.
+		{"CondOnly", false},
+		{"OpqBox", true},   // non-remotable outright
+		{"LocalBox", true}, // declared [local]
+		{"Mixed", true},    // conditional with an opaque method
+		{"Nobody", false},  // unknown class
+	}
+	for _, c := range cases {
+		if got := cs.ClassMayPassOpaque(c.class); got != c.want {
+			t.Errorf("ClassMayPassOpaque(%s) = %v, want %v", c.class, got, c.want)
+		}
+	}
+}
+
+func TestPairProvenanceMerging(t *testing.T) {
+	t.Parallel()
+	cs := mustConstraints(t)
+
+	// PartnerA and PartnerB share two non-remotable interfaces; the pair
+	// must appear once, attributed to the first interface derived.
+	var partners []staticanal.Pair
+	for _, p := range cs.Pairs {
+		if p.A == "PartnerA" && p.B == "PartnerB" {
+			partners = append(partners, p)
+		}
+	}
+	if len(partners) != 1 {
+		t.Fatalf("PartnerA/PartnerB derived %d times, want once: %+v", len(partners), partners)
+	}
+	if partners[0].IID != "IOpq" || !strings.Contains(partners[0].Reason, "IOpq") {
+		t.Errorf("merged pair attributed to %s (%q), want first-derived IOpq", partners[0].IID, partners[0].Reason)
+	}
+
+	// Coverage pairs defer to remotability pairs and to themselves.
+	if cs.AddCoveragePair("PartnerA", "PartnerB", "IOpq", "uncovered") {
+		t.Error("coverage pair duplicated an existing remotability pair")
+	}
+	if !cs.AddCoveragePair("CondOnly", "Mixed", "IMix", "uncovered edge") {
+		t.Error("fresh coverage pair rejected")
+	}
+	if cs.AddCoveragePair("Mixed", "CondOnly", "IMix", "uncovered edge again") {
+		t.Error("coverage pair duplicated across operand order")
+	}
+}
+
+func TestRefinedConstraints(t *testing.T) {
+	t.Parallel()
+	cs := mustConstraints(t)
+	r := &fakeRefiner{
+		predicts: map[[2]string]bool{},
+		shared: map[[2]string]string{
+			{"OpqBox", "PartnerA"}: "both hold pointers into OpqBox's mutable mesh",
+			{"CondOnly", "Mixed"}:  "alias through an intermediary courier",
+		},
+		pairs: [][2]string{{"CondOnly", "Mixed"}, {"OpqBox", "PartnerA"}},
+	}
+	ref := cs.Refined(r)
+
+	// Pairs over the opaque-attributable IOpq survive only when the
+	// refiner confirms shared mutable state, and inherit its reason.
+	if reason, weld := ref.MustCoLocate("OpqBox", "PartnerA"); !weld || !strings.Contains(reason, "mesh") {
+		t.Errorf("MustCoLocate(OpqBox, PartnerA) = %q, %v; want the refiner's reason", reason, weld)
+	}
+	for _, p := range ref.Pairs {
+		if p.A == "PartnerA" && p.B == "PartnerB" {
+			t.Error("non-aliasing PartnerA/PartnerB pair survived refinement")
+		}
+	}
+
+	// OpqBox's clique is conditional now: a caller with no shared mutable
+	// state welds under the base set but not the refined one.
+	if _, weld := cs.MustCoLocate("CondOnly", "OpqBox"); !weld {
+		t.Error("base set does not weld calls into fully non-remotable OpqBox")
+	}
+	if _, weld := ref.MustCoLocate("CondOnly", "OpqBox"); weld {
+		t.Error("refined set welds a caller sharing no mutable state with OpqBox")
+	}
+
+	// Unrefinable [local] surfaces keep their cliques.
+	if _, weld := ref.MustCoLocate("CondOnly", "LocalBox"); !weld {
+		t.Error("refinement cleared the weld of a bare [local] interface")
+	}
+
+	// Mutable pairs outside the remotability constraints become alias
+	// pairs exactly once (OpqBox/PartnerA is already pair-indexed).
+	if len(ref.AliasPairs) != 1 || ref.AliasPairs[0].A != "CondOnly" || ref.AliasPairs[0].B != "Mixed" {
+		t.Fatalf("AliasPairs = %+v, want exactly CondOnly/Mixed", ref.AliasPairs)
+	}
+	if reason, weld := ref.MustCoLocate("Mixed", "CondOnly"); !weld || !strings.Contains(reason, "courier") {
+		t.Errorf("MustCoLocate over alias pair = %q, %v", reason, weld)
+	}
+}
+
+func TestObservedNonRemotableWeld(t *testing.T) {
+	t.Parallel()
+	cs := mustConstraints(t)
+
+	// Unrefined sets always weld observed non-remotable calls.
+	if !cs.ObservedNonRemotableWeld("CondOnly", "OpqBox") {
+		t.Error("unrefined set cleared a dynamic weld")
+	}
+
+	r := &fakeRefiner{
+		predicts: map[[2]string]bool{
+			{"PartnerA", "OpqBox"}:   true,
+			{"CondOnly", "OpqBox"}:   true,
+			{"CondOnly", "LocalBox"}: true,
+		},
+		shared: map[[2]string]string{
+			{"OpqBox", "PartnerA"}: "shared mesh",
+		},
+	}
+	ref := cs.Refined(r)
+
+	cases := []struct {
+		src, dst string
+		want     bool
+		why      string
+	}{
+		{"PartnerA", "OpqBox", true, "truly shares mutable state"},
+		{"CondOnly", "OpqBox", false, "predicted, opaque-attributable, not shared"},
+		{"Mixed", "OpqBox", true, "transfer not predicted: conservatism wins"},
+		{"CondOnly", "LocalBox", true, "callee has an unrefinable [local] surface"},
+		{"", "OpqBox", true, "unclassified caller"},
+		{"CondOnly", "", true, "unclassified callee"},
+	}
+	for _, c := range cases {
+		if got := ref.ObservedNonRemotableWeld(c.src, c.dst); got != c.want {
+			t.Errorf("ObservedNonRemotableWeld(%q, %q) = %v, want %v (%s)", c.src, c.dst, got, c.want, c.why)
+		}
+	}
+}

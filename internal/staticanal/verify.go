@@ -156,11 +156,15 @@ func (cs *ConstraintSet) CheckCut(p *profile.Profile, distribution map[string]co
 	})
 	for _, k := range keys {
 		e := p.Edges[k]
+		srcClass, dstClass := cs.classOf(p, k.Src), cs.classOf(p, k.Dst)
 		reason, weld := "", false
-		if srcClass, dstClass := cs.classOf(p, k.Src), cs.classOf(p, k.Dst); srcClass != "" && dstClass != "" {
+		if srcClass != "" && dstClass != "" {
 			reason, weld = cs.MustCoLocate(srcClass, dstClass)
 		}
-		if !weld && e.NonRemotable {
+		// Dynamic non-remotable evidence welds the edge unless a points-to
+		// refinement (see Refined) fully explains it away as an immutable
+		// payload exchange.
+		if !weld && e.NonRemotable && cs.ObservedNonRemotableWeld(srcClass, dstClass) {
 			reason, weld = "profile observed a non-remotable call on the edge", true
 		}
 		if weld && machineOf(k.Src) != machineOf(k.Dst) {

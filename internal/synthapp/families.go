@@ -76,7 +76,7 @@ func threeTierSpec(rng *rand.Rand, scale int) appSpec {
 	})
 	for i := 0; i < views; i++ {
 		cs := classSpec{
-			name: fmt.Sprintf("View%d", i), home: com.Client,
+			name: fmt.Sprintf("View%d", i), home: com.Client, stateless: true,
 			apis:      []string{com.APIGdiPaint, com.APIUserWindow},
 			codeBytes: codeSize(rng), compute: dur(rng, 200*time.Microsecond, time.Millisecond),
 			resBytes: pick(rng, 64, 512),
@@ -487,5 +487,100 @@ func readReplicaSpec(rng *rand.Rand, scale int) appSpec {
 	spec.latentPairs = [][2]string{{"Gui0", "Stale"}}
 	spec.readMostlyPlant = "Catalog"
 	spec.statefulDecoy = "Journal"
+	return spec
+}
+
+// sharedStateSpec: the alias-analysis plant. Blob keeps declared mutable
+// state and hands out opaque handles into it; WriterA and WriterB both
+// obtain one, so they truly alias Blob's memory (and each other) and the
+// points-to refinement must keep all three welded. Minter is the decoy:
+// its interface is statically just as non-remotable — every method
+// returns an opaque payload — but the class is provably stateless, so the
+// payloads are immutable and the readers exchanging them must NOT be
+// pinned once the refinement runs. Everything but the archive is homed on
+// the client, so the as-shipped distribution is feasible and the only cut
+// tension is WriterA's bulk traffic to server storage.
+func sharedStateSpec(rng *rand.Rand, scale int) appSpec {
+	readers := pick(rng, 2, 3) + (scale - 1)
+	var spec appSpec
+	spec.classes = append(spec.classes, classSpec{
+		name: "Archive", home: com.Server, infra: true,
+		apis:      []string{com.APIFileOpen, com.APIFileWrite},
+		codeBytes: codeSize(rng), compute: dur(rng, 500*time.Microsecond, 2*time.Millisecond),
+		resBytes: pick(rng, 4<<10, 16<<10),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Blob", home: com.Client, opaqueResult: true,
+		stateBytes: pick(rng, 8<<10, 64<<10),
+		codeBytes:  codeSize(rng), compute: dur(rng, 100*time.Microsecond, 500*time.Microsecond),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Minter", home: com.Client, opaqueResult: true, stateless: true,
+		codeBytes: codeSize(rng), compute: dur(rng, 100*time.Microsecond, 500*time.Microsecond),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "Ledger", home: com.Client,
+		codeBytes: codeSize(rng), compute: dur(rng, 100*time.Microsecond, 500*time.Microsecond),
+		resBytes: pick(rng, 32, 128),
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "WriterA", home: com.Client,
+		codeBytes: codeSize(rng), compute: dur(rng, 200*time.Microsecond, time.Millisecond),
+		resBytes: pick(rng, 128, 512),
+		edges: []edgeSpec{
+			{target: "Blob", calls: pick(rng, 2, 4), argBytes: pick(rng, 64, 256)},
+			{target: "Archive", calls: pick(rng, 1, 3), argBytes: pick(rng, 1<<10, 8<<10)},
+		},
+		latent: []string{"Ledger"},
+	})
+	spec.classes = append(spec.classes, classSpec{
+		name: "WriterB", home: com.Client,
+		codeBytes: codeSize(rng), compute: dur(rng, 200*time.Microsecond, time.Millisecond),
+		resBytes: pick(rng, 128, 512),
+		edges: []edgeSpec{
+			{target: "Blob", calls: pick(rng, 2, 4), argBytes: pick(rng, 64, 256)},
+		},
+	})
+	for i := 0; i < readers; i++ {
+		spec.classes = append(spec.classes, classSpec{
+			name: fmt.Sprintf("Reader%d", i), home: com.Client,
+			codeBytes: codeSize(rng), compute: dur(rng, 200*time.Microsecond, time.Millisecond),
+			resBytes: pick(rng, 64, 256),
+			edges: []edgeSpec{
+				{target: "Minter", calls: pick(rng, 2, 5), argBytes: pick(rng, 128, 512)},
+			},
+		})
+	}
+
+	heavy := scenarioSpec{name: ScenHeavy, steps: []step{
+		{class: "WriterA", instances: 1, calls: pick(rng, 2, 4), payload: pick(rng, 512, 2048)},
+		{class: "WriterB", instances: 1, calls: pick(rng, 2, 4), payload: pick(rng, 512, 2048)},
+	}}
+	for i := 0; i < readers; i++ {
+		heavy.steps = append(heavy.steps, step{
+			class: fmt.Sprintf("Reader%d", i), instances: 1, calls: pick(rng, 2, 3), payload: pick(rng, 256, 1024),
+		})
+	}
+	spec.scenarios = []scenarioSpec{
+		{name: ScenBase, steps: []step{
+			{class: "WriterA", instances: 1, calls: 2, payload: 256},
+			{class: "Reader0", instances: 1, calls: 2, payload: 256},
+		}},
+		heavy,
+		{name: ScenAlt, steps: []step{
+			{class: "Ledger", instances: 1, calls: 1, payload: 64},
+			{class: "WriterB", instances: 1, calls: 1, payload: 128},
+			{class: "Reader0", instances: 1, calls: 1, payload: 128},
+		}},
+	}
+	spec.latentPairs = [][2]string{{"WriterA", "Ledger"}}
+	spec.aliasPlantPairs = [][2]string{
+		{"Blob", "WriterA"}, {"Blob", "WriterB"}, {"WriterA", "WriterB"},
+	}
+	decoys := [][2]string{}
+	for i := 0; i < readers; i++ {
+		decoys = append(decoys, [2]string{"Minter", fmt.Sprintf("Reader%d", i)})
+	}
+	spec.aliasDecoyPairs = decoys
 	return spec
 }

@@ -41,7 +41,12 @@ type classSpec struct {
 	compute   time.Duration
 	resBytes  int  // size of the byte payload Work returns
 	opaque    bool // Work takes an opaque handle → interface non-remotable
-	cacheable bool // Work is marked cacheable in the IDL
+	// opaqueResult makes Work return an opaque handle instead of bytes.
+	// Unlike opaque, the interface stays declared remotable — the clean
+	// methods still marshal — so it classifies conditionally remotable
+	// with the Opaque flag (unless Work is its only method).
+	opaqueResult bool
+	cacheable    bool // Work is marked cacheable in the IDL
 	// factoryFor names the product class of a dynamic factory: Work
 	// creates a fresh product and returns its interface. Implies
 	// DynamicActivation; the product is deliberately NOT listed in the
@@ -98,6 +103,12 @@ type appSpec struct {
 	// must grade read-mostly and stateful respectively (read-replica only).
 	readMostlyPlant string
 	statefulDecoy   string
+	// aliasPlantPairs / aliasDecoyPairs are the alias-analysis ground
+	// truth (shared-state only): pairs that truly share mutable state and
+	// must stay welded under the points-to refinement, and pairs that only
+	// exchange immutable payloads and must not.
+	aliasPlantPairs [][2]string
+	aliasDecoyPairs [][2]string
 }
 
 // App is a generated application plus the metadata the property harness
@@ -125,6 +136,13 @@ type App struct {
 	// stateful. Both empty for families without purity plants.
 	ReadMostlyPlant string
 	StatefulDecoy   string
+	// AliasPlantPairs lists class pairs that truly share mutable state
+	// (the alias refinement must keep them welded); AliasDecoyPairs lists
+	// pairs that exchange only immutable opaque payloads (the refinement
+	// must clear their welds). Both empty for families without alias
+	// plants.
+	AliasPlantPairs [][2]string
+	AliasDecoyPairs [][2]string
 }
 
 // Generate builds the application for a config. Identical configs yield
@@ -152,6 +170,8 @@ func Generate(cfg Config) (*App, error) {
 		spec = skewedSpec(rng, cfg.Scale)
 	case ReadReplica:
 		spec = readReplicaSpec(rng, cfg.Scale)
+	case SharedState:
+		spec = sharedStateSpec(rng, cfg.Scale)
 	default:
 		return nil, &ConfigError{Field: "family", Reason: fmt.Sprintf("unknown family %q", cfg.Family)}
 	}
@@ -199,6 +219,8 @@ func materialize(cfg Config, spec appSpec) (*App, error) {
 		result := idl.TBytes
 		if cs.factoryFor != "" {
 			result = idl.InterfaceType(iidOf(cs.factoryFor))
+		} else if cs.opaqueResult {
+			result = idl.TOpaque
 		}
 		methods := []idl.MethodDesc{
 			{Name: "Work", Params: params, Result: result, Cacheable: cs.cacheable},
@@ -271,6 +293,8 @@ func materialize(cfg Config, spec appSpec) (*App, error) {
 		LatentPairs:             spec.latentPairs,
 		ReadMostlyPlant:         spec.readMostlyPlant,
 		StatefulDecoy:           spec.statefulDecoy,
+		AliasPlantPairs:         spec.aliasPlantPairs,
+		AliasDecoyPairs:         spec.aliasDecoyPairs,
 	}, nil
 }
 
@@ -489,6 +513,11 @@ func behaviorFor(cs *classSpec, byName map[string]*classSpec) func() com.Object 
 				}
 			}
 			c.Compute(cs.compute)
+			if cs.opaqueResult {
+				// Hand the caller an opaque handle into this instance's
+				// memory — the runtime marks the call non-remotable.
+				return []idl.Value{idl.OpaquePtr("blob:" + cs.name)}, nil
+			}
 			return []idl.Value{idl.ByteBuf(resBuf)}, nil
 		})
 	}

@@ -29,6 +29,12 @@
 //	               into from both machines and rarely written — the
 //	               ground-truth plant for the purity analysis, paired
 //	               with a write-heavy stateful decoy
+//	shared-state   the ground-truth plant for the alias analysis: two
+//	               writers obtain opaque handles into one stateful blob
+//	               (true aliasing — must stay welded) while readers
+//	               exchange immutable payloads minted by a stateless
+//	               decoy that must NOT be pinned once the points-to
+//	               refinement runs
 //
 // Every family additionally plants one latent activation edge — a
 // statically declared activation site no scenario drives — so the
@@ -53,11 +59,12 @@ const (
 	CacheHeavy    Family = "cache-heavy"
 	Skewed        Family = "skewed"
 	ReadReplica   Family = "read-replica"
+	SharedState   Family = "shared-state"
 )
 
 // Families returns all generator families in canonical order.
 func Families() []Family {
-	return []Family{ThreeTier, ScatterGather, Pipeline, GUISwarm, CacheHeavy, Skewed, ReadReplica}
+	return []Family{ThreeTier, ScatterGather, Pipeline, GUISwarm, CacheHeavy, Skewed, ReadReplica, SharedState}
 }
 
 // Scenario names common to every generated application: three training

@@ -1,0 +1,120 @@
+package repolint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+	"unicode"
+)
+
+// ErrCmp reports == and != comparisons against sentinel error values
+// (exported package-level errors named ErrFoo, bare or pkg-qualified).
+// Identity comparison breaks the moment anyone wraps the sentinel with
+// fmt.Errorf("...: %w", ...) — which the errwrap rule actively pushes
+// toward — so call sites must use errors.Is instead.
+//
+// The one place identity IS the contract is a custom Is method: errors.Is
+// unwraps the chain and asks each link `err.Is(target)`, and that method
+// compares against the sentinel by identity on purpose. Comparisons inside
+// any method named Is are therefore exempt.
+var ErrCmp = &Analyzer{
+	Name: "errcmp",
+	Doc:  "compare sentinel errors with errors.Is, not == or !=",
+	Run: func(f *File) []Diagnostic {
+		var out []Diagnostic
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Recv != nil && fn.Name.Name == "Is" {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				name, ok := sentinelErr(be.X)
+				if !ok {
+					name, ok = sentinelErr(be.Y)
+				}
+				if !ok {
+					return true
+				}
+				out = append(out, Diagnostic{
+					Pos:  f.Fset.Position(be.Pos()),
+					Rule: "errcmp",
+					Message: fmt.Sprintf(
+						"%s compared against sentinel %s with %s; use errors.Is so wrapped errors still match",
+						exprString(be), name, be.Op),
+				})
+				return true
+			})
+		}
+		return out
+	},
+}
+
+// sentinelErr reports whether the expression names a sentinel error by the
+// ErrFoo convention, either bare or through a package selector (pkg.ErrFoo).
+func sentinelErr(e ast.Expr) (string, bool) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if isErrName(v.Name) {
+			return v.Name, true
+		}
+	case *ast.SelectorExpr:
+		if id, ok := v.X.(*ast.Ident); ok && id.Obj == nil && isErrName(v.Sel.Name) {
+			return id.Name + "." + v.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// isErrName matches the sentinel naming convention: ErrFoo or errFoo with
+// a camel-case boundary right after the prefix, so ErrBadSpec and
+// errNotReady match but err, Errorf, and errs do not.
+func isErrName(name string) bool {
+	rest, ok := strings.CutPrefix(name, "Err")
+	if !ok {
+		rest, ok = strings.CutPrefix(name, "err")
+	}
+	if !ok || rest == "" {
+		return false
+	}
+	return unicode.IsUpper(rune(rest[0]))
+}
+
+// exprString renders a short label for the non-sentinel operand of the
+// comparison (best effort; falls back to "error value").
+func exprString(be *ast.BinaryExpr) string {
+	other := be.X
+	if _, ok := sentinelErr(be.X); ok {
+		other = be.Y
+	}
+	switch v := other.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		if id, ok := v.X.(*ast.Ident); ok {
+			return id.Name + "." + v.Sel.Name
+		}
+	case *ast.CallExpr:
+		if name, ok := funcLabel(v.Fun); ok {
+			return name + "(...)"
+		}
+	}
+	return "error value"
+}
+
+func funcLabel(e ast.Expr) (string, bool) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name, true
+	case *ast.SelectorExpr:
+		return v.Sel.Name, true
+	}
+	return "", false
+}

@@ -1,0 +1,97 @@
+package repolint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestErrCmpFlagsIdentityComparison(t *testing.T) {
+	t.Parallel()
+	src := `package p
+import "errors"
+var ErrBadSpec = errors.New("bad spec")
+func f(err error) bool {
+	return err == ErrBadSpec
+}
+func g(err error) bool {
+	return err != ErrBadSpec
+}
+`
+	ds := check(t, "internal/x/x.go", src)
+	if len(ds) != 2 {
+		t.Fatalf("diagnostics = %v, want both comparisons flagged", ds)
+	}
+	for _, d := range ds {
+		if d.Rule != "errcmp" || !strings.Contains(d.Message, "ErrBadSpec") || !strings.Contains(d.Message, "errors.Is") {
+			t.Fatalf("diagnostic = %v", d)
+		}
+	}
+}
+
+func TestErrCmpPkgQualifiedAndUnexported(t *testing.T) {
+	t.Parallel()
+	src := `package p
+import "io/fs"
+import "errors"
+var errNotReady = errors.New("not ready")
+func f(err error) bool {
+	return err == fs.ErrNotExist || errNotReady == err
+}
+`
+	ds := check(t, "internal/x/x.go", src)
+	if len(ds) != 2 {
+		t.Fatalf("diagnostics = %v, want the qualified and the unexported sentinel flagged", ds)
+	}
+	if !strings.Contains(ds[0].Message, "fs.ErrNotExist") || !strings.Contains(ds[1].Message, "errNotReady") {
+		t.Fatalf("diagnostics = %v", ds)
+	}
+}
+
+func TestErrCmpSkipsIsMethods(t *testing.T) {
+	t.Parallel()
+	// The errors.Is protocol: a custom Is method compares against the
+	// sentinel by identity on purpose.
+	src := `package p
+import "errors"
+var ErrBadSpec = errors.New("bad spec")
+type SpecError struct{}
+func (e *SpecError) Error() string { return "spec" }
+func (e *SpecError) Is(target error) bool { return target == ErrBadSpec }
+`
+	if ds := check(t, "internal/x/x.go", src); len(ds) != 0 {
+		t.Fatalf("Is method flagged: %v", ds)
+	}
+	// A free function named Is gets no exemption — only methods implement
+	// the protocol.
+	free := strings.Replace(src, "func (e *SpecError) Is(", "func Is(", 1)
+	if ds := check(t, "internal/x/x.go", free); len(ds) != 1 {
+		t.Fatalf("free Is function not flagged: %v", ds)
+	}
+}
+
+func TestErrCmpIgnoresNonSentinelNames(t *testing.T) {
+	t.Parallel()
+	src := `package p
+func f(err error, errs []error, n int) bool {
+	return err == nil || err != nil || len(errs) == n
+}
+`
+	if ds := check(t, "internal/x/x.go", src); len(ds) != 0 {
+		t.Fatalf("non-sentinel comparisons flagged: %v", ds)
+	}
+}
+
+func TestErrCmpWaiver(t *testing.T) {
+	t.Parallel()
+	src := `package p
+import "errors"
+var ErrDone = errors.New("done")
+func f(err error) bool {
+	//lint:allow errcmp identity intended here
+	return err == ErrDone
+}
+`
+	if ds := check(t, "internal/x/x.go", src); len(ds) != 0 {
+		t.Fatalf("waived finding reported: %v", ds)
+	}
+}

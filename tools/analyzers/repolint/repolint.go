@@ -20,6 +20,9 @@
 //	bodyclose    every http.Response obtained in a function must have
 //	             its Body closed there (or ownership must visibly
 //	             escape) — unclosed bodies leak connections
+//	errcmp       sentinel errors (ErrFoo) must be compared with
+//	             errors.Is, never == / != — identity breaks under
+//	             wrapping; custom Is methods are exempt
 //
 // A finding is waived by a comment on the same or the preceding line:
 //
@@ -63,7 +66,7 @@ type Analyzer struct {
 }
 
 // Analyzers is the repository rule set.
-var Analyzers = []*Analyzer{ErrWrap, WallClock, ParallelTest, TypeAssert, CtxThread, MapOrder, BodyClose}
+var Analyzers = []*Analyzer{ErrWrap, WallClock, ParallelTest, TypeAssert, CtxThread, MapOrder, BodyClose, ErrCmp}
 
 // ErrWrap reports fmt.Errorf calls that pass an error value without
 // wrapping it via %w, which breaks errors.Is/errors.As up the call chain.
