@@ -1,0 +1,41 @@
+package adapt
+
+import (
+	"context"
+
+	"repro/internal/graph"
+)
+
+// Recutter is the re-partitioning half of the adaptive loop: once the
+// Watchdog decides usage has drifted, the ICC graph is re-priced from
+// fresh counts (or a different network model) and cut again — same
+// topology, new weights, over and over. A Recutter owns a graph.CutArena
+// so those re-cuts reuse the CSR arrays and warm-start push-relabel from
+// the previous flow instead of paying a cold cut per drift window; the
+// paper's "silently re-enables profiling to re-optimize" is only honest
+// if re-optimizing costs a fraction of the initial optimization.
+//
+// A Recutter is not safe for concurrent use.
+type Recutter struct {
+	arena *graph.CutArena
+}
+
+// NewRecutter returns a Recutter with an empty arena; the first cut runs
+// cold and later cuts on the same topology warm-start.
+func NewRecutter() *Recutter {
+	return &Recutter{arena: graph.NewCutArena()}
+}
+
+// Arena exposes the underlying arena for callers that thread it through
+// analysis.Options.
+func (r *Recutter) Arena() *graph.CutArena { return r.arena }
+
+// Recut cuts g through the arena: cold on first use or after a topology
+// change, warm when only weights moved since the previous cut.
+func (r *Recutter) Recut(ctx context.Context, g *graph.Graph) (*graph.Cut, error) {
+	return g.MinCutArena(ctx, r.arena)
+}
+
+// Stats reports how the arena served its cuts (warm vs cold vs
+// restaged), for surfacing in experiment rows and logs.
+func (r *Recutter) Stats() graph.CutArenaStats { return r.arena.Stats() }

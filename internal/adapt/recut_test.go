@@ -1,0 +1,51 @@
+package adapt
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestRecutterWarmMatchesCold: repeated re-cuts of a re-priced (but
+// topologically unchanged) graph through one Recutter must be warm after
+// the first and agree exactly with fresh one-shot cuts.
+func TestRecutterWarmMatchesCold(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	g := graph.Synthesize(graph.SynthConfig{Nodes: 800, Seed: 21})
+	r := NewRecutter()
+	for round := 0; round < 4; round++ {
+		if round > 0 {
+			// Re-price every edge, as a new network model or a fresh count
+			// window would.
+			for _, e := range g.EdgeNames() {
+				g.SetEdgeWeight(e[0], e[1], g.EdgeWeight(e[0], e[1])*(1+0.1*float64(round)))
+			}
+		}
+		warm, err := r.Recut(ctx, g)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		cold, err := g.MinCut()
+		if err != nil {
+			t.Fatalf("round %d: one-shot: %v", round, err)
+		}
+		if math.Abs(warm.Weight-cold.Weight) > 1e-9*(1+cold.Weight) {
+			t.Fatalf("round %d: warm %v vs cold %v", round, warm.Weight, cold.Weight)
+		}
+		for n, s := range cold.Assignment {
+			if warm.Assignment[n] != s {
+				t.Fatalf("round %d: node %s differs", round, n)
+			}
+		}
+	}
+	st := r.Stats()
+	if st.Cuts != 4 || st.Restaged != 1 {
+		t.Fatalf("stats %+v: want 4 cuts over 1 staging", st)
+	}
+	if st.Warm == 0 {
+		t.Fatalf("stats %+v: no warm cuts", st)
+	}
+}

@@ -68,6 +68,18 @@ type Options struct {
 	// Supplying it does not refine Constraints — pass an already-refined
 	// set for that.
 	Alias staticanal.OpaqueRefiner
+	// Arena, when set, backs the plain minimum cut with a reusable
+	// graph.CutArena: callers that analyze the same application repeatedly
+	// (per network model, per profile window) reuse the CSR arrays and
+	// warm-start push-relabel from the previous flow instead of cutting
+	// cold every time. Nil cuts one-shot. Not safe for concurrent Analyze
+	// calls sharing one arena.
+	Arena *graph.CutArena
+	// ReplicaArena is Arena for the replication-aware cut, which runs on a
+	// different topology (replicated nodes' edges vanish) and so must not
+	// alternate with the plain cut in one arena — that would restage on
+	// every call instead of warm-starting.
+	ReplicaArena *graph.CutArena
 }
 
 // Result is the analysis engine's output.
@@ -237,7 +249,13 @@ func Analyze(ctx context.Context, p *profile.Profile, np *netsim.Profile, app *c
 		return nil, fmt.Errorf("analysis: profile, network profile, and application are required")
 	}
 	g, st := BuildGraph(p, np, app.Classes, opts)
-	cut, err := g.MinCutCtx(ctx)
+	var cut *graph.Cut
+	var err error
+	if opts.Arena != nil {
+		cut, err = g.MinCutArena(ctx, opts.Arena)
+	} else {
+		cut, err = g.MinCutCtx(ctx)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("analysis: %s: %w", p.App, err)
 	}
@@ -318,7 +336,12 @@ func Analyze(ctx context.Context, p *profile.Profile, np *netsim.Profile, app *c
 		res.Findings = append(res.Findings, opts.Purity.Verify(p)...)
 		if opts.Replicate {
 			rg, replicated := g.Replicate(res.Purity.Replication.Classifications)
-			rcut, err := rg.MinCutCtx(ctx)
+			var rcut *graph.Cut
+			if opts.ReplicaArena != nil {
+				rcut, err = rg.MinCutArena(ctx, opts.ReplicaArena)
+			} else {
+				rcut, err = rg.MinCutCtx(ctx)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("analysis: %s: replicated cut: %w", p.App, err)
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/scenario"
@@ -25,6 +26,10 @@ type AdaptiveRow struct {
 	PredictedComm   time.Duration
 	DefaultComm     time.Duration
 	Savings         float64
+	// WarmCut reports whether this network's cut warm-started from the
+	// previous model's flow (the ICC topology is network-independent, so
+	// every cut after the first should).
+	WarmCut bool
 }
 
 // Adaptive re-partitions one scenario for each named network model.
@@ -45,6 +50,12 @@ func Adaptive(ctx context.Context, scenName string, networks []string) ([]Adapti
 	if err != nil {
 		return nil, err
 	}
+	// Every network model re-cuts the same ICC topology with different
+	// edge pricing — the canonical warm-start workload — so all models
+	// share one re-cut arena: the first cut is cold, the rest resume from
+	// the previous model's flow.
+	rec := adapt.NewRecutter()
+	adps.AnalysisOptions.Arena = rec.Arena()
 	var rows []AdaptiveRow
 	for _, name := range networks {
 		model, err := netsim.ByName(name)
@@ -53,6 +64,7 @@ func Adaptive(ctx context.Context, scenName string, networks []string) ([]Adapti
 		}
 		adps.Network = model
 		adps.NetProfile = nil // re-profile the new network
+		warmBefore := rec.Stats().Warm
 		res, err := adps.Analyze(ctx, p)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: adaptive %s: %w", name, err)
@@ -64,6 +76,7 @@ func Adaptive(ctx context.Context, scenName string, networks []string) ([]Adapti
 			PredictedComm:   res.PredictedComm,
 			DefaultComm:     res.DefaultComm,
 			Savings:         res.Savings(),
+			WarmCut:         rec.Stats().Warm > warmBefore,
 		})
 	}
 	return rows, nil

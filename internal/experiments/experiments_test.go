@@ -155,6 +155,16 @@ func TestAdaptiveRepartitioning(t *testing.T) {
 			t.Errorf("%s: no savings", r.Network)
 		}
 	}
+	// The ICC topology is network-independent, so every re-analysis after
+	// the first must have warm-started from the shared re-cut arena.
+	if rows[0].WarmCut {
+		t.Error("first network's cut reported warm")
+	}
+	for _, r := range rows[1:] {
+		if !r.WarmCut {
+			t.Errorf("%s: re-cut did not warm-start", r.Network)
+		}
+	}
 	if _, err := Adaptive(context.Background(), "o_oldwp7", []string{"smoke-signals"}); err == nil {
 		t.Error("unknown network accepted")
 	}

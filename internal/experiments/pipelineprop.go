@@ -3,7 +3,9 @@ package experiments
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/alias"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/fault"
+	"repro/internal/graph"
 	"repro/internal/profile"
 	"repro/internal/purity"
 	"repro/internal/staticanal"
@@ -189,6 +192,53 @@ func RunPipelineProperty(ctx context.Context, cfg synthapp.Config) (*PipelineRep
 			diff <= propEps*(1+ek.Weight),
 			fmt.Sprintf("push-relabel %.9g vs Edmonds-Karp %.9g", ares.Cut.Weight, ek.Weight))
 	}
+
+	// Incremental re-cut determinism: the arena-backed engine must be an
+	// optimization, never a semantic. After any number of perturb-then-
+	// restore rounds on one arena, a re-cut of the restored graph has to
+	// reproduce the one-shot assignment byte for byte (encoding/json
+	// sorts map keys, so equal assignments marshal identically).
+	oneShot, err := json.Marshal(ares.Cut.Assignment)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: marshaling cut of %s: %w", a.App.Name, err)
+	}
+	arena := graph.NewCutArena()
+	arng := rand.New(rand.NewSource(cfg.Seed ^ 0xa7e4a))
+	edgeNames := ares.Graph.EdgeNames()
+	arenaOK, arenaDetail := true, ""
+	for round := 0; round < 3 && arenaOK; round++ {
+		saved := make(map[[2]string]float64)
+		for _, e := range edgeNames {
+			if arng.Intn(2) == 0 {
+				w := ares.Graph.EdgeWeight(e[0], e[1])
+				saved[e] = w
+				ares.Graph.SetEdgeWeight(e[0], e[1], w*(0.5+arng.Float64()))
+			}
+		}
+		if _, cerr := ares.Graph.MinCutArena(ctx, arena); cerr != nil {
+			return nil, fmt.Errorf("experiments: perturbed arena cut of %s: %w", a.App.Name, cerr)
+		}
+		for e, w := range saved {
+			ares.Graph.SetEdgeWeight(e[0], e[1], w)
+		}
+		cut, cerr := ares.Graph.MinCutArena(ctx, arena)
+		if cerr != nil {
+			return nil, fmt.Errorf("experiments: restored arena cut of %s: %w", a.App.Name, cerr)
+		}
+		b, jerr := json.Marshal(cut.Assignment)
+		if jerr != nil {
+			return nil, fmt.Errorf("experiments: marshaling arena cut of %s: %w", a.App.Name, jerr)
+		}
+		if !bytes.Equal(b, oneShot) {
+			arenaOK = false
+			arenaDetail = fmt.Sprintf("round %d: arena re-cut assignment diverged from the one-shot cut", round)
+		}
+	}
+	rep.check("arena-recut-deterministic", arenaOK, arenaDetail)
+	ast := arena.Stats()
+	rep.check("arena-warm-start-used",
+		ast.Restaged == 1 && ast.Warm > 0 && ast.Fallbacks == 0,
+		fmt.Sprintf("weight-only rounds should warm-start on one staging: %+v", ast))
 
 	// Purity: the static grading must exist, the verifier must never see a
 	// mutation through a method claimed read-only, and replication — a

@@ -10,7 +10,8 @@ import "math"
 // four flat arrays built once per cut — arc targets, reverse-arc indices,
 // residual capacities, and per-node offsets — so discharge loops scan
 // contiguous memory and the whole residual state fits a few cache-resident
-// allocations.
+// allocations. Repeated cuts on one topology reuse the arrays through a
+// CutArena (arena.go) instead of rebuilding them.
 
 // csrNet is a residual flow network in compressed sparse row form.
 // Arcs of node u occupy the half-open range head[u]..head[u+1] in to, rev,
@@ -34,18 +35,32 @@ type csrArc struct {
 }
 
 // newCSRNet lays out the staged arc pairs in compressed sparse row form.
+// Self-loop pairs (u == v) are dropped at staging: a u->u arc can never
+// cross a cut, and laying one out would corrupt the reverse-arc pairing —
+// both halves read the same position slot before either increments it, so
+// both land on one index and the adjacent slot is left zeroed with a
+// dangling rev pointer.
 func newCSRNet(n, s, t int, pairs []csrArc) *csrNet {
+	m := 0
+	for _, p := range pairs {
+		if p.u != p.v {
+			m++
+		}
+	}
 	f := &csrNet{
 		n:    n,
 		s:    s,
 		t:    t,
 		head: make([]int32, n+1),
-		to:   make([]int32, 2*len(pairs)),
-		rev:  make([]int32, 2*len(pairs)),
-		cap:  make([]float64, 2*len(pairs)),
+		to:   make([]int32, 2*m),
+		rev:  make([]int32, 2*m),
+		cap:  make([]float64, 2*m),
 	}
 	deg := make([]int32, n)
 	for _, p := range pairs {
+		if p.u == p.v {
+			continue
+		}
 		deg[p.u]++
 		deg[p.v]++
 	}
@@ -55,6 +70,9 @@ func newCSRNet(n, s, t int, pairs []csrArc) *csrNet {
 	pos := make([]int32, n)
 	copy(pos, f.head[:n])
 	for _, p := range pairs {
+		if p.u == p.v {
+			continue
+		}
 		iu, iv := pos[p.u], pos[p.v]
 		pos[p.u]++
 		pos[p.v]++
@@ -64,20 +82,16 @@ func newCSRNet(n, s, t int, pairs []csrArc) *csrNet {
 	return f
 }
 
-// buildCSR constructs the CSR flow network for a two-way cut: graph nodes
-// plus a source terminal (client) and sink terminal (server). Pins become
-// infinite-capacity terminal arcs, co-location constraints become
-// infinite-capacity node-to-node arcs, and infinite edge weights are
-// replaced by the finite infinity proxy.
-func (g *Graph) buildCSR() (*csrNet, float64) {
-	n := g.Len()
-	s, t := n, n+1
+// stageBase stages the pin-independent arc pairs — communication edges
+// and co-location welds — in sorted order, plus the infinity proxy that
+// stands in for unsplittable capacities. The sorted order makes the
+// network layout, and with it the particular minimum cut the algorithm
+// lands on when several tie, identical run to run: map-order layout made
+// equal-cost cuts flip between runs, which broke byte-stable JSON
+// artifacts. Multiway cuts stage this list once and share it across all
+// k isolating cuts, appending only the per-terminal pin arcs.
+func (g *Graph) stageBase() ([]csrArc, float64) {
 	inf := g.infinityProxy()
-
-	// Arcs are staged in sorted order so the network layout — and with it
-	// the particular minimum cut the algorithm lands on when several tie —
-	// is identical run to run. Map-order layout made equal-cost cuts flip
-	// between runs, which broke byte-stable JSON artifacts.
 	pairs := make([]csrArc, 0, len(g.edges)+len(g.coloc)+len(g.pinned))
 	for _, e := range g.sortedEdgeKeys() {
 		c := g.edges[e]
@@ -89,13 +103,33 @@ func (g *Graph) buildCSR() (*csrNet, float64) {
 	for _, e := range g.sortedColocKeys() {
 		pairs = append(pairs, csrArc{u: int32(e[0]), v: int32(e[1]), capUV: inf, capVU: inf})
 	}
-	for _, v := range g.sortedPinnedNodes() {
-		if g.pinned[v] == SourceSide {
+	return pairs, inf
+}
+
+// stagePins appends the terminal arcs for the given pin assignment: one
+// infinite-capacity directed arc from the source terminal to every
+// client-pinned node, and from every server-pinned node to the sink.
+func stagePins(pairs []csrArc, s, t int, nodes []int, sides map[int]Side, inf float64) []csrArc {
+	for _, v := range nodes {
+		if sides[v] == SourceSide {
 			pairs = append(pairs, csrArc{u: int32(s), v: int32(v), capUV: inf})
 		} else {
 			pairs = append(pairs, csrArc{u: int32(v), v: int32(t), capUV: inf})
 		}
 	}
+	return pairs
+}
+
+// buildCSR constructs the CSR flow network for a two-way cut: graph nodes
+// plus a source terminal (client) and sink terminal (server). Pins become
+// infinite-capacity terminal arcs, co-location constraints become
+// infinite-capacity node-to-node arcs, and infinite edge weights are
+// replaced by the finite infinity proxy.
+func (g *Graph) buildCSR() (*csrNet, float64) {
+	n := g.Len()
+	s, t := n, n+1
+	pairs, inf := g.stageBase()
+	pairs = stagePins(pairs, s, t, g.sortedPinnedNodes(), g.pinned, inf)
 	return newCSRNet(n+2, s, t, pairs), inf
 }
 
@@ -105,11 +139,21 @@ func (g *Graph) buildCSR() (*csrNet, float64) {
 // alone — every arc crossing out of the non-reaching set is saturated and
 // no flow crosses back, so the cut's capacity equals the preflow value at
 // t — which is why the highest-label core never needs the second
-// (excess-return) phase.
+// (excess-return) phase. The partition is also the same for every maximum
+// preflow on the network (the sink side of the t-minimal minimum cut), so
+// warm-started and cold runs agree on it even when several cuts tie.
 func (f *csrNet) sourceSide() []bool {
-	reachesT := make([]bool, f.n)
-	queue := make([]int32, 0, f.n)
-	queue = append(queue, int32(f.t))
+	return f.sourceSideInto(make([]bool, f.n), make([]int32, 0, f.n))
+}
+
+// sourceSideInto is sourceSide over caller-owned scratch, so an arena can
+// extract repeated cuts without re-allocating the BFS state.
+func (f *csrNet) sourceSideInto(reachesT []bool, queue []int32) []bool {
+	reachesT = reachesT[:f.n]
+	for i := range reachesT {
+		reachesT[i] = false
+	}
+	queue = append(queue[:0], int32(f.t))
 	reachesT[f.t] = true
 	for len(queue) > 0 {
 		u := queue[0]

@@ -17,8 +17,43 @@ func FuzzCSRBuilder(f *testing.F) {
 	f.Add([]byte{0, 1, 10, 1, 2, 20, 0x40, 0, 0x41, 2, 0x80, 1, 2})
 	f.Add([]byte{0, 0, 5, 3, 3, 0, 0x40, 7, 0x80, 7, 7})
 	f.Add([]byte{9, 2, 255, 0x80, 9, 2, 0x41, 9, 0x40, 2})
+	// Self-loop seed: decoded as raw arc pairs below, the leading (3,3)
+	// triple stages a u==v pair straight into newCSRNet — the corruption
+	// path Graph ops can never reach because AddEdge/CoLocate filter
+	// self-edges before staging.
+	f.Add([]byte{3, 3, 50, 1, 2, 30, 5, 5, 99, 2, 3, 10})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Phase 1: the same bytes as raw csrArc pairs, u == v allowed, so
+		// the staging-level self-loop filter is fuzzed directly. Dropping
+		// self-loops must leave a network byte-identical to one staged
+		// from the pre-filtered pair list.
+		var raw, filtered []csrArc
+		for i := 0; i+2 < len(data); i += 3 {
+			p := csrArc{
+				u: int32(data[i] % 8), v: int32(data[i+1] % 8),
+				capUV: float64(data[i+2]) * 0.01, capVU: float64(data[i+2]) * 0.01,
+			}
+			raw = append(raw, p)
+			if p.u != p.v {
+				filtered = append(filtered, p)
+			}
+		}
+		rawNet := newCSRNet(10, 8, 9, raw)
+		cleanNet := newCSRNet(10, 8, 9, filtered)
+		if len(rawNet.to) != len(cleanNet.to) {
+			t.Fatalf("self-loop staging changed arc count: %d vs %d", len(rawNet.to), len(cleanNet.to))
+		}
+		for a := range rawNet.to {
+			if rawNet.to[a] != cleanNet.to[a] || rawNet.rev[a] != cleanNet.rev[a] || rawNet.cap[a] != cleanNet.cap[a] {
+				t.Fatalf("arc %d differs between raw and pre-filtered staging", a)
+			}
+			if int(rawNet.rev[rawNet.rev[a]]) != a {
+				t.Fatalf("rev not an involution at arc %d", a)
+			}
+		}
+
+		// Phase 2: the bytes as graph operations, as before.
 		g := New()
 		nodeOf := func(b byte) string { return synthName(int(b % 16)) }
 		for i := 0; i+1 < len(data); {

@@ -94,6 +94,39 @@ func (g *Graph) AddEdge(a, b string, w float64) {
 	g.edges[[2]int{i, j}] += w
 }
 
+// SetEdgeWeight overwrites the weight of the undirected edge {a, b},
+// interning missing nodes. Unlike AddEdge it replaces rather than
+// accumulates — the entry point for re-pricing an existing topology
+// (adaptive repartitioning, warm-start sweeps). A non-positive weight
+// deletes the edge, which is a topology change: an arena cutting the
+// graph will restage. Self-edges are ignored.
+func (g *Graph) SetEdgeWeight(a, b string, w float64) {
+	if a == b {
+		return
+	}
+	i, j := g.Node(a), g.Node(b)
+	if i > j {
+		i, j = j, i
+	}
+	if w <= 0 {
+		delete(g.edges, [2]int{i, j})
+		return
+	}
+	g.edges[[2]int{i, j}] = w
+}
+
+// EdgeNames returns the edges' endpoint names in sorted index order —
+// a stable iteration order for callers that perturb and restore weights
+// across repeated cuts.
+func (g *Graph) EdgeNames() [][2]string {
+	keys := g.sortedEdgeKeys()
+	out := make([][2]string, len(keys))
+	for i, e := range keys {
+		out[i] = [2]string{g.names[e[0]], g.names[e[1]]}
+	}
+	return out
+}
+
 // EdgeWeight returns the accumulated weight of edge {a, b}.
 func (g *Graph) EdgeWeight(a, b string) float64 {
 	i, ok := g.index[a]
@@ -259,16 +292,23 @@ func (g *Graph) weldUnion() *unionFind {
 // check is transitive — A welded to B welded to C with A and C pinned
 // apart is rejected even though no single constraint spans the pins.
 func (g *Graph) Validate() error {
+	return g.validatePinned(g.pinned)
+}
+
+// validatePinned is Validate under an explicit pin assignment over the
+// graph's welds, for callers (the multiway heuristic) that cut the same
+// graph under substituted pins.
+func (g *Graph) validatePinned(pins map[int]Side) error {
 	uf := g.weldUnion()
 	firstPinned := make(map[int]int) // weld-component root -> pinned node
-	for v, side := range g.pinned {
+	for v, side := range pins {
 		root := uf.find(v)
 		w, ok := firstPinned[root]
 		if !ok {
 			firstPinned[root] = v
 			continue
 		}
-		if g.pinned[w] != side {
+		if pins[w] != side {
 			return fmt.Errorf("graph: nodes %q and %q are (transitively) co-located but pinned to different machines",
 				g.names[w], g.names[v])
 		}

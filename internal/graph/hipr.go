@@ -28,6 +28,12 @@ import (
 // t, so the cut capacity equals excess[t] (see csrNet.sourceSide). The
 // excess-return phase the full max-flow algorithm needs is skipped
 // entirely.
+//
+// All solver scratch lives in hiprState so a CutArena (arena.go) can run
+// repeated cuts without re-allocating; a warm run additionally keeps the
+// excess vector and the residual capacities of a previous solve, seeding
+// the discharge loop from an already-feasible preflow instead of from
+// zero flow.
 
 // cancelCheckMask paces the cancellation poll in the discharge loop: one
 // channel select per 1024 node pops is invisible next to the discharge
@@ -35,163 +41,237 @@ import (
 // thousand pushes.
 const cancelCheckMask = 1<<10 - 1
 
-// maxFlowHighestLabel runs phase-1 highest-label push-relabel and returns
-// the max-flow value (the preflow accumulated at t). A cancelled context
-// aborts the run between discharge batches with the context's error.
-func (f *csrNet) maxFlowHighestLabel(ctx context.Context) (float64, error) {
+// hiprState is the per-run scratch of the highest-label core: heights,
+// excesses, current-arc pointers, the active bucket stacks, the label
+// lists behind the gap heuristic, and the global-relabel BFS buffers.
+// An arena keeps one of these alive across cuts; the one-shot path
+// allocates a fresh one per cut.
+type hiprState struct {
+	height []int32
+	excess []float64
+	cur    []int32 // current-arc pointer, absolute arc index
+
+	// Active nodes: singly-linked bucket stacks per height < n.
+	activeNext []int32
+	activeHead []int32
+	inActive   []bool
+
+	// All non-dormant, non-terminal nodes: doubly-linked label lists per
+	// height < n, backing the gap heuristic.
+	labelNext []int32
+	labelPrev []int32
+	labelHead []int32
+	count     []int32
+
+	dist  []int32
+	queue []int32
+}
+
+// ensure sizes every scratch array for an n-node network, reusing backing
+// stores from previous runs whenever they are large enough.
+func (st *hiprState) ensure(n int) {
+	grow32 := func(s []int32, n int) []int32 {
+		if cap(s) < n {
+			return make([]int32, n)
+		}
+		return s[:n]
+	}
+	st.height = grow32(st.height, n)
+	st.cur = grow32(st.cur, n)
+	st.activeNext = grow32(st.activeNext, n)
+	st.activeHead = grow32(st.activeHead, n+1)
+	st.labelNext = grow32(st.labelNext, n)
+	st.labelPrev = grow32(st.labelPrev, n)
+	st.labelHead = grow32(st.labelHead, n+1)
+	st.count = grow32(st.count, n+1)
+	st.dist = grow32(st.dist, n)
+	if cap(st.excess) < n {
+		st.excess = make([]float64, n)
+	} else {
+		st.excess = st.excess[:n]
+	}
+	if cap(st.inActive) < n {
+		st.inActive = make([]bool, n)
+	} else {
+		st.inActive = st.inActive[:n]
+	}
+	st.queue = st.queue[:0]
+}
+
+// hiprRun is one invocation of the core over a network, binding the
+// scratch state to the network and the bucket bookkeeping.
+type hiprRun struct {
+	f       *csrNet
+	st      *hiprState
+	n       int
+	highest int
+	work    int
+}
+
+func (r *hiprRun) link(v, h int32) {
+	st := r.st
+	st.labelPrev[v] = -1
+	st.labelNext[v] = st.labelHead[h]
+	if st.labelHead[h] != -1 {
+		st.labelPrev[st.labelHead[h]] = v
+	}
+	st.labelHead[h] = v
+	st.count[h]++
+}
+
+func (r *hiprRun) unlink(v, h int32) {
+	st := r.st
+	if st.labelPrev[v] != -1 {
+		st.labelNext[st.labelPrev[v]] = st.labelNext[v]
+	} else {
+		st.labelHead[h] = st.labelNext[v]
+	}
+	if st.labelNext[v] != -1 {
+		st.labelPrev[st.labelNext[v]] = st.labelPrev[v]
+	}
+	st.count[h]--
+}
+
+func (r *hiprRun) activate(v int32) {
+	st := r.st
+	h := st.height[v]
+	if st.inActive[v] || int(v) == r.f.s || int(v) == r.f.t || h >= int32(r.n) {
+		return
+	}
+	st.activeNext[v] = st.activeHead[h]
+	st.activeHead[h] = v
+	st.inActive[v] = true
+	if int(h) > r.highest {
+		r.highest = int(h)
+	}
+}
+
+// setHeight moves a non-terminal node between label lists. Dormant
+// nodes (height n) leave the lists for good.
+func (r *hiprRun) setHeight(v, newH int32) {
+	st := r.st
+	oldH := st.height[v]
+	if oldH < int32(r.n) {
+		r.unlink(v, oldH)
+	}
+	st.height[v] = newH
+	if newH < int32(r.n) {
+		r.link(v, newH)
+	}
+}
+
+// gap lifts every node strictly above an emptied height to dormancy:
+// any residual path to t from above the gap would need a node at the
+// gap height.
+func (r *hiprRun) gap(h int32) {
+	st := r.st
+	for hh := h + 1; hh < int32(r.n); hh++ {
+		for st.labelHead[hh] != -1 {
+			v := st.labelHead[hh]
+			r.unlink(v, hh)
+			st.height[v] = int32(r.n)
+		}
+	}
+}
+
+// globalRelabel restores exact residual distances to t and rebuilds
+// the label lists and active buckets from scratch. Stale active-bucket
+// entries are discarded by the pop guard in the main loop.
+func (r *hiprRun) globalRelabel() {
+	f, st, n := r.f, r.st, r.n
+	for i := range st.dist {
+		st.dist[i] = -1
+	}
+	st.queue = st.queue[:0]
+	st.queue = append(st.queue, int32(f.t))
+	st.dist[f.t] = 0
+	for len(st.queue) > 0 {
+		x := st.queue[0]
+		st.queue = st.queue[1:]
+		for a := f.head[x]; a < f.head[x+1]; a++ {
+			v := f.to[a]
+			// v reaches x iff residual(v -> x) > 0.
+			if st.dist[v] == -1 && f.cap[f.rev[a]] > capEps {
+				st.dist[v] = st.dist[x] + 1
+				st.queue = append(st.queue, v)
+			}
+		}
+	}
+	for h := 0; h <= n; h++ {
+		st.activeHead[h] = -1
+		st.labelHead[h] = -1
+		st.count[h] = 0
+	}
+	r.highest = -1
+	for v := 0; v < n; v++ {
+		if v == f.s || v == f.t {
+			continue
+		}
+		h := int32(n)
+		if st.dist[v] >= 0 && st.dist[v] < int32(n) {
+			h = st.dist[v]
+		}
+		if st.height[v] > h {
+			// Heights never decrease within a run; a label already at or
+			// above the BFS distance stays (dormant nodes stay dormant).
+			h = st.height[v]
+		}
+		if h > int32(n) {
+			h = int32(n)
+		}
+		st.height[v] = h
+		st.inActive[v] = false
+		st.cur[v] = f.head[v]
+		if h < int32(n) {
+			r.link(int32(v), h)
+			if st.excess[v] > capEps {
+				r.activate(int32(v))
+			}
+		}
+	}
+	st.height[f.s] = int32(n)
+	st.height[f.t] = 0
+	r.work = 0
+}
+
+// maxFlowHL runs phase-1 highest-label push-relabel over f with st's
+// scratch and returns the max-flow value (the preflow accumulated at t).
+// A cold run (warm=false) starts from zero flow: f.cap must hold the full
+// capacities and every excess is reset. A warm run keeps f.cap and
+// st.excess exactly as the caller prepared them — a feasible preflow
+// (every non-terminal excess >= 0) over the current capacities — and only
+// resets heights, so the discharge loop finishes the remaining flow
+// instead of redoing all of it. In both modes heights are rebuilt from an
+// exact reverse BFS, which is a valid labeling for any feasible preflow.
+// A cancelled context aborts the run between discharge batches with the
+// context's error.
+func (f *csrNet) maxFlowHL(ctx context.Context, st *hiprState, warm bool) (float64, error) {
 	n := f.n
 	if n == 0 || f.s == f.t {
 		return 0, nil
 	}
 	done := ctx.Done()
 	m := len(f.to)
-	height := make([]int32, n)
-	excess := make([]float64, n)
-	cur := make([]int32, n) // current-arc pointer, absolute arc index
-
-	// Active nodes: singly-linked bucket stacks per height < n.
-	activeNext := make([]int32, n)
-	activeHead := make([]int32, n+1)
-	inActive := make([]bool, n)
-	highest := -1
-
-	// All non-dormant, non-terminal nodes: doubly-linked label lists per
-	// height < n, backing the gap heuristic.
-	labelNext := make([]int32, n)
-	labelPrev := make([]int32, n)
-	labelHead := make([]int32, n+1)
-	count := make([]int32, n+1)
-	for h := 0; h <= n; h++ {
-		activeHead[h] = -1
-		labelHead[h] = -1
+	st.ensure(n)
+	for i := range st.height {
+		st.height[i] = 0
 	}
-
-	link := func(v int32, h int32) {
-		labelPrev[v] = -1
-		labelNext[v] = labelHead[h]
-		if labelHead[h] != -1 {
-			labelPrev[labelHead[h]] = v
-		}
-		labelHead[h] = v
-		count[h]++
-	}
-	unlink := func(v int32, h int32) {
-		if labelPrev[v] != -1 {
-			labelNext[labelPrev[v]] = labelNext[v]
-		} else {
-			labelHead[h] = labelNext[v]
-		}
-		if labelNext[v] != -1 {
-			labelPrev[labelNext[v]] = labelPrev[v]
-		}
-		count[h]--
-	}
-	activate := func(v int32) {
-		h := height[v]
-		if inActive[v] || int(v) == f.s || int(v) == f.t || h >= int32(n) {
-			return
-		}
-		activeNext[v] = activeHead[h]
-		activeHead[h] = v
-		inActive[v] = true
-		if int(h) > highest {
-			highest = int(h)
-		}
-	}
-	// setHeight moves a non-terminal node between label lists. Dormant
-	// nodes (height n) leave the lists for good.
-	setHeight := func(v int32, newH int32) {
-		oldH := height[v]
-		if oldH < int32(n) {
-			unlink(v, oldH)
-		}
-		height[v] = newH
-		if newH < int32(n) {
-			link(v, newH)
-		}
-	}
-	// gap lifts every node strictly above an emptied height to dormancy:
-	// any residual path to t from above the gap would need a node at the
-	// gap height.
-	gap := func(h int32) {
-		for hh := h + 1; hh < int32(n); hh++ {
-			for labelHead[hh] != -1 {
-				v := labelHead[hh]
-				unlink(v, hh)
-				height[v] = int32(n)
-			}
+	if !warm {
+		for i := range st.excess {
+			st.excess[i] = 0
 		}
 	}
 
-	dist := make([]int32, n)
-	queue := make([]int32, 0, n)
-	var work int
+	r := &hiprRun{f: f, st: st, n: n, highest: -1}
 	// workLimit paces global relabeling: one O(n+m) reverse BFS per
 	// O(n+m) discharge work keeps residual distances near exact without
 	// dominating the run.
 	workLimit := 6*n + m/2
 
-	// globalRelabel restores exact residual distances to t and rebuilds
-	// the label lists and active buckets from scratch. Stale active-bucket
-	// entries are discarded by the pop guard in the main loop.
-	globalRelabel := func() {
-		for i := range dist {
-			dist[i] = -1
-		}
-		queue = queue[:0]
-		queue = append(queue, int32(f.t))
-		dist[f.t] = 0
-		for len(queue) > 0 {
-			x := queue[0]
-			queue = queue[1:]
-			for a := f.head[x]; a < f.head[x+1]; a++ {
-				v := f.to[a]
-				// v reaches x iff residual(v -> x) > 0.
-				if dist[v] == -1 && f.cap[f.rev[a]] > capEps {
-					dist[v] = dist[x] + 1
-					queue = append(queue, v)
-				}
-			}
-		}
-		for h := 0; h <= n; h++ {
-			activeHead[h] = -1
-			labelHead[h] = -1
-			count[h] = 0
-		}
-		highest = -1
-		for v := 0; v < n; v++ {
-			if v == f.s || v == f.t {
-				continue
-			}
-			h := int32(n)
-			if dist[v] >= 0 && dist[v] < int32(n) {
-				h = dist[v]
-			}
-			if height[v] > h {
-				// Heights never decrease; a label already at or above the
-				// BFS distance stays (dormant nodes stay dormant).
-				h = height[v]
-			}
-			if h > int32(n) {
-				h = int32(n)
-			}
-			height[v] = h
-			inActive[v] = false
-			cur[v] = f.head[v]
-			if h < int32(n) {
-				link(int32(v), h)
-				if excess[v] > capEps {
-					activate(int32(v))
-				}
-			}
-		}
-		height[f.s] = int32(n)
-		height[f.t] = 0
-		work = 0
-	}
-
-	globalRelabel()
-	// Saturate the source's out-arcs to create the initial preflow.
+	r.globalRelabel()
+	// Saturate the source's residual out-arcs to create (or top up) the
+	// preflow. On a warm run most of these arcs are already saturated from
+	// the previous solve; only capacity that grew since then moves.
 	for a := f.head[f.s]; a < f.head[f.s+1]; a++ {
 		if f.cap[a] <= capEps {
 			continue
@@ -200,11 +280,12 @@ func (f *csrNet) maxFlowHighestLabel(ctx context.Context) (float64, error) {
 		f.cap[a] = 0
 		f.cap[f.rev[a]] += amt
 		v := f.to[a]
-		excess[v] += amt
-		excess[f.s] -= amt
-		activate(v)
+		st.excess[v] += amt
+		st.excess[f.s] -= amt
+		r.activate(v)
 	}
 
+	height, excess, cur := st.height, st.excess, st.cur
 	var pops uint
 	for {
 		if pops&cancelCheckMask == 0 && done != nil {
@@ -215,18 +296,18 @@ func (f *csrNet) maxFlowHighestLabel(ctx context.Context) (float64, error) {
 			}
 		}
 		pops++
-		if work > workLimit {
-			globalRelabel()
+		if r.work > workLimit {
+			r.globalRelabel()
 		}
-		for highest >= 0 && activeHead[highest] == -1 {
-			highest--
+		for r.highest >= 0 && st.activeHead[r.highest] == -1 {
+			r.highest--
 		}
-		if highest < 0 {
+		if r.highest < 0 {
 			break
 		}
-		u := activeHead[highest]
-		activeHead[highest] = activeNext[u]
-		inActive[u] = false
+		u := st.activeHead[r.highest]
+		st.activeHead[r.highest] = st.activeNext[u]
+		st.inActive[u] = false
 		// Pop guard: the gap heuristic and global relabeling leave stale
 		// bucket entries behind rather than unthreading them.
 		if height[u] >= int32(n) || excess[u] <= capEps {
@@ -254,14 +335,14 @@ func (f *csrNet) maxFlowHighestLabel(ctx context.Context) (float64, error) {
 				f.cap[f.rev[a]] += amt
 				excess[u] -= amt
 				excess[v] += amt
-				if !inActive[v] {
-					activate(v)
+				if !st.inActive[v] {
+					r.activate(v)
 				}
 				if excess[u] <= capEps {
 					break
 				}
 			}
-			work += int(a-cur[u]) + 1
+			r.work += int(a-cur[u]) + 1
 			if excess[u] <= capEps {
 				// The arc at a may hold leftover capacity; resume there.
 				cur[u] = a
@@ -276,15 +357,15 @@ func (f *csrNet) maxFlowHighestLabel(ctx context.Context) (float64, error) {
 					minH = height[f.to[a]]
 				}
 			}
-			work += int(aEnd - f.head[u])
+			r.work += int(aEnd - f.head[u])
 			newH := int32(n)
 			if minH != int32(math.MaxInt32) && minH+1 < int32(n) {
 				newH = minH + 1
 			}
-			setHeight(u, newH)
+			r.setHeight(u, newH)
 			cur[u] = f.head[u]
-			if count[oldH] == 0 && oldH > 0 && oldH < int32(n) {
-				gap(oldH)
+			if st.count[oldH] == 0 && oldH > 0 && oldH < int32(n) {
+				r.gap(oldH)
 			}
 			if height[u] >= int32(n) {
 				break // dormant: the remaining excess never reaches t
@@ -292,4 +373,10 @@ func (f *csrNet) maxFlowHighestLabel(ctx context.Context) (float64, error) {
 		}
 	}
 	return excess[f.t], nil
+}
+
+// maxFlowHighestLabel is the one-shot entry: a cold run with fresh
+// scratch, used by paths that build a throwaway network.
+func (f *csrNet) maxFlowHighestLabel(ctx context.Context) (float64, error) {
+	return f.maxFlowHL(ctx, &hiprState{}, false)
 }

@@ -284,17 +284,12 @@ func (g *Graph) MinCut() (*Cut, error) {
 // MinCutCtx is MinCut under a context: the push-relabel core polls
 // ctx.Done() between discharge batches, so a cancelled or expired
 // context aborts a long cut mid-run with the context's error instead of
-// burning the worker to completion.
+// burning the worker to completion. One-shot cuts are a single cold run
+// through a throwaway CutArena; callers that cut repeatedly should hold
+// an arena of their own (MinCutArena) to reuse its arrays and warm-start
+// from the previous flow.
 func (g *Graph) MinCutCtx(ctx context.Context) (*Cut, error) {
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	f, inf := g.buildCSR()
-	flow, err := f.maxFlowHighestLabel(ctx)
-	if err != nil {
-		return nil, err
-	}
-	return g.extractCutSides(f.sourceSide(), flow, inf)
+	return g.MinCutArena(ctx, NewCutArena())
 }
 
 // MinCutRelabelToFront is the previous production algorithm — push-relabel
@@ -317,6 +312,14 @@ func (g *Graph) MinCutRelabelToFront() (*Cut, error) {
 // crossing edges under the original weights, and rejects any cut that
 // splits a co-location constraint.
 func (g *Graph) extractCutSides(onSource []bool, flow, inf float64) (*Cut, error) {
+	return g.extractCutSidesPinned(onSource, flow, inf, g.pinned)
+}
+
+// extractCutSidesPinned is extractCutSides under an explicit pin
+// assignment, which may differ from the graph's own — the multiway
+// isolation heuristic cuts the same graph under per-terminal pin sets
+// without cloning it.
+func (g *Graph) extractCutSidesPinned(onSource []bool, flow, inf float64, pins map[int]Side) (*Cut, error) {
 	cut := &Cut{Assignment: make(map[string]Side, g.Len()), FlowValue: flow}
 	for i, name := range g.names {
 		if onSource[i] {
@@ -337,7 +340,7 @@ func (g *Graph) extractCutSides(onSource []bool, flow, inf float64) (*Cut, error
 		uf.union(e[0], e[1])
 	}
 	componentPinned := make(map[int]bool)
-	for v := range g.pinned {
+	for v := range pins {
 		componentPinned[uf.find(v)] = true
 	}
 	for i, name := range g.names {

@@ -41,28 +41,54 @@ func (g *Graph) MultiwayCutCtx(ctx context.Context, terminals []MultiwayTerminal
 		cut    *Cut
 		weight float64
 	}
-	// The k isolating cuts are independent — each runs on a private
-	// unpinned clone and only reads the shared graph — so they fan out on
-	// the worker pool. Results come back in terminal order, keeping the
-	// heuristic's tie-breaking identical to the sequential version.
+	// The k isolating cuts share one topology and differ only in which
+	// side each terminal's pins land on, so the pin-independent arc pairs
+	// — edges and welds, the bulk of the staging work — are staged once
+	// and shared read-only across the fan-out; each cut appends only its
+	// own terminal arcs (the full-length slice forces append to copy) and
+	// lays out a private CSR network. Pinned names the graph has never
+	// seen are skipped rather than interned: an isolated pinned node
+	// cannot affect any cut, and the final pin-override loop assigns it
+	// regardless.
+	n := g.Len()
+	s, t := n, n+1
+	base, inf := g.stageBase()
+	base = base[:len(base):len(base)]
 	terms := make([]int, len(terminals))
 	for i := range terminals {
 		terms[i] = i
 	}
 	cuts, err := par.Map(ctx, terms, func(ctx context.Context, ti int) (isoCut, error) {
-		iso := g.cloneUnpinned()
-		for _, n := range terminals[ti].Pinned {
-			iso.Pin(n, SourceSide)
+		pins := make(map[int]Side)
+		for _, name := range terminals[ti].Pinned {
+			if v, ok := g.index[name]; ok {
+				pins[v] = SourceSide
+			}
 		}
 		for tj, other := range terminals {
 			if tj == ti {
 				continue
 			}
-			for _, n := range other.Pinned {
-				iso.Pin(n, SinkSide)
+			for _, name := range other.Pinned {
+				if v, ok := g.index[name]; ok {
+					pins[v] = SinkSide
+				}
 			}
 		}
-		c, err := iso.MinCutCtx(ctx)
+		pinNodes := make([]int, 0, len(pins))
+		for v := range pins {
+			pinNodes = append(pinNodes, v)
+		}
+		sort.Ints(pinNodes)
+		if err := g.validatePinned(pins); err != nil {
+			return isoCut{}, fmt.Errorf("graph: isolating cut for %s: %w", terminals[ti].Machine, err)
+		}
+		net := newCSRNet(n+2, s, t, stagePins(base, s, t, pinNodes, pins, inf))
+		flow, err := net.maxFlowHighestLabel(ctx)
+		if err != nil {
+			return isoCut{}, fmt.Errorf("graph: isolating cut for %s: %w", terminals[ti].Machine, err)
+		}
+		c, err := g.extractCutSidesPinned(net.sourceSide(), flow, inf, pins)
 		if err != nil {
 			return isoCut{}, fmt.Errorf("graph: isolating cut for %s: %w", terminals[ti].Machine, err)
 		}
@@ -73,8 +99,16 @@ func (g *Graph) MultiwayCutCtx(ctx context.Context, terminals []MultiwayTerminal
 	}
 
 	// Discard the heaviest isolating cut: its terminal becomes the default
-	// owner of nodes not isolated with anyone else.
-	sort.SliceStable(cuts, func(i, j int) bool { return cuts[i].weight < cuts[j].weight })
+	// owner of nodes not isolated with anyone else. Ties break by terminal
+	// index — an explicit contract, not an artifact of par.Map returning
+	// results in input order — so equal-weight isolating cuts produce the
+	// same assignment run after run.
+	sort.SliceStable(cuts, func(i, j int) bool {
+		if cuts[i].weight != cuts[j].weight {
+			return cuts[i].weight < cuts[j].weight
+		}
+		return cuts[i].term < cuts[j].term
+	})
 	defaultTerm := cuts[len(cuts)-1].term
 	kept := cuts[:len(cuts)-1]
 
@@ -114,21 +148,4 @@ func (g *Graph) MultiwayCutCtx(ctx context.Context, terminals []MultiwayTerminal
 		}
 	}
 	return assign, w, nil
-}
-
-// cloneUnpinned copies the graph's nodes, edges, and co-location
-// constraints without pins.
-func (g *Graph) cloneUnpinned() *Graph {
-	c := New()
-	c.names = append([]string(nil), g.names...)
-	for i, n := range c.names {
-		c.index[n] = i
-	}
-	for e, w := range g.edges {
-		c.edges[e] = w
-	}
-	for e := range g.coloc {
-		c.coloc[e] = true
-	}
-	return c
 }

@@ -10,6 +10,53 @@ import (
 // agree exactly — the per-terminal cuts fan out on a worker pool, and the
 // result must not depend on scheduling. Under `go test -race` this also
 // exercises the concurrent reads of the shared graph.
+// TestMultiwayCutEqualWeightTieBreak pins the heaviest-cut tie-break
+// contract: when several isolating cuts carry exactly equal weight, the
+// discarded (default) terminal is chosen by terminal index, not by
+// whatever order results happen to come back in. The star below makes
+// all three isolating cuts weigh exactly 1, so every run across the
+// parallel fan-out must produce the identical assignment (under
+// `go test -race` this also catches scheduling-dependent reads).
+func TestMultiwayCutEqualWeightTieBreak(t *testing.T) {
+	t.Parallel()
+	g := New()
+	g.AddEdge("hub", "a", 1)
+	g.AddEdge("hub", "b", 1)
+	g.AddEdge("hub", "c", 1)
+	terminals := []MultiwayTerminal{
+		{Machine: "m0", Pinned: []string{"a"}},
+		{Machine: "m1", Pinned: []string{"b"}},
+		{Machine: "m2", Pinned: []string{"c"}},
+	}
+	first, w1, err := g.MultiwayCut(terminals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three isolating cuts weigh 1; the tie-break discards the
+	// highest terminal index, so m2 owns the hub and the total crossing
+	// weight is the two edges leaving it.
+	if first["hub"] != "m2" {
+		t.Fatalf("hub on %s, want m2 (tie broken by terminal index)", first["hub"])
+	}
+	if d := w1 - 2; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("weight %v, want 2", w1)
+	}
+	for run := 0; run < 100; run++ {
+		assign, w, err := g.MultiwayCut(terminals)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if w != w1 || len(assign) != len(first) {
+			t.Fatalf("run %d: weight/size changed: %v vs %v", run, w, w1)
+		}
+		for n, m := range first {
+			if assign[n] != m {
+				t.Fatalf("run %d: node %s assigned to %s, previously %s", run, n, assign[n], m)
+			}
+		}
+	}
+}
+
 func TestMultiwayCutSynthDeterministic(t *testing.T) {
 	t.Parallel()
 	const eps = 1e-9

@@ -16,6 +16,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/com"
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/netsim"
 	"repro/internal/profile"
 	"repro/internal/scenario"
@@ -216,6 +217,16 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	adps.AnalysisOptions.ExactPricing = spec.ExactPricing
 	adps.AnalysisOptions.PurityTheta = spec.Theta
 	adps.AnalysisOptions.Replicate = spec.Replicate
+	// One arena per run: every cut the run performs shares the CSR arrays,
+	// and repeated analyses of one topology (compare mode re-analyzes
+	// after writing the distribution) warm-start from the previous flow.
+	// The replicated cut runs on a different topology — replicated nodes'
+	// edges vanish — so it gets its own arena rather than forcing the
+	// shared one to restage on every alternation.
+	adps.AnalysisOptions.Arena = graph.NewCutArena()
+	if spec.Replicate {
+		adps.AnalysisOptions.ReplicaArena = graph.NewCutArena()
+	}
 	if spec.Alias {
 		if err := adps.EnableAlias(); err != nil {
 			return nil, err
